@@ -1,0 +1,99 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section.  The expensive artefacts (Table I, Fig. 6, Table II) share a single
+four-environment campaign that is run once per benchmark session; the trained
+detectors are cached on disk under ``benchmarks/.cache`` so repeated benchmark
+runs do not retrain them.
+
+Run counts scale with the ``MAVFI_RUNS`` environment variable (1.0 by
+default); ``MAVFI_RUNS=8`` approaches the paper's 100-runs-per-cell campaigns.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignConfig, RunSetting, scaled_count
+from repro.detection.training import train_detectors
+from repro.sim.environments import ENVIRONMENT_NAMES
+
+CACHE_DIR = Path(__file__).parent / ".cache"
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Base (MAVFI_RUNS=1) run counts for the shared campaign.
+BASE_GOLDEN_RUNS = 10
+BASE_INJECTIONS_PER_STAGE = 6
+TRAINING_ENVIRONMENTS = 4
+
+
+def print_artifact(title: str, body: str) -> None:
+    """Print one regenerated table/figure and persist it under results/."""
+    banner = "=" * 78
+    text = f"\n{banner}\n{title}\n{banner}\n{body}\n"
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = (
+        title.lower()
+        .split(":")[0]
+        .replace(".", "")
+        .replace(" ", "_")
+        .strip("_")
+    )
+    (RESULTS_DIR / f"{slug}.txt").write_text(text)
+
+
+@pytest.fixture(scope="session")
+def detectors():
+    """Trained GAD and AAD detectors (cached on disk between sessions)."""
+    CACHE_DIR.mkdir(exist_ok=True)
+    training = train_detectors(
+        num_environments=TRAINING_ENVIRONMENTS, cache_dir=CACHE_DIR
+    )
+    return training
+
+
+@pytest.fixture(scope="session")
+def full_campaign(detectors):
+    """The Table I / Fig. 6 / Table II campaign: all four environments.
+
+    For each environment: golden runs plus single-bit injections per PPC stage
+    under three settings (FI, D&R(Gaussian), D&R(Autoencoder)).
+    """
+    results = {}
+    for env in ENVIRONMENT_NAMES:
+        config = CampaignConfig(
+            environment=env,
+            num_golden=BASE_GOLDEN_RUNS,
+            num_injections_per_stage=BASE_INJECTIONS_PER_STAGE,
+            training_environments=TRAINING_ENVIRONMENTS,
+            detector_cache_dir=CACHE_DIR,
+        )
+        campaign = Campaign(config, gad=detectors.gad, aad=detectors.aad)
+        results[env] = campaign.full_evaluation()
+    return results
+
+
+@pytest.fixture(scope="session")
+def sparse_campaign(detectors):
+    """A campaign object bound to the Sparse environment (Fig. 3 / Fig. 4)."""
+    config = CampaignConfig(
+        environment="sparse",
+        num_golden=BASE_GOLDEN_RUNS,
+        num_injections_per_stage=BASE_INJECTIONS_PER_STAGE,
+        training_environments=TRAINING_ENVIRONMENTS,
+        detector_cache_dir=CACHE_DIR,
+    )
+    return Campaign(config, gad=detectors.gad, aad=detectors.aad)
+
+
+def campaign_settings():
+    """The four evaluation settings with their paper labels."""
+    return {
+        RunSetting.GOLDEN: "Golden Run",
+        RunSetting.INJECTION: "Injection Run",
+        RunSetting.DR_GAUSSIAN: "Gaussian-based",
+        RunSetting.DR_AUTOENCODER: "Autoencoder-based",
+    }

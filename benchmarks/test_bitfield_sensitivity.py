@@ -1,0 +1,76 @@
+"""Ablation (Section III-B): sensitivity to the corrupted bit field.
+
+The paper observes that faults in the sign and exponent fields of float64
+values have a far greater impact on the UAV than mantissa faults -- the
+insight behind monitoring only the sign and exponent bits in the detectors.
+This ablation injects single-bit faults restricted to each field into the
+planning stage and compares the resulting QoF degradation.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.fault import BitField
+from repro.core.qof import summarize_runs
+
+from conftest import CACHE_DIR, print_artifact
+
+
+def _run_ablation(detectors):
+    config = CampaignConfig(
+        environment="sparse",
+        num_golden=6,
+        num_injections_per_stage=6,
+        detector_cache_dir=CACHE_DIR,
+    )
+    campaign = Campaign(config, gad=detectors.gad, aad=detectors.aad)
+    golden = campaign.run_golden()
+    by_field = {}
+    for field in (BitField.MANTISSA, BitField.EXPONENT, BitField.SIGN):
+        by_field[field.value] = campaign.run_stage_injections(
+            f"fi_{field.value}", stages=("planning", "control"), bit_field=field
+        )
+    return golden, by_field
+
+
+def test_bitfield_sensitivity(benchmark, detectors):
+    golden, by_field = benchmark.pedantic(
+        _run_ablation, args=(detectors,), rounds=1, iterations=1
+    )
+
+    golden_summary = summarize_runs(golden)
+    rows = [
+        [
+            "golden",
+            f"{golden_summary.success_rate * 100:.0f}%",
+            f"{golden_summary.mean_flight_time:.1f}",
+            f"{golden_summary.worst_flight_time:.1f}",
+        ]
+    ]
+    summaries = {}
+    for field, runs in by_field.items():
+        summary = summarize_runs(runs)
+        summaries[field] = summary
+        rows.append(
+            [
+                field,
+                f"{summary.success_rate * 100:.0f}%",
+                f"{summary.mean_flight_time:.1f}",
+                f"{summary.worst_flight_time:.1f}",
+            ]
+        )
+    body = format_table(
+        ["Bit field", "Success rate", "Mean flight time [s]", "Worst flight time [s]"],
+        rows,
+        title="Bit-field sensitivity of planning/control faults (Sparse)",
+    )
+    print_artifact("Ablation: sign/exponent vs mantissa sensitivity", body)
+
+    # Mantissa faults must stay close to golden in mean flight time.
+    assert summaries["mantissa"].mean_flight_time <= golden_summary.mean_flight_time * 1.2
+    # Sign/exponent faults are allowed (and expected) to degrade the worst case
+    # at least as much as mantissa faults do.
+    worst_mantissa = summaries["mantissa"].worst_flight_time
+    worst_signexp = max(
+        summaries["sign"].worst_flight_time, summaries["exponent"].worst_flight_time
+    )
+    assert worst_signexp >= worst_mantissa * 0.9

@@ -1,0 +1,62 @@
+"""Fig. 3: application-aware, end-to-end fault tolerance per kernel.
+
+The paper injects 100 single-bit faults into each PPC kernel (point cloud
+generation, OctoMap, collision check, the RRT / RRTConnect / RRT* motion
+planners and PID control) during navigation in the Sparse environment and
+reports the flight-time distribution (Fig. 3a) and task success rate
+(Fig. 3b) against the error-free Golden runs.
+
+Expected shape: the perception kernels (P.C. Gen, OctoMap) are nearly
+indistinguishable from Golden, whereas the planners and PID show wider
+flight-time ranges and lower success rates.
+"""
+
+from repro.analysis.reporting import format_distribution_table, format_table
+from repro.core.campaign import RunSetting
+from repro.core.qof import summarize_runs
+
+from conftest import print_artifact
+
+#: (paper label, kernel node name, planner used for the run).
+KERNEL_SPECS = [
+    ("P.C. Gen.", "point_cloud_generation", "rrt_star"),
+    ("OctoMap", "octomap_generation", "rrt_star"),
+    ("Col. Ck.", "collision_check", "rrt_star"),
+    ("RRT", "motion_planner", "rrt"),
+    ("RRTConnect", "motion_planner", "rrt_connect"),
+    ("RRT*", "motion_planner", "rrt_star"),
+    ("PID", "pid_control", "rrt_star"),
+]
+
+
+def _run_fig3(campaign):
+    golden = campaign.run_golden()
+    by_kernel = campaign.run_kernel_injections(KERNEL_SPECS)
+    return golden, by_kernel
+
+
+def test_fig3_kernel_fault_tolerance(benchmark, sparse_campaign):
+    golden, by_kernel = benchmark.pedantic(
+        _run_fig3, args=(sparse_campaign,), rounds=1, iterations=1
+    )
+
+    distributions = {"Golden": [r.flight_time for r in golden if r.success]}
+    success_rows = [["Golden", f"{summarize_runs(golden).success_rate * 100:.1f}%"]]
+    for label, runs in by_kernel.items():
+        distributions[label] = [r.flight_time for r in runs if r.success]
+        success_rows.append([label, f"{summarize_runs(runs).success_rate * 100:.1f}%"])
+
+    body = format_distribution_table(
+        distributions, title="Fig. 3a: flight time per fault-injected kernel (Sparse)"
+    )
+    body += "\n\n" + format_table(
+        ["Kernel", "Success rate"], success_rows, title="Fig. 3b: flight success rate"
+    )
+    print_artifact("Fig. 3: end-to-end fault tolerance analysis per kernel", body)
+
+    golden_summary = summarize_runs(golden)
+    assert golden_summary.success_rate >= 0.8
+    # Perception kernels should remain close to Golden on average flight time.
+    for label in ("P.C. Gen.", "OctoMap"):
+        kernel_summary = summarize_runs(by_kernel[label])
+        assert kernel_summary.mean_flight_time <= golden_summary.mean_flight_time * 1.3

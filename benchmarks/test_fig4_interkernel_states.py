@@ -1,0 +1,50 @@
+"""Fig. 4: end-to-end fault tolerance of the inter-kernel states.
+
+The paper corrupts each monitored inter-kernel state (time_to_collision,
+future_collision_seq, the planned way-point coordinates/yaw/velocities and the
+flight-command velocities) with a single bit flip and reports flight time and
+success rate per state in the Sparse environment.
+
+Expected shape: ``future_collision_seq`` is much more robust than
+``time_to_collision``; corrupted way-point coordinates and velocities produce
+the widest flight-time ranges.
+"""
+
+from repro.analysis.reporting import format_distribution_table, format_table
+from repro.core.qof import summarize_runs
+from repro.pipeline.states import MONITORED_FEATURES
+
+from conftest import print_artifact
+
+
+def _run_fig4(campaign):
+    golden = campaign.run_golden()
+    by_state = campaign.run_state_injections(MONITORED_FEATURES)
+    return golden, by_state
+
+
+def test_fig4_interkernel_state_fault_tolerance(benchmark, sparse_campaign):
+    golden, by_state = benchmark.pedantic(
+        _run_fig4, args=(sparse_campaign,), rounds=1, iterations=1
+    )
+
+    distributions = {"Golden": [r.flight_time for r in golden if r.success]}
+    success_rows = [["Golden", f"{summarize_runs(golden).success_rate * 100:.1f}%"]]
+    for state, runs in by_state.items():
+        distributions[state] = [r.flight_time for r in runs if r.success]
+        success_rows.append([state, f"{summarize_runs(runs).success_rate * 100:.1f}%"])
+
+    body = format_distribution_table(
+        distributions,
+        title="Fig. 4: flight time with corrupted inter-kernel states (Sparse)",
+    )
+    body += "\n\n" + format_table(
+        ["Inter-kernel state", "Success rate"],
+        success_rows,
+        title="Fig. 4: task success rate per corrupted state",
+    )
+    print_artifact("Fig. 4: error propagation across PPC stages", body)
+
+    # Every state was exercised and the golden baseline is healthy.
+    assert set(by_state) == set(MONITORED_FEATURES)
+    assert summarize_runs(golden).success_rate >= 0.8

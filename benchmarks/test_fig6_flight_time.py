@@ -1,0 +1,72 @@
+"""Fig. 6: flight-time distributions for golden, FI, D&R(G) and D&R(A).
+
+The paper shows box plots of the flight time of all successful runs per
+environment and setting.  Expected shape: fault injection widens the
+distribution and stretches the worst case; both D&R schemes pull the worst
+case back towards the golden runs, with the autoencoder recovering at least as
+much as the Gaussian scheme.
+"""
+
+from repro.analysis.reporting import format_distribution_table, format_table
+from repro.core.campaign import RunSetting
+from repro.core.qof import worst_case_recovery
+from repro.sim.environments import ENVIRONMENT_NAMES
+
+from conftest import campaign_settings, print_artifact
+
+
+def _collect_distributions(full_campaign):
+    distributions = {}
+    for env in ENVIRONMENT_NAMES:
+        result = full_campaign[env]
+        distributions[env] = {
+            label: result.flight_times(setting)
+            for setting, label in campaign_settings().items()
+        }
+    return distributions
+
+
+def test_fig6_flight_time_distributions(benchmark, full_campaign):
+    distributions = benchmark.pedantic(
+        _collect_distributions, args=(full_campaign,), rounds=1, iterations=1
+    )
+
+    body_parts = []
+    for env in ENVIRONMENT_NAMES:
+        body_parts.append(
+            format_distribution_table(
+                distributions[env],
+                title=f"Fig. 6 ({env}): flight time of successful runs [s]",
+            )
+        )
+
+    recovery_rows = []
+    for env in ENVIRONMENT_NAMES:
+        result = full_campaign[env]
+        golden = result.summary(RunSetting.GOLDEN)
+        injection = result.summary(RunSetting.INJECTION)
+        gad = result.summary(RunSetting.DR_GAUSSIAN)
+        aad = result.summary(RunSetting.DR_AUTOENCODER)
+        recovery_rows.append(
+            [
+                env,
+                f"{(injection.worst_flight_time / max(golden.worst_flight_time, 1e-9) - 1) * 100:+.1f}%",
+                f"{worst_case_recovery(golden, injection, gad) * 100:.0f}%",
+                f"{worst_case_recovery(golden, injection, aad) * 100:.0f}%",
+            ]
+        )
+    body_parts.append(
+        format_table(
+            ["Environment", "FI worst-case increase", "GAD recovery", "AAD recovery"],
+            recovery_rows,
+            title="Worst-case flight-time degradation and recovery",
+        )
+    )
+    print_artifact("Fig. 6: flight time distributions", "\n\n".join(body_parts))
+
+    for env in ENVIRONMENT_NAMES:
+        result = full_campaign[env]
+        golden = result.summary(RunSetting.GOLDEN)
+        aad = result.summary(RunSetting.DR_AUTOENCODER)
+        # With D&R the mean flight time stays close to golden.
+        assert aad.mean_flight_time <= golden.mean_flight_time * 1.3

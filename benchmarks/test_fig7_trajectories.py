@@ -1,0 +1,86 @@
+"""Fig. 7: flight-trajectory analysis in the Dense environment.
+
+The paper visualises three flights: an error-free (golden) run, a run with a
+single-bit injection in the perception / planning stage (detour, fly-back,
+re-planning), and the same injection with detection and recovery enabled
+(near-golden trajectory).  This benchmark regenerates the quantitative
+version: path length, detour ratio and deviation from the golden trajectory
+for the three settings and both injected stages.
+"""
+
+import copy
+
+from repro.analysis.reporting import format_table
+from repro.analysis.trajectory import analyze_trajectory, compare_trajectories
+from repro.core.injector import FaultPlan
+from repro.detection.node import attach_detection
+from repro.pipeline.builder import PipelineConfig, build_pipeline
+from repro.pipeline.runner import MissionRunner
+
+from conftest import print_artifact
+
+SEED = 4
+INJECTION_TIME = 5.0
+
+
+def _fly(detector=None, fault_plan=None):
+    handles = build_pipeline(PipelineConfig(environment="dense", seed=SEED))
+    if detector is not None:
+        attach_detection(handles, copy.deepcopy(detector))
+    if fault_plan is not None:
+        from repro.core.injector import FaultInjectorNode
+
+        handles.graph.add_node(FaultInjectorNode(fault_plan, handles.kernels))
+    return MissionRunner(handles).run(setting="fig7", seed=SEED)
+
+
+def _plan_for(stage: str) -> FaultPlan:
+    target = {"perception": "time_to_collision", "planning": "waypoint_x"}[stage]
+    return FaultPlan(
+        target_type="state", target=target, injection_time=INJECTION_TIME, bit=63, seed=17
+    )
+
+
+def _run_fig7(detectors):
+    golden = _fly()
+    rows = []
+    for stage in ("perception", "planning"):
+        faulty = _fly(fault_plan=_plan_for(stage))
+        recovered = _fly(detector=detectors.aad, fault_plan=_plan_for(stage))
+        for label, run in (("golden", golden), ("fault injection", faulty), ("FI + D&R", recovered)):
+            metrics = analyze_trajectory(run.trajectory)
+            deviation = compare_trajectories(run.trajectory, golden.trajectory)
+            rows.append(
+                [
+                    stage,
+                    label,
+                    "yes" if run.success else "NO",
+                    f"{run.flight_time:.1f}",
+                    f"{metrics.path_length:.1f}",
+                    f"{metrics.detour_ratio:.2f}",
+                    f"{deviation.max_deviation:.1f}",
+                ]
+            )
+    return golden, rows
+
+
+def test_fig7_trajectory_analysis(benchmark, detectors):
+    golden, rows = benchmark.pedantic(_run_fig7, args=(detectors,), rounds=1, iterations=1)
+
+    body = format_table(
+        [
+            "Injected stage",
+            "Setting",
+            "Success",
+            "Flight time [s]",
+            "Path length [m]",
+            "Detour ratio",
+            "Max deviation from golden [m]",
+        ],
+        rows,
+        title="Fig. 7: trajectories of golden, fault-injected and recovered flights (Dense)",
+    )
+    print_artifact("Fig. 7: flight trajectory analysis", body)
+
+    assert golden.success
+    assert analyze_trajectory(golden.trajectory).detour_ratio < 2.0

@@ -1,0 +1,87 @@
+"""Fig. 9: computing-platform comparison (i9-9940X versus TX2 / Cortex-A57).
+
+The paper runs the same fault-injection and recovery experiments on a desktop
+i9 and an embedded TX2 companion computer.  The spec table (cores, frequency,
+power) is reproduced together with the measured flight time / energy on each
+platform, and with the flight-time recovery achieved by the two D&R schemes on
+the TX2.  Expected shape: the TX2 flies the same mission more slowly and with
+a larger worst-case flight time under faults, the error trend is the same on
+both platforms, and both D&R schemes recover most of the degradation.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core.campaign import Campaign, CampaignConfig, RunSetting
+from repro.core.qof import worst_case_recovery
+from repro.platforms.compute import get_platform
+
+from conftest import CACHE_DIR, print_artifact
+
+
+def _run_platform(platform, detectors, num_golden=6, per_stage=4):
+    config = CampaignConfig(
+        environment="sparse",
+        platform=platform,
+        num_golden=num_golden,
+        num_injections_per_stage=per_stage,
+        mission_time_limit=200.0,
+        detector_cache_dir=CACHE_DIR,
+    )
+    campaign = Campaign(config, gad=detectors.gad, aad=detectors.aad)
+    return campaign.full_evaluation()
+
+
+def _run_fig9(detectors):
+    return {name: _run_platform(name, detectors) for name in ("i9", "tx2")}
+
+
+def test_fig9_platform_comparison(benchmark, detectors):
+    results = benchmark.pedantic(_run_fig9, args=(detectors,), rounds=1, iterations=1)
+
+    spec_rows = []
+    for name in ("i9", "tx2"):
+        platform = get_platform(name)
+        golden = results[name].summary(RunSetting.GOLDEN)
+        spec_rows.append(
+            [
+                platform.name,
+                platform.core_count,
+                f"{platform.core_frequency_ghz:.1f}",
+                f"{platform.compute_power_w:.0f}",
+                f"{golden.mean_flight_time:.1f}",
+                f"{golden.mean_energy / 1000:.1f}",
+            ]
+        )
+    body = format_table(
+        ["Platform", "Cores", "Freq [GHz]", "Power [W]", "Flight time [s]", "Flight energy [kJ]"],
+        spec_rows,
+        title="Fig. 9: platform specification and golden-run QoF",
+    )
+
+    qof_rows = []
+    for name in ("i9", "tx2"):
+        result = results[name]
+        golden = result.summary(RunSetting.GOLDEN)
+        injection = result.summary(RunSetting.INJECTION)
+        gad = result.summary(RunSetting.DR_GAUSSIAN)
+        aad = result.summary(RunSetting.DR_AUTOENCODER)
+        qof_rows.append(
+            [
+                name,
+                f"{golden.worst_flight_time:.1f}",
+                f"{injection.worst_flight_time:.1f}",
+                f"{worst_case_recovery(golden, injection, gad) * 100:.0f}%",
+                f"{worst_case_recovery(golden, injection, aad) * 100:.0f}%",
+            ]
+        )
+    body += "\n\n" + format_table(
+        ["Platform", "Golden worst [s]", "FI worst [s]", "GAD recovery", "AAD recovery"],
+        qof_rows,
+        title="Fig. 9: fault impact and recovery per platform (Sparse)",
+    )
+    print_artifact("Fig. 9: computing platform comparison", body)
+
+    i9_golden = results["i9"].summary(RunSetting.GOLDEN)
+    tx2_golden = results["tx2"].summary(RunSetting.GOLDEN)
+    # The edge platform flies the same mission substantially more slowly.
+    assert tx2_golden.mean_flight_time > i9_golden.mean_flight_time * 1.3
+    assert tx2_golden.success_rate >= 0.5

@@ -1,0 +1,68 @@
+"""Table I: flight success rate in the four evaluation environments.
+
+For each environment (Factory, Farm, Sparse, Dense) the paper reports the
+mission success rate of the Golden runs, the fault-injection runs and the two
+detection-and-recovery schemes.  Expected shape: injections lower the success
+rate (most in Dense), both D&R schemes recover most of the drop, and the
+autoencoder recovers at least as much as the Gaussian scheme.
+"""
+
+from repro.analysis.reporting import format_success_rate_table, format_table
+from repro.core.campaign import RunSetting
+from repro.core.qof import failure_recovery_rate
+from repro.sim.environments import ENVIRONMENT_NAMES
+
+from conftest import campaign_settings, print_artifact
+
+
+def _collect_success_rates(full_campaign):
+    rates = {}
+    for setting in campaign_settings():
+        rates[setting] = {
+            env: full_campaign[env].success_rate(setting) for env in ENVIRONMENT_NAMES
+        }
+    return rates
+
+
+def test_table1_success_rate(benchmark, full_campaign):
+    rates = benchmark.pedantic(
+        _collect_success_rates, args=(full_campaign,), rounds=1, iterations=1
+    )
+
+    body = format_success_rate_table(
+        rates,
+        environments=list(ENVIRONMENT_NAMES),
+        settings=list(campaign_settings()),
+        setting_labels=campaign_settings(),
+        title="Table I: flight success rate in the 4 evaluation environments",
+    )
+
+    recovery_rows = []
+    for env in ENVIRONMENT_NAMES:
+        result = full_campaign[env]
+        golden = result.summary(RunSetting.GOLDEN)
+        injection = result.summary(RunSetting.INJECTION)
+        gad = result.summary(RunSetting.DR_GAUSSIAN)
+        aad = result.summary(RunSetting.DR_AUTOENCODER)
+        recovery_rows.append(
+            [
+                env,
+                f"{failure_recovery_rate(golden, injection, gad) * 100:.0f}%",
+                f"{failure_recovery_rate(golden, injection, aad) * 100:.0f}%",
+            ]
+        )
+    body += "\n\n" + format_table(
+        ["Environment", "Gaussian recovery", "Autoencoder recovery"],
+        recovery_rows,
+        title="Recovered fraction of fault-induced failure cases",
+    )
+    print_artifact("Table I: flight success rate", body)
+
+    for env in ENVIRONMENT_NAMES:
+        result = full_campaign[env]
+        golden_rate = result.success_rate(RunSetting.GOLDEN)
+        assert golden_rate >= 0.8
+        # D&R must never be (meaningfully) worse than plain fault injection.
+        assert result.success_rate(RunSetting.DR_AUTOENCODER) >= result.success_rate(
+            RunSetting.INJECTION
+        ) - 0.1

@@ -1,0 +1,57 @@
+"""Table II: compute-time overhead of detection and recovery.
+
+The paper reports, per environment, the detection (DET) and recovery (RECOV)
+compute-time overhead of each PPC stage for the Gaussian scheme, and a single
+"PPC" row for the autoencoder scheme.  Expected shape: the Gaussian scheme's
+total overhead is on the order of a few percent (dominated by perception and
+planning recomputation), while the autoencoder's total overhead is orders of
+magnitude smaller (well below 0.1%), because its recovery recomputes only the
+cheap control stage.
+"""
+
+from repro.analysis.reporting import format_overhead_table
+from repro.core.campaign import RunSetting
+from repro.core.overhead import compute_overhead
+from repro.sim.environments import ENVIRONMENT_NAMES
+
+from conftest import print_artifact
+
+
+def _collect_overheads(full_campaign):
+    gaussian = {}
+    autoencoder = {}
+    for env in ENVIRONMENT_NAMES:
+        result = full_campaign[env]
+        gaussian[env] = compute_overhead(
+            result.results(RunSetting.DR_GAUSSIAN), detector="gad", environment=env
+        )
+        autoencoder[env] = compute_overhead(
+            result.results(RunSetting.DR_AUTOENCODER), detector="aad", environment=env
+        )
+    return gaussian, autoencoder
+
+
+def test_table2_detection_recovery_overhead(benchmark, full_campaign):
+    gaussian, autoencoder = benchmark.pedantic(
+        _collect_overheads, args=(full_campaign,), rounds=1, iterations=1
+    )
+
+    body = format_overhead_table(
+        gaussian, title="Table II (Gaussian-based): DET / RECOV overhead per stage"
+    )
+    body += "\n\n" + format_overhead_table(
+        autoencoder, title="Table II (Autoencoder-based): DET / RECOV overhead"
+    )
+    print_artifact("Table II: compute time overhead of detection and recovery", body)
+
+    for env in ENVIRONMENT_NAMES:
+        # The autoencoder scheme must be far cheaper than the Gaussian scheme
+        # (paper: <= 0.0062% versus ~2%).
+        assert autoencoder[env].total_overhead < 0.005
+        assert autoencoder[env].total_overhead < gaussian[env].total_overhead
+        # Gaussian detection itself is cheap; its cost is recovery.
+        gad_detection = sum(gaussian[env].detection_fraction.values())
+        gad_recovery = sum(gaussian[env].recovery_fraction.values())
+        assert gad_detection < 0.001
+        if gad_recovery > 0:
+            assert gad_recovery > gad_detection

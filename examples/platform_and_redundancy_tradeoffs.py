@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Platform and redundancy trade-offs for SWaP-constrained MAVs.
+
+This example uses the cyber-physical visual performance model (Krishnan et
+al. [16], reproduced in :mod:`repro.platforms`) to compare how a desktop-class
+(i9) and an embedded (TX2 / Cortex-A57) companion computer, and hardware
+redundancy (DMR / TMR) versus the software anomaly-detection scheme, change a
+MAV's achievable velocity, flight time and mission energy (cf. Fig. 8 and
+Fig. 9 of the paper).
+
+Run with::
+
+    python examples/platform_and_redundancy_tradeoffs.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.platforms.compute import PLATFORMS, get_platform
+from repro.platforms.redundancy import RedundancyScheme, apply_redundancy
+from repro.platforms.visual_performance import UAV_SPECS, VisualPerformanceModel
+
+
+def platform_table() -> str:
+    rows = []
+    for name in ("i9", "tx2"):
+        platform = get_platform(name)
+        response = platform.kernel_latency("octomap_generation") + platform.kernel_latency(
+            "motion_planner"
+        )
+        rows.append(
+            [
+                platform.name,
+                platform.core_count,
+                f"{platform.core_frequency_ghz:.1f}",
+                f"{platform.compute_power_w:.0f}",
+                f"{response * 1000:.0f}",
+                f"{platform.velocity_factor:.2f}",
+            ]
+        )
+    return format_table(
+        ["Platform", "Cores", "Freq [GHz]", "Power [W]", "PPC response [ms]", "Safe-velocity factor"],
+        rows,
+        title="Companion computer platforms (cf. Fig. 9)",
+    )
+
+
+def redundancy_table() -> str:
+    rows = []
+    latency = get_platform("cortex-a57").kernel_latency("octomap_generation") + get_platform(
+        "cortex-a57"
+    ).kernel_latency("motion_planner")
+    for uav_name, spec in UAV_SPECS.items():
+        model = VisualPerformanceModel(spec)
+        baseline = apply_redundancy(model, RedundancyScheme.ANOMALY_DETECTION, latency)
+        for scheme in (RedundancyScheme.ANOMALY_DETECTION, RedundancyScheme.DMR, RedundancyScheme.TMR):
+            perf = apply_redundancy(model, scheme, latency)
+            rows.append(
+                [
+                    uav_name,
+                    scheme.value,
+                    f"{perf.max_velocity:.1f}",
+                    f"{perf.flight_time:.1f}",
+                    f"{perf.flight_time / baseline.flight_time:.2f}x",
+                    f"{perf.flight_energy / baseline.flight_energy:.2f}x",
+                ]
+            )
+    return format_table(
+        ["UAV", "Protection", "Velocity [m/s]", "Flight time [s]", "Time vs D&R", "Energy vs D&R"],
+        rows,
+        title="Hardware redundancy vs software anomaly D&R (cf. Fig. 8)",
+    )
+
+
+def main() -> None:
+    print(platform_table())
+    print()
+    print(redundancy_table())
+    print(
+        "\nTake-away: duplicated or triplicated compute hardware costs weight and"
+        "\npower that a SWaP-constrained MAV pays for with lower safe velocity,"
+        "\nlonger flights and more energy -- the smaller the vehicle, the worse the"
+        "\npenalty -- while the software anomaly detection and recovery scheme"
+        "\nprotects the pipeline at a negligible compute overhead."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+A ``setup.py`` is kept alongside ``pyproject.toml`` so that editable installs
+work on offline machines that have setuptools but no ``wheel`` package (the
+legacy ``setup.py develop`` code path needs neither network access nor wheel).
+"""
+
+from setuptools import setup
+
+setup()

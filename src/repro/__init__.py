@@ -1,0 +1,28 @@
+"""MAVFI reproduction package.
+
+This package reproduces the system described in "MAVFI: An End-to-End Fault
+Analysis Framework with Anomaly Detection and Recovery for Micro Aerial
+Vehicles" (DATE 2023).  It contains:
+
+* ``repro.rosmw`` -- a lightweight ROS-like publish/subscribe middleware with
+  nodes, topics, services, a simulated clock and node restart semantics.
+* ``repro.sim`` -- a closed-loop micro aerial vehicle (MAV) simulator with a
+  cuboid-obstacle world, an environment generator, quadrotor kinematics and
+  ray-cast depth/IMU sensors.
+* ``repro.perception``, ``repro.planning``, ``repro.control`` -- the
+  perception-planning-control (PPC) kernels that form the end-to-end pipeline.
+* ``repro.pipeline`` -- the pipeline wiring, inter-kernel state registry and
+  mission runner.
+* ``repro.core`` -- MAVFI itself: fault models, the fault injector, campaign
+  management and quality-of-flight (QoF) metrics.
+* ``repro.detection`` -- the Gaussian-based (GAD) and autoencoder-based (AAD)
+  anomaly detection and recovery schemes.
+* ``repro.platforms`` -- compute platform, redundancy (DMR/TMR), visual
+  performance and energy models.
+* ``repro.analysis`` -- result statistics, trajectory analysis and report
+  formatting.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

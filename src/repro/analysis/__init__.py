@@ -1,0 +1,27 @@
+"""Result analysis: trajectory comparison and report formatting.
+
+* :mod:`repro.analysis.trajectory` -- flight-trajectory metrics (path length,
+  detour ratio, deviation from a reference flight) used for the Fig. 7
+  trajectory analysis.
+* :mod:`repro.analysis.reporting` -- text rendering of the paper's tables and
+  figures (Table I, Table II, Fig. 3/4/6/8/9) from campaign results.
+"""
+
+from repro.analysis.reporting import (
+    format_distribution_table,
+    format_overhead_table,
+    format_success_rate_table,
+    format_table,
+)
+from repro.analysis.trajectory import TrajectoryComparison, TrajectoryMetrics, analyze_trajectory, compare_trajectories
+
+__all__ = [
+    "TrajectoryMetrics",
+    "TrajectoryComparison",
+    "analyze_trajectory",
+    "compare_trajectories",
+    "format_table",
+    "format_success_rate_table",
+    "format_distribution_table",
+    "format_overhead_table",
+]

@@ -1,0 +1,100 @@
+"""Text rendering of the paper's tables and figures.
+
+The benchmark harnesses regenerate every evaluation artefact of the paper as a
+text table (one per Table/Fig.); the helpers here do the formatting so that
+benches and examples share the same presentation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.core.overhead import OverheadReport
+from repro.core.results import DistributionStats, distribution_stats
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render a simple aligned text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_success_rate_table(
+    success_rates: Mapping[str, Mapping[str, float]],
+    environments: Sequence[str],
+    settings: Sequence[str],
+    setting_labels: Mapping[str, str],
+    title: str = "Table I: flight success rate",
+) -> str:
+    """Render a Table-I-style success-rate table.
+
+    ``success_rates[setting][environment]`` is the success rate in [0, 1].
+    """
+    headers = ["Setting"] + [env.capitalize() for env in environments]
+    rows = []
+    for setting in settings:
+        label = setting_labels.get(setting, setting)
+        row = [label]
+        for env in environments:
+            rate = success_rates.get(setting, {}).get(env)
+            row.append("-" if rate is None else f"{rate * 100:.1f}%")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_distribution_table(
+    distributions: Mapping[str, Iterable[float]],
+    title: str = "Flight time distribution",
+    unit: str = "s",
+) -> str:
+    """Render box-plot-style five-number summaries, one row per label."""
+    headers = ["Setting", "n", f"min [{unit}]", "q1", "median", "q3", f"max [{unit}]", "mean"]
+    rows = []
+    for label, values in distributions.items():
+        stats: DistributionStats = distribution_stats(values)
+        rows.append(
+            [
+                label,
+                stats.count,
+                f"{stats.minimum:.1f}",
+                f"{stats.q1:.1f}",
+                f"{stats.median:.1f}",
+                f"{stats.q3:.1f}",
+                f"{stats.maximum:.1f}",
+                f"{stats.mean:.1f}",
+            ]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def format_overhead_table(
+    reports: Mapping[str, OverheadReport],
+    title: str = "Table II: compute time overhead of detection and recovery",
+) -> str:
+    """Render a Table-II-style overhead table, one column block per environment."""
+    lines: List[str] = [title]
+    for env, report in reports.items():
+        lines.append(f"[{env}] detector={report.detector}")
+        lines.extend("  " + row for row in report.rows())
+    return "\n".join(lines)
+
+
+def format_percentage_map(values: Dict[str, float], title: str) -> str:
+    """Render a simple label -> percentage listing."""
+    headers = ["Item", "Value"]
+    rows = [[key, f"{value * 100:.1f}%"] for key, value in values.items()]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,110 @@
+"""Flight-trajectory analysis (Fig. 7).
+
+Fig. 7 of the paper visualises how a single-bit injection distorts the flown
+trajectory (detours, flying back, re-planning) and how detection and recovery
+restore a near-golden path.  The helpers here quantify those effects: path
+length, detour ratio with respect to the straight start-goal line, and the
+deviation between a run and a reference (golden) run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TrajectoryMetrics:
+    """Shape metrics of one flown trajectory."""
+
+    path_length: float
+    straight_line_distance: float
+    detour_ratio: float
+    max_lateral_deviation: float
+    num_points: int
+
+
+@dataclass(frozen=True)
+class TrajectoryComparison:
+    """Deviation of one trajectory from a reference trajectory."""
+
+    mean_deviation: float
+    max_deviation: float
+    length_ratio: float
+
+
+def _as_points(trajectory: Sequence) -> np.ndarray:
+    points = np.asarray(trajectory, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError(f"a trajectory must have shape (N, 3), got {points.shape}")
+    return points
+
+
+def analyze_trajectory(trajectory: Sequence) -> TrajectoryMetrics:
+    """Compute shape metrics of one trajectory (at least two points)."""
+    points = _as_points(trajectory)
+    if len(points) < 2:
+        return TrajectoryMetrics(0.0, 0.0, 1.0, 0.0, len(points))
+    segments = np.diff(points, axis=0)
+    path_length = float(np.linalg.norm(segments, axis=1).sum())
+    start, end = points[0], points[-1]
+    straight = float(np.linalg.norm(end - start))
+
+    # Lateral deviation from the straight start-end line.
+    if straight > 1e-9:
+        direction = (end - start) / straight
+        offsets = points - start[None, :]
+        along = offsets @ direction
+        projected = start[None, :] + along[:, None] * direction[None, :]
+        lateral = np.linalg.norm(points - projected, axis=1)
+        max_lateral = float(lateral.max())
+    else:
+        max_lateral = float(np.linalg.norm(points - start[None, :], axis=1).max())
+
+    detour_ratio = path_length / straight if straight > 1e-9 else 1.0
+    return TrajectoryMetrics(
+        path_length=path_length,
+        straight_line_distance=straight,
+        detour_ratio=detour_ratio,
+        max_lateral_deviation=max_lateral,
+        num_points=len(points),
+    )
+
+
+def _resample(points: np.ndarray, n_samples: int) -> np.ndarray:
+    """Resample a polyline to ``n_samples`` points uniformly by arc length."""
+    if len(points) == 1:
+        return np.repeat(points, n_samples, axis=0)
+    seg_lengths = np.linalg.norm(np.diff(points, axis=0), axis=1)
+    cumulative = np.concatenate([[0.0], np.cumsum(seg_lengths)])
+    total = cumulative[-1]
+    if total <= 1e-9:
+        return np.repeat(points[:1], n_samples, axis=0)
+    sample_s = np.linspace(0.0, total, n_samples)
+    resampled = np.empty((n_samples, 3))
+    for axis in range(3):
+        resampled[:, axis] = np.interp(sample_s, cumulative, points[:, axis])
+    return resampled
+
+
+def compare_trajectories(
+    trajectory: Sequence, reference: Sequence, n_samples: int = 100
+) -> TrajectoryComparison:
+    """Deviation of ``trajectory`` from ``reference`` after arc-length alignment."""
+    points = _as_points(trajectory)
+    ref = _as_points(reference)
+    if len(points) == 0 or len(ref) == 0:
+        return TrajectoryComparison(0.0, 0.0, 1.0)
+    a = _resample(points, n_samples)
+    b = _resample(ref, n_samples)
+    deviations = np.linalg.norm(a - b, axis=1)
+    length_a = analyze_trajectory(points).path_length if len(points) > 1 else 0.0
+    length_b = analyze_trajectory(ref).path_length if len(ref) > 1 else 0.0
+    ratio = length_a / length_b if length_b > 1e-9 else 1.0
+    return TrajectoryComparison(
+        mean_deviation=float(deviations.mean()),
+        max_deviation=float(deviations.max()),
+        length_ratio=float(ratio),
+    )

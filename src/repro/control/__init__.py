@@ -1,0 +1,24 @@
+"""Control stage kernels.
+
+The control stage tracks the planned multi-DOF trajectory and issues flight
+commands ("Path Tracking / Command Issue" in Fig. 2, "PID" in Fig. 3).  It is
+implemented as a PID-based trajectory follower:
+
+* :class:`~repro.control.pid.PidController` -- a generic scalar PID with
+  integral clamping.
+* :class:`~repro.control.path_tracking.PathTracker` -- the pure tracking
+  kernel (carrot point selection + per-axis PID + yaw control).
+* :class:`~repro.control.path_tracking.ControlNode` -- the node wrapper that
+  subscribes to the trajectory and odometry and publishes flight commands.
+"""
+
+from repro.control.path_tracking import ControlNode, PathTracker, TrackerConfig
+from repro.control.pid import PidController, PidGains
+
+__all__ = [
+    "PidController",
+    "PidGains",
+    "PathTracker",
+    "TrackerConfig",
+    "ControlNode",
+]

@@ -1,0 +1,60 @@
+"""Generic PID controller with integral clamping.
+
+The control stage of the pipeline is "PID" in the paper's kernel-level fault
+analysis (Fig. 3).  The PID state (most notably the integral accumulator) is
+persistent across control periods, which is exactly why a single bit flip in
+the control stage can keep steering the vehicle off its trajectory until the
+state washes out -- the behaviour the fault injector exploits when targeting
+the control kernel internally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PidGains:
+    """Proportional, integral and derivative gains plus the integral clamp."""
+
+    kp: float = 1.0
+    ki: float = 0.0
+    kd: float = 0.0
+    integral_limit: float = 5.0
+    output_limit: float = float("inf")
+
+
+class PidController:
+    """Scalar PID controller.
+
+    The integral term is clamped to ``integral_limit`` and the output to
+    ``output_limit``; both guards mirror what flight stacks do to bound the
+    influence of any single term.
+    """
+
+    def __init__(self, gains: PidGains = None) -> None:
+        self.gains = gains if gains is not None else PidGains()
+        self.integral = 0.0
+        self.previous_error = 0.0
+        self._has_previous = False
+
+    def reset(self) -> None:
+        """Zero the controller state (between missions or after recovery)."""
+        self.integral = 0.0
+        self.previous_error = 0.0
+        self._has_previous = False
+
+    def update(self, error: float, dt: float) -> float:
+        """Advance the controller by one period and return the control output."""
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        g = self.gains
+        self.integral += error * dt
+        self.integral = max(-g.integral_limit, min(g.integral_limit, self.integral))
+        derivative = 0.0
+        if self._has_previous:
+            derivative = (error - self.previous_error) / dt
+        self.previous_error = error
+        self._has_previous = True
+        output = g.kp * error + g.ki * self.integral + g.kd * derivative
+        return max(-g.output_limit, min(g.output_limit, output))

@@ -1,0 +1,65 @@
+"""MAVFI core: fault models, fault injector, campaigns and QoF metrics.
+
+This is the paper's primary contribution: an application-aware resilience
+analysis framework for ROS-based autonomous systems.  The package contains
+
+* :mod:`repro.core.fault` -- single-bit-flip fault primitives with
+  sign/exponent/mantissa field targeting (Section II-B, III-B),
+* :mod:`repro.core.injector` -- the MAVFI fault injector node that attaches
+  to the pipeline and injects one fault per mission into a kernel or an
+  inter-kernel state (Fig. 2),
+* :mod:`repro.core.qof` -- the system-level quality-of-flight metrics
+  (flight time, success rate, mission energy),
+* :mod:`repro.core.campaign` -- campaign management: golden runs, fault
+  injection runs and detection-and-recovery runs across environments,
+* :mod:`repro.core.overhead` -- detection/recovery compute-overhead
+  accounting (Table II),
+* :mod:`repro.core.results` -- aggregation and distribution statistics used
+  by the benchmark harnesses.
+"""
+
+from repro.core.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    RunRecord,
+    RunSetting,
+)
+from repro.core.fault import (
+    BitField,
+    FaultSpec,
+    corrupt_array_element,
+    corrupt_message_field,
+    flip_float_bit,
+    flip_int_bit,
+    random_bit_for_field,
+)
+from repro.core.injector import FaultInjectorNode, FaultPlan
+from repro.core.overhead import OverheadReport, compute_overhead
+from repro.core.qof import QofMetrics, QofSummary, summarize_runs
+from repro.core.results import DistributionStats, distribution_stats, recovery_percentage
+
+__all__ = [
+    "BitField",
+    "FaultSpec",
+    "flip_float_bit",
+    "flip_int_bit",
+    "random_bit_for_field",
+    "corrupt_array_element",
+    "corrupt_message_field",
+    "FaultInjectorNode",
+    "FaultPlan",
+    "QofMetrics",
+    "QofSummary",
+    "summarize_runs",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "RunRecord",
+    "RunSetting",
+    "OverheadReport",
+    "compute_overhead",
+    "DistributionStats",
+    "distribution_stats",
+    "recovery_percentage",
+]

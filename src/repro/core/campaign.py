@@ -1,0 +1,357 @@
+"""Campaign management: golden, fault-injection and D&R evaluation runs.
+
+Section VI of the paper evaluates each environment with 100 error-free
+("golden") runs plus 900 single-bit injections split over three settings --
+plain fault injection (FI), detection & recovery with the Gaussian scheme
+(D&R(G)) and with the autoencoder scheme (D&R(A)) -- with 100 injections per
+PPC stage in each setting.  The :class:`Campaign` class reproduces that
+structure with configurable run counts, and additionally provides the
+per-kernel (Fig. 3) and per-inter-kernel-state (Fig. 4) characterisation
+campaigns.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import topics
+from repro.core.fault import BitField
+from repro.core.injector import FaultInjectorNode, FaultPlan
+from repro.core.qof import QofSummary, summarize_runs
+from repro.detection.node import attach_detection
+from repro.detection.training import train_detectors
+from repro.pipeline.builder import PipelineConfig, build_pipeline
+from repro.pipeline.runner import MissionResult, MissionRunner
+
+
+class RunSetting:
+    """Canonical labels of the four evaluation settings."""
+
+    GOLDEN = "golden"
+    INJECTION = "injection"
+    DR_GAUSSIAN = "dr_gaussian"
+    DR_AUTOENCODER = "dr_autoencoder"
+
+    ALL = (GOLDEN, INJECTION, DR_GAUSSIAN, DR_AUTOENCODER)
+
+
+#: MissionResult is the per-run record type used throughout the campaigns.
+RunRecord = MissionResult
+
+
+def runs_scale() -> float:
+    """Global scale factor for campaign run counts (``MAVFI_RUNS`` env var).
+
+    Setting ``MAVFI_RUNS=1.0`` reproduces the default counts; larger values
+    approach the paper's 100-runs-per-cell campaigns at proportionally larger
+    runtime.
+    """
+    try:
+        return max(float(os.environ.get("MAVFI_RUNS", "1.0")), 0.01)
+    except ValueError:
+        return 1.0
+
+
+def scaled_count(base: int) -> int:
+    """Apply :func:`runs_scale` to a base run count (minimum of 1)."""
+    return max(1, int(round(base * runs_scale())))
+
+
+@dataclass
+class CampaignConfig:
+    """Configuration of one environment's campaign."""
+
+    environment: str = "sparse"
+    env_seed: int = 0
+    planner_name: str = "rrt_star"
+    platform: str = "i9"
+    num_golden: int = 15
+    num_injections_per_stage: int = 12
+    mission_time_limit: float = 120.0
+    time_step: float = 0.25
+    injection_window: Tuple[float, float] = (2.0, 9.0)
+    bit_field: BitField = BitField.ANY
+    seed: int = 0
+    training_environments: int = 6
+    detector_cache_dir: Optional[Path] = None
+
+
+@dataclass
+class CampaignResult:
+    """All runs of one campaign, grouped by setting label."""
+
+    config: CampaignConfig
+    runs: Dict[str, List[RunRecord]] = field(default_factory=dict)
+
+    def add(self, setting: str, result: RunRecord) -> None:
+        """Record one run under ``setting``."""
+        self.runs.setdefault(setting, []).append(result)
+
+    def extend(self, setting: str, results: Iterable[RunRecord]) -> None:
+        """Record several runs under ``setting``."""
+        self.runs.setdefault(setting, []).extend(results)
+
+    def results(self, setting: str) -> List[RunRecord]:
+        """All runs recorded under ``setting``."""
+        return list(self.runs.get(setting, []))
+
+    def summary(self, setting: str) -> QofSummary:
+        """QoF summary of the runs of ``setting``."""
+        return summarize_runs(self.results(setting))
+
+    def success_rate(self, setting: str) -> float:
+        """Mission success rate of ``setting``."""
+        return self.summary(setting).success_rate
+
+    def flight_times(self, setting: str, successful_only: bool = True) -> List[float]:
+        """Flight times of the (successful) runs of ``setting``."""
+        return [
+            r.flight_time
+            for r in self.results(setting)
+            if r.success or not successful_only
+        ]
+
+    def settings(self) -> List[str]:
+        """All setting labels with at least one run."""
+        return sorted(self.runs)
+
+
+class Campaign:
+    """Drives golden, fault-injection and D&R runs for one environment."""
+
+    def __init__(
+        self,
+        config: Optional[CampaignConfig] = None,
+        gad=None,
+        aad=None,
+    ) -> None:
+        self.config = config if config is not None else CampaignConfig()
+        self.gad = gad
+        self.aad = aad
+
+    # ---------------------------------------------------------------- set-up
+    def ensure_detectors(self) -> None:
+        """Train (or load cached) detectors if none were supplied."""
+        if self.gad is not None and self.aad is not None:
+            return
+        training = train_detectors(
+            num_environments=self.config.training_environments,
+            cache_dir=self.config.detector_cache_dir,
+            planner_name=self.config.planner_name,
+            platform=self.config.platform,
+        )
+        if self.gad is None:
+            self.gad = training.gad
+        if self.aad is None:
+            self.aad = training.aad
+
+    def _pipeline_config(
+        self,
+        seed: int,
+        planner_name: Optional[str] = None,
+        platform: Optional[str] = None,
+    ) -> PipelineConfig:
+        cfg = self.config
+        return PipelineConfig(
+            environment=cfg.environment,
+            env_seed=cfg.env_seed,
+            planner_name=planner_name or cfg.planner_name,
+            platform=platform or cfg.platform,
+            seed=seed,
+            mission_time_limit=cfg.mission_time_limit,
+        )
+
+    def _mission_seed_pool(self) -> List[int]:
+        """Pool of mission seeds shared by every setting of the campaign.
+
+        All settings (golden, FI, D&R) draw their mission seeds from the same
+        pool, so natural, fault-free variability (e.g. an unlucky planner seed
+        in a cluttered environment) affects every setting equally and the
+        setting-to-setting differences reflect the faults and the recovery
+        schemes rather than sampling noise -- the common-random-numbers
+        technique for paired simulation experiments.
+        """
+        pool_size = scaled_count(self.config.num_golden)
+        return [self.config.seed + i for i in range(pool_size)]
+
+    # ------------------------------------------------------------ single runs
+    def run_one(
+        self,
+        seed: int,
+        setting: str,
+        fault_plan: Optional[FaultPlan] = None,
+        detector=None,
+        planner_name: Optional[str] = None,
+        platform: Optional[str] = None,
+    ) -> RunRecord:
+        """Run one mission with the given fault plan and detector."""
+        handles = build_pipeline(self._pipeline_config(seed, planner_name, platform))
+        if detector is not None:
+            attach_detection(handles, copy.deepcopy(detector))
+        injector = None
+        if fault_plan is not None:
+            injector = FaultInjectorNode(fault_plan, handles.kernels)
+            handles.graph.add_node(injector)
+        runner = MissionRunner(handles, time_step=self.config.time_step)
+        result = runner.run(
+            setting=setting,
+            seed=seed,
+            fault_target=fault_plan.target if fault_plan else "",
+        )
+        if injector is not None:
+            result.fault_description = injector.description
+        return result
+
+    def _fault_plan(
+        self,
+        target_type: str,
+        target: str,
+        run_index: int,
+        bit_field: Optional[BitField] = None,
+    ) -> FaultPlan:
+        cfg = self.config
+        fault_seed = cfg.seed * 100_003 + run_index * 7 + 13
+        rng = np.random.default_rng(fault_seed)
+        injection_time = float(rng.uniform(*cfg.injection_window))
+        return FaultPlan(
+            target_type=target_type,
+            target=target,
+            injection_time=injection_time,
+            bit=None,
+            bit_field=bit_field if bit_field is not None else cfg.bit_field,
+            seed=fault_seed + 1,
+        )
+
+    # -------------------------------------------------------------- campaigns
+    def run_golden(self, count: Optional[int] = None) -> List[RunRecord]:
+        """Error-free baseline runs."""
+        if count is not None:
+            seeds = [self.config.seed + i for i in range(scaled_count(count))]
+        else:
+            seeds = self._mission_seed_pool()
+        return [
+            self.run_one(seed=seed, setting=RunSetting.GOLDEN) for seed in seeds
+        ]
+
+    def run_stage_injections(
+        self,
+        setting: str,
+        detector=None,
+        count_per_stage: Optional[int] = None,
+        stages: Sequence[str] = topics.PPC_STAGES,
+        bit_field: Optional[BitField] = None,
+    ) -> List[RunRecord]:
+        """Single-bit injections split evenly over the PPC stages."""
+        count = scaled_count(
+            count_per_stage
+            if count_per_stage is not None
+            else self.config.num_injections_per_stage
+        )
+        seeds = self._mission_seed_pool()
+        results: List[RunRecord] = []
+        run_index = 0
+        for stage in stages:
+            for i in range(count):
+                plan = self._fault_plan("stage", stage, run_index, bit_field)
+                results.append(
+                    self.run_one(
+                        seed=seeds[run_index % len(seeds)],
+                        setting=setting,
+                        fault_plan=plan,
+                        detector=detector,
+                    )
+                )
+                run_index += 1
+        return results
+
+    def run_kernel_injections(
+        self,
+        kernel_specs: Sequence[Tuple[str, str, str]],
+        count_per_kernel: Optional[int] = None,
+        bit_field: Optional[BitField] = None,
+    ) -> Dict[str, List[RunRecord]]:
+        """Per-kernel characterisation (Fig. 3).
+
+        ``kernel_specs`` is a sequence of ``(label, kernel_node_name,
+        planner_name)`` triples; the planner variants (RRT, RRTConnect, RRT*)
+        are expressed by running the pipeline with that planner and targeting
+        the motion planner kernel.
+        """
+        count = scaled_count(
+            count_per_kernel
+            if count_per_kernel is not None
+            else self.config.num_injections_per_stage
+        )
+        seeds = self._mission_seed_pool()
+        by_kernel: Dict[str, List[RunRecord]] = {}
+        run_index = 0
+        for label, kernel_name, planner_name in kernel_specs:
+            records: List[RunRecord] = []
+            for i in range(count):
+                plan = self._fault_plan("kernel", kernel_name, run_index, bit_field)
+                records.append(
+                    self.run_one(
+                        seed=seeds[i % len(seeds)],
+                        setting=f"kernel:{label}",
+                        fault_plan=plan,
+                        planner_name=planner_name,
+                    )
+                )
+                run_index += 1
+            by_kernel[label] = records
+        return by_kernel
+
+    def run_state_injections(
+        self,
+        state_names: Sequence[str],
+        count_per_state: Optional[int] = None,
+        bit_field: Optional[BitField] = None,
+    ) -> Dict[str, List[RunRecord]]:
+        """Per-inter-kernel-state characterisation (Fig. 4)."""
+        count = scaled_count(
+            count_per_state
+            if count_per_state is not None
+            else self.config.num_injections_per_stage
+        )
+        seeds = self._mission_seed_pool()
+        by_state: Dict[str, List[RunRecord]] = {}
+        run_index = 0
+        for state_name in state_names:
+            records: List[RunRecord] = []
+            for i in range(count):
+                plan = self._fault_plan("state", state_name, run_index, bit_field)
+                records.append(
+                    self.run_one(
+                        seed=seeds[i % len(seeds)],
+                        setting=f"state:{state_name}",
+                        fault_plan=plan,
+                    )
+                )
+                run_index += 1
+            by_state[state_name] = records
+        return by_state
+
+    def full_evaluation(self) -> CampaignResult:
+        """Golden + FI + D&R(Gaussian) + D&R(Autoencoder) for one environment.
+
+        This is the campaign behind Table I, Fig. 6 and Table II.
+        """
+        self.ensure_detectors()
+        result = CampaignResult(config=self.config)
+        result.extend(RunSetting.GOLDEN, self.run_golden())
+        result.extend(RunSetting.INJECTION, self.run_stage_injections(RunSetting.INJECTION))
+        result.extend(
+            RunSetting.DR_GAUSSIAN,
+            self.run_stage_injections(RunSetting.DR_GAUSSIAN, detector=self.gad),
+        )
+        result.extend(
+            RunSetting.DR_AUTOENCODER,
+            self.run_stage_injections(RunSetting.DR_AUTOENCODER, detector=self.aad),
+        )
+        return result

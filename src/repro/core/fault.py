@@ -1,0 +1,191 @@
+"""Single-bit-flip fault primitives.
+
+MAVFI emulates instruction-level fault injection by flipping a single bit in a
+live value of the targeted kernel or inter-kernel state (Section II-B).  The
+paper's Section III-B further shows that flips in the **sign and exponent**
+fields of float64 values dominate the impact on the UAV, while mantissa flips
+are mostly insignificant -- an insight the anomaly detectors exploit.  The
+helpers here implement bit flips on IEEE-754 doubles and integers, field-aware
+bit selection, and corruption of arbitrary numeric message fields.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+#: Bit layout of an IEEE-754 double: bit 63 is the sign, bits 62..52 the
+#: exponent, bits 51..0 the mantissa.
+SIGN_BIT = 63
+EXPONENT_BITS = tuple(range(52, 63))
+MANTISSA_BITS = tuple(range(0, 52))
+
+
+class BitField(enum.Enum):
+    """The three fields of a float64 that a fault can land in."""
+
+    SIGN = "sign"
+    EXPONENT = "exponent"
+    MANTISSA = "mantissa"
+    ANY = "any"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Description of a single-bit fault.
+
+    ``bit`` is the bit index inside a float64 (or, for integer targets, inside
+    the integer's two's-complement representation); ``field`` records which
+    float64 field the bit belongs to for reporting.
+    """
+
+    bit: int
+    field: BitField = BitField.ANY
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bit <= 63:
+            raise ValueError(f"bit index must be in [0, 63], got {self.bit}")
+
+
+def classify_bit(bit: int) -> BitField:
+    """Return which float64 field a bit index belongs to."""
+    if bit == SIGN_BIT:
+        return BitField.SIGN
+    if bit in EXPONENT_BITS:
+        return BitField.EXPONENT
+    return BitField.MANTISSA
+
+
+def random_bit_for_field(rng: np.random.Generator, field: BitField = BitField.ANY) -> int:
+    """Draw a random bit index restricted to one float64 field."""
+    if field == BitField.SIGN:
+        return SIGN_BIT
+    if field == BitField.EXPONENT:
+        return int(rng.choice(EXPONENT_BITS))
+    if field == BitField.MANTISSA:
+        return int(rng.choice(MANTISSA_BITS))
+    return int(rng.integers(0, 64))
+
+
+# --------------------------------------------------------------------- floats
+def flip_float_bit(value: float, bit: int) -> float:
+    """Flip one bit of the IEEE-754 double representation of ``value``."""
+    if not 0 <= bit <= 63:
+        raise ValueError(f"bit index must be in [0, 63], got {bit}")
+    (as_int,) = struct.unpack("<Q", struct.pack("<d", float(value)))
+    flipped = as_int ^ (1 << bit)
+    (result,) = struct.unpack("<d", struct.pack("<Q", flipped))
+    return float(result)
+
+
+def flip_int_bit(value: int, bit: int, width: int = 32) -> int:
+    """Flip one bit of a ``width``-bit two's-complement integer."""
+    if not 0 <= bit < width:
+        raise ValueError(f"bit index must be in [0, {width}), got {bit}")
+    mask = (1 << width) - 1
+    unsigned = int(value) & mask
+    flipped = unsigned ^ (1 << bit)
+    # Re-interpret as signed.
+    if flipped >= 1 << (width - 1):
+        flipped -= 1 << width
+    return flipped
+
+
+def corrupt_array_element(
+    array: np.ndarray, rng: np.random.Generator, bit: int, index: Optional[int] = None
+) -> int:
+    """Flip ``bit`` of one element of a float array in place; returns the flat index."""
+    if array.size == 0:
+        raise ValueError("cannot corrupt an empty array")
+    flat = array.reshape(-1)
+    if index is None:
+        index = int(rng.integers(flat.size))
+    flat[index] = flip_float_bit(float(flat[index]), bit)
+    return index
+
+
+# ------------------------------------------------------------------- messages
+#: A numeric leaf inside a message: (owner object, attribute name) for scalar
+#: dataclass fields, or (numpy array, flat index) for array elements.
+NumericLeaf = Tuple[Any, Any, str]
+
+
+def numeric_leaf_fields(message: Any, prefix: str = "", skip_header: bool = True) -> List[NumericLeaf]:
+    """Enumerate all mutable numeric leaves of a (possibly nested) message.
+
+    Returns ``(owner, key, name)`` triples, where ``owner[key]`` /
+    ``setattr(owner, key, ...)`` reaches the leaf and ``name`` is a dotted,
+    human-readable path used for field-targeted injection and reporting.
+    """
+    leaves: List[NumericLeaf] = []
+    if not dataclasses.is_dataclass(message):
+        return leaves
+    for field_info in dataclasses.fields(message):
+        name = field_info.name
+        if skip_header and name == "header":
+            continue
+        value = getattr(message, name)
+        path = f"{prefix}{name}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            leaves.append((message, name, path))
+        elif isinstance(value, np.ndarray) and value.size and np.issubdtype(
+            value.dtype, np.floating
+        ):
+            for idx in range(value.reshape(-1).size):
+                leaves.append((value, idx, f"{path}[{idx}]"))
+        elif isinstance(value, (list, tuple)):
+            for i, item in enumerate(value):
+                if dataclasses.is_dataclass(item):
+                    leaves.extend(
+                        numeric_leaf_fields(item, prefix=f"{path}[{i}].", skip_header=skip_header)
+                    )
+        elif dataclasses.is_dataclass(value):
+            leaves.extend(numeric_leaf_fields(value, prefix=f"{path}.", skip_header=skip_header))
+    return leaves
+
+
+def _flip_leaf(owner: Any, key: Any, bit: int) -> None:
+    """Flip a bit of one numeric leaf in place."""
+    if isinstance(owner, np.ndarray):
+        flat = owner.reshape(-1)
+        flat[key] = flip_float_bit(float(flat[key]), bit)
+        return
+    value = getattr(owner, key)
+    if isinstance(value, float):
+        setattr(owner, key, flip_float_bit(value, bit))
+    elif isinstance(value, int):
+        setattr(owner, key, flip_int_bit(value, min(bit, 31), width=32))
+    else:  # pragma: no cover - numeric_leaf_fields only yields ints/floats
+        raise TypeError(f"cannot flip bit of {type(value).__name__}")
+
+
+def corrupt_message_field(
+    message: Any,
+    rng: np.random.Generator,
+    bit: int,
+    field_name: Optional[str] = None,
+) -> Optional[str]:
+    """Flip one bit of one numeric field of ``message`` in place.
+
+    When ``field_name`` is given, only leaves whose dotted path ends with that
+    suffix are eligible (e.g. ``".yaw"`` targets way-point yaw values but not
+    ``.y``); otherwise the leaf is drawn uniformly at random.  Returns the
+    dotted path of the corrupted leaf, or ``None`` if the message holds no
+    matching numeric data.
+    """
+    leaves = numeric_leaf_fields(message)
+    if field_name is not None:
+        leaves = [leaf for leaf in leaves if leaf[2].endswith(field_name)]
+    if not leaves:
+        return None
+    owner, key, path = leaves[int(rng.integers(len(leaves)))]
+    _flip_leaf(owner, key, bit)
+    return path

@@ -1,0 +1,147 @@
+"""The MAVFI fault injector node.
+
+MAVFI "is built as a ROS node to maintain our framework's portability, and it
+leverages the ROS communication protocol and Linux system calls to inject
+faults" (Section II-A).  The injector here is likewise a middleware node: it
+is armed with a :class:`FaultPlan` describing *where* (a kernel, a PPC stage
+or a named inter-kernel state) and *when* (simulated injection time) a single
+one-time bit flip happens during the mission.
+
+* Kernel / stage targets call the kernel's ``corrupt_internal`` hook, which
+  either corrupts persistent kernel state (occupancy voxels, PID integrals)
+  or arms a one-shot corruption of the kernel's next output -- emulating an
+  instruction-level fault inside the kernel.
+* State targets install a one-shot topic tap (ahead of any detection taps)
+  that flips one bit of the named field in the next message on that state's
+  topic -- the Fig. 4 inter-kernel-state experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.fault import BitField, corrupt_message_field, random_bit_for_field
+from repro.pipeline.kernel import KernelNode
+from repro.pipeline.states import state_by_name
+from repro.rosmw.message import Message
+from repro.rosmw.node import Node
+
+
+@dataclass
+class FaultPlan:
+    """One planned single-bit fault injection."""
+
+    target_type: str = "kernel"  # "kernel", "stage" or "state"
+    target: str = "motion_planner"
+    injection_time: float = 10.0
+    bit: Optional[int] = None
+    bit_field: BitField = BitField.ANY
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.target_type not in ("kernel", "stage", "state"):
+            raise ValueError(
+                f"target_type must be 'kernel', 'stage' or 'state', got {self.target_type!r}"
+            )
+        if self.injection_time <= 0:
+            raise ValueError(f"injection_time must be positive, got {self.injection_time}")
+
+
+class FaultInjectorNode(Node):
+    """Injects the single planned fault at its scheduled simulated time."""
+
+    def __init__(self, plan: FaultPlan, kernels: Dict[str, KernelNode]) -> None:
+        super().__init__("mavfi_fault_injector")
+        self.plan = plan
+        self.kernels = dict(kernels)
+        self.injected = False
+        self.description = ""
+        self._rng = np.random.default_rng(plan.seed)
+        self._timer = None
+        self._state_tap = None
+        self._state_topic: Optional[str] = None
+
+    # --------------------------------------------------------------- topology
+    def on_start(self) -> None:
+        self._timer = self.create_timer(self.plan.injection_time, self._fire)
+
+    def on_shutdown(self) -> None:
+        self._remove_state_tap()
+
+    def _remove_state_tap(self) -> None:
+        if self._state_tap is not None and self._state_topic is not None:
+            self.graph.topic_bus.remove_tap(self._state_topic, self._state_tap)
+            self._state_tap = None
+
+    # -------------------------------------------------------------- injection
+    def _fire(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+        if self.injected:
+            return
+        self.inject()
+
+    def inject(self) -> str:
+        """Perform the planned injection immediately; returns a description."""
+        plan = self.plan
+        bit = plan.bit if plan.bit is not None else random_bit_for_field(self._rng, plan.bit_field)
+
+        if plan.target_type == "state":
+            self.description = self._inject_state(plan.target, bit)
+        else:
+            kernel = self._resolve_kernel(plan)
+            if kernel is None:
+                self.description = f"no kernel available for target '{plan.target}'"
+            else:
+                self.description = kernel.corrupt_internal(self._rng, bit)
+        self.injected = True
+        return self.description
+
+    def _resolve_kernel(self, plan: FaultPlan) -> Optional[KernelNode]:
+        if plan.target_type == "kernel":
+            return self.kernels.get(plan.target)
+        # Stage target: pick one kernel of the stage at random.
+        stage_kernels = [k for k in self.kernels.values() if k.stage == plan.target]
+        if not stage_kernels:
+            return None
+        return stage_kernels[int(self._rng.integers(len(stage_kernels)))]
+
+    def _inject_state(self, state_name: str, bit: int) -> str:
+        state = state_by_name(state_name)
+        self._state_topic = state.topic
+
+        # If the state has already been published, corrupt the live value and
+        # re-deliver it immediately (the consumer keeps using the corrupted
+        # state until the producer naturally refreshes it).  Otherwise arm a
+        # one-shot corruption of the next message on the topic.
+        last = self.graph.topic_bus.last_message(state.topic)
+        if last is not None:
+            corrupted = last.copy()
+            path = corrupt_message_field(
+                corrupted, self._rng, bit=bit, field_name=state.inject_field
+            )
+            if path is not None:
+                self.graph.topic_bus.publish(state.topic, corrupted)
+                return f"state {state_name}: corrupted live field {path} (bit {bit})"
+
+        corrupted_path = {"value": ""}
+
+        def tap(topic: str, message: Message) -> Message:
+            # Only the first message after arming is corrupted.
+            if not corrupted_path["value"]:
+                path = corrupt_message_field(
+                    message, self._rng, bit=bit, field_name=state.inject_field
+                )
+                if path is not None:
+                    corrupted_path["value"] = path
+                    self.description = (
+                        f"state {state_name}: corrupted field {path} (bit {bit})"
+                    )
+            return message
+
+        self.graph.topic_bus.add_tap(state.topic, tap, prepend=True)
+        self._state_tap = tap
+        return f"state {state_name}: corruption armed on topic {state.topic} (bit {bit})"

@@ -1,0 +1,134 @@
+"""Quality-of-flight (QoF) metrics (the paper's system-level metrics).
+
+The paper's key methodological point is that kernel-level silent-data-
+corruption rates do not capture the impact of faults on an autonomous vehicle;
+what matters is the effect on the mission: **flight time**, **success rate**
+and **mission energy**.  This module defines those metrics and their
+aggregation over a set of mission runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QofMetrics:
+    """QoF metrics of a single mission."""
+
+    flight_time: float
+    success: bool
+    mission_energy: float
+
+    @classmethod
+    def from_result(cls, result) -> "QofMetrics":
+        """Build from a :class:`~repro.pipeline.runner.MissionResult`."""
+        return cls(
+            flight_time=float(result.flight_time),
+            success=bool(result.success),
+            mission_energy=float(result.mission_energy),
+        )
+
+
+@dataclass(frozen=True)
+class QofSummary:
+    """Aggregated QoF metrics over a set of runs."""
+
+    num_runs: int
+    num_success: int
+    success_rate: float
+    mean_flight_time: float
+    worst_flight_time: float
+    best_flight_time: float
+    mean_energy: float
+    worst_energy: float
+
+    @property
+    def num_failures(self) -> int:
+        """Number of failed missions."""
+        return self.num_runs - self.num_success
+
+
+def summarize_runs(results: Sequence, successful_only: bool = True) -> QofSummary:
+    """Aggregate QoF metrics over mission results.
+
+    Flight time and energy statistics are computed over successful runs only
+    (matching Fig. 6: "the flight time of all successful cases"), unless
+    ``successful_only`` is False.
+    """
+    results = list(results)
+    num_runs = len(results)
+    successes = [r for r in results if r.success]
+    num_success = len(successes)
+    pool = successes if successful_only and successes else results
+    if pool:
+        times = np.array([r.flight_time for r in pool], dtype=float)
+        energies = np.array([r.mission_energy for r in pool], dtype=float)
+        mean_time = float(times.mean())
+        worst_time = float(times.max())
+        best_time = float(times.min())
+        mean_energy = float(energies.mean())
+        worst_energy = float(energies.max())
+    else:
+        mean_time = worst_time = best_time = 0.0
+        mean_energy = worst_energy = 0.0
+    return QofSummary(
+        num_runs=num_runs,
+        num_success=num_success,
+        success_rate=(num_success / num_runs) if num_runs else 0.0,
+        mean_flight_time=mean_time,
+        worst_flight_time=worst_time,
+        best_flight_time=best_time,
+        mean_energy=mean_energy,
+        worst_energy=worst_energy,
+    )
+
+
+def flight_times(results: Iterable, successful_only: bool = True) -> List[float]:
+    """Flight times of (successful) runs as a plain list."""
+    return [
+        float(r.flight_time) for r in results if (r.success or not successful_only)
+    ]
+
+
+def worst_case_increase(baseline: QofSummary, other: QofSummary) -> float:
+    """Relative increase of the worst-case flight time versus a baseline.
+
+    This is the paper's "the fault injection runs ... increase the flight time
+    by X% in the worst case" metric.
+    """
+    if baseline.worst_flight_time <= 0:
+        return 0.0
+    return (other.worst_flight_time - baseline.worst_flight_time) / baseline.worst_flight_time
+
+
+def worst_case_recovery(
+    golden: QofSummary, faulty: QofSummary, recovered: QofSummary
+) -> float:
+    """Fraction of the SDC-degraded worst-case flight time recovered by D&R.
+
+    Defined as ``(worst_FI - worst_DR) / (worst_FI - worst_golden)``; 1.0 means
+    the worst case is fully restored to the golden worst case.
+    """
+    degradation = faulty.worst_flight_time - golden.worst_flight_time
+    if degradation <= 1e-9:
+        return 1.0
+    improvement = faulty.worst_flight_time - recovered.worst_flight_time
+    return improvement / degradation
+
+
+def failure_recovery_rate(
+    golden: QofSummary, faulty: QofSummary, recovered: QofSummary
+) -> float:
+    """Fraction of the fault-induced failure cases recovered by D&R.
+
+    Defined over success rates: ``(SR_DR - SR_FI) / (SR_golden - SR_FI)``; the
+    paper's "recovers up to 89.6% / 100% of failure cases".
+    """
+    induced = golden.success_rate - faulty.success_rate
+    if induced <= 1e-9:
+        return 1.0
+    return (recovered.success_rate - faulty.success_rate) / induced

@@ -1,0 +1,68 @@
+"""Distribution statistics and recovery-percentage helpers.
+
+The evaluation figures of the paper are box plots of flight-time
+distributions; this module provides the five-number summaries used to render
+them as text tables, plus the relative-recovery computations quoted in the
+text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DistributionStats:
+    """Five-number summary (plus mean/std) of a sample."""
+
+    count: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+    std: float
+
+    def as_row(self) -> List[float]:
+        """The summary as a list (min, q1, median, q3, max)."""
+        return [self.minimum, self.q1, self.median, self.q3, self.maximum]
+
+
+def distribution_stats(values: Iterable[float]) -> DistributionStats:
+    """Compute the five-number summary of ``values`` (empty -> all zeros)."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return DistributionStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return DistributionStats(
+        count=int(data.size),
+        minimum=float(data.min()),
+        q1=float(np.percentile(data, 25)),
+        median=float(np.percentile(data, 50)),
+        q3=float(np.percentile(data, 75)),
+        maximum=float(data.max()),
+        mean=float(data.mean()),
+        std=float(data.std()),
+    )
+
+
+def recovery_percentage(golden_worst: float, faulty_worst: float, recovered_worst: float) -> float:
+    """Worst-case recovery percentage (0..1) given the three worst-case values."""
+    degradation = faulty_worst - golden_worst
+    if degradation <= 1e-9:
+        return 1.0
+    return (faulty_worst - recovered_worst) / degradation
+
+
+def iqr_outlier_count(values: Sequence[float]) -> int:
+    """Number of classic box-plot outliers (outside 1.5 IQR of the quartiles)."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size < 4:
+        return 0
+    q1, q3 = np.percentile(data, [25, 75])
+    iqr = q3 - q1
+    lo, hi = q1 - 1.5 * iqr, q3 + 1.5 * iqr
+    return int(((data < lo) | (data > hi)).sum())

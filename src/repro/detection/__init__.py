@@ -1,0 +1,46 @@
+"""Anomaly detection and recovery (Section IV of the paper).
+
+Two low-overhead software schemes protect the PPC pipeline against silent
+data corruption:
+
+* **GAD** (:mod:`repro.detection.gaussian`) -- per-state Gaussian range
+  detectors with online Welford mean/sigma estimation; each PPC stage has its
+  own group of customised detectors and an alarm triggers recomputation of
+  that stage.
+* **AAD** (:mod:`repro.detection.autoencoder`) -- a single fully-connected
+  autoencoder over all monitored inter-kernel states; an alarm triggers
+  recomputation of the control stage only.
+
+Both consume the preprocessed states produced by
+:mod:`repro.detection.preprocess` (sign+exponent 16-bit transform followed by
+temporal deltas).  :mod:`repro.detection.node` wires a detector into the node
+graph as the Anomaly Detection Node of Fig. 5a, and
+:mod:`repro.detection.recovery` implements the recomputation feedback loop.
+:mod:`repro.detection.training` trains both detectors on error-free missions
+in randomized environments.
+"""
+
+from repro.detection.autoencoder import AadDetector, Autoencoder, AutoencoderConfig
+from repro.detection.gaussian import CGad, GadConfig, GaussianDetector, OnlineGaussian
+from repro.detection.node import AnomalyDetectionNode, DetectionPolicy
+from repro.detection.preprocess import DataPreprocessor, sign_exponent_int16
+from repro.detection.recovery import RecoveryCoordinatorNode
+from repro.detection.training import TrainingResult, collect_training_data, train_detectors
+
+__all__ = [
+    "sign_exponent_int16",
+    "DataPreprocessor",
+    "OnlineGaussian",
+    "CGad",
+    "GadConfig",
+    "GaussianDetector",
+    "Autoencoder",
+    "AutoencoderConfig",
+    "AadDetector",
+    "AnomalyDetectionNode",
+    "DetectionPolicy",
+    "RecoveryCoordinatorNode",
+    "collect_training_data",
+    "train_detectors",
+    "TrainingResult",
+]

@@ -1,0 +1,183 @@
+"""Collision check kernel.
+
+The collision check kernel watches the vehicle's immediate future: it
+estimates the time to collision along the current velocity vector and checks
+whether the currently executed trajectory passes through newly observed
+obstacles.  Its two published scalars, ``time_to_collision`` and
+``future_collision_seq``, are the perception-stage inter-kernel states
+monitored by the anomaly detectors (Fig. 4 / Fig. 5a).  The paper found this
+kernel to be the critical one of the perception stage: "a false alarm can
+lead to re-planning or collisions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro import topics
+from repro.pipeline.kernel import KernelNode
+from repro.rosmw.message import (
+    CollisionCheckMsg,
+    MultiDOFTrajectoryMsg,
+    OccupancyMapMsg,
+    OdometryMsg,
+)
+
+
+@dataclass
+class CollisionCheckConfig:
+    """Parameters of the collision checker."""
+
+    collision_clearance: float = 1.1
+    lookahead_time: float = 6.0
+    lookahead_step: float = 0.5
+    min_speed: float = 0.2
+
+
+class CollisionChecker:
+    """Pure compute kernel for collision checking against the occupancy map."""
+
+    def __init__(self, config: Optional[CollisionCheckConfig] = None) -> None:
+        self.config = config if config is not None else CollisionCheckConfig()
+        self._tree: Optional[cKDTree] = None
+        self._map_resolution: float = 1.0
+        self.future_collision_seq = 0
+        self._last_future_collision = False
+
+    # -------------------------------------------------------------- map input
+    def update_map(self, occupied_centers: np.ndarray, resolution: float) -> None:
+        """Refresh the KD-tree over occupied voxel centres."""
+        self._map_resolution = float(resolution)
+        occupied_centers = np.asarray(occupied_centers, dtype=float)
+        if occupied_centers.size == 0:
+            self._tree = None
+        else:
+            self._tree = cKDTree(occupied_centers)
+
+    def reset(self) -> None:
+        """Forget the map and the future-collision latch (between missions)."""
+        self._tree = None
+        self.future_collision_seq = 0
+        self._last_future_collision = False
+
+    # --------------------------------------------------------------- queries
+    def distance_to_nearest(self, position: np.ndarray) -> float:
+        """Distance from ``position`` to the nearest occupied voxel surface."""
+        if self._tree is None:
+            return float("inf")
+        dist, _ = self._tree.query(np.asarray(position, dtype=float))
+        return float(max(dist - self._map_resolution / 2.0, 0.0))
+
+    def time_to_collision(self, position: np.ndarray, velocity: np.ndarray) -> float:
+        """Time until the vehicle, continuing at ``velocity``, hits an obstacle."""
+        cfg = self.config
+        speed = float(np.linalg.norm(velocity))
+        if self._tree is None or speed < cfg.min_speed:
+            return float("inf")
+        direction = np.asarray(velocity, dtype=float) / speed
+        distances = np.arange(cfg.lookahead_step, speed * cfg.lookahead_time, cfg.lookahead_step)
+        if distances.size == 0:
+            return float("inf")
+        samples = np.asarray(position, dtype=float)[None, :] + distances[:, None] * direction[None, :]
+        hit_dists, _ = self._tree.query(samples)
+        blocked = hit_dists <= cfg.collision_clearance
+        if not blocked.any():
+            return float("inf")
+        first = float(distances[int(np.argmax(blocked))])
+        return first / speed
+
+    def trajectory_collides(
+        self, waypoints: List, from_position: np.ndarray
+    ) -> bool:
+        """Whether the remaining trajectory passes through occupied space."""
+        if self._tree is None or not waypoints:
+            return False
+        points = np.array([[w.x, w.y, w.z] for w in waypoints], dtype=float)
+        # Only check the part of the trajectory still ahead of the vehicle.
+        dists_to_vehicle = np.linalg.norm(points - np.asarray(from_position)[None, :], axis=1)
+        start_idx = int(np.argmin(dists_to_vehicle))
+        ahead = points[start_idx:]
+        if ahead.size == 0:
+            return False
+        hit_dists, _ = self._tree.query(ahead)
+        return bool((hit_dists <= self.config.collision_clearance).any())
+
+    def compute(
+        self,
+        position: np.ndarray,
+        velocity: np.ndarray,
+        waypoints: Optional[List] = None,
+    ) -> CollisionCheckMsg:
+        """Produce one collision-check message."""
+        ttc = self.time_to_collision(position, velocity)
+        future_collision = self.trajectory_collides(waypoints or [], position)
+        if future_collision and not self._last_future_collision:
+            self.future_collision_seq += 1
+        self._last_future_collision = future_collision
+        return CollisionCheckMsg(
+            time_to_collision=float(ttc),
+            future_collision_seq=int(self.future_collision_seq),
+            closest_obstacle_distance=self.distance_to_nearest(position),
+        )
+
+
+class CollisionCheckNode(KernelNode):
+    """Node wrapper for the collision check kernel."""
+
+    stage = "perception"
+
+    def __init__(
+        self,
+        latency: float = 0.005,
+        check_rate: float = 4.0,
+        config: Optional[CollisionCheckConfig] = None,
+    ) -> None:
+        super().__init__("collision_check", latency=latency)
+        self.kernel = CollisionChecker(config)
+        self.check_rate = check_rate
+        self._latest_odometry: Optional[OdometryMsg] = None
+        self._latest_trajectory: Optional[MultiDOFTrajectoryMsg] = None
+
+    def on_start(self) -> None:
+        self._check_pub = self.create_publisher(topics.COLLISION_CHECK, CollisionCheckMsg)
+        self.create_subscription(topics.OCCUPANCY_MAP, OccupancyMapMsg, self._on_map)
+        self.create_subscription(topics.ODOMETRY, OdometryMsg, self._on_odometry)
+        self.create_subscription(topics.TRAJECTORY, MultiDOFTrajectoryMsg, self._on_trajectory)
+        self.create_timer(1.0 / self.check_rate, self._check, offset=0.03)
+
+    def _on_map(self, msg: OccupancyMapMsg) -> None:
+        self.kernel.update_map(msg.occupied_centers, msg.resolution)
+
+    def _on_odometry(self, msg: OdometryMsg) -> None:
+        self._latest_odometry = msg
+
+    def _on_trajectory(self, msg: MultiDOFTrajectoryMsg) -> None:
+        self._latest_trajectory = msg
+
+    def _check(self) -> None:
+        if self._latest_odometry is None:
+            return
+        odometry = self._latest_odometry
+        waypoints = self._latest_trajectory.waypoints if self._latest_trajectory else []
+        self.cache_inputs(odometry=odometry, waypoints=waypoints)
+        self.charge_invocation()
+        msg = self.kernel.compute(odometry.position, odometry.velocity, waypoints)
+        self.publish_output(self._check_pub, msg)
+
+    def _do_recompute(self) -> None:
+        odometry: Optional[OdometryMsg] = self.cached_input("odometry")
+        if odometry is None:
+            return
+        waypoints = self.cached_input("waypoints") or []
+        msg = self.kernel.compute(odometry.position, odometry.velocity, waypoints)
+        self.publish_output(self._check_pub, msg)
+
+    def reset_kernel(self) -> None:
+        super().reset_kernel()
+        self.kernel.reset()
+        self._latest_odometry = None
+        self._latest_trajectory = None

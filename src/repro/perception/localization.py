@@ -1,0 +1,83 @@
+"""Sensor fusion / localization filter.
+
+Fig. 1 of the paper lists sensor fusion and localization among the perception
+kernels.  MAVBench delegates most of this to AirSim's state estimate, so the
+main pipeline consumes odometry directly; this module provides the fusion
+filter as a library component (with full tests) for completeness: a
+complementary filter that fuses high-rate IMU integration with lower-rate
+odometry corrections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class StateEstimate:
+    """Fused estimate of the vehicle state."""
+
+    position: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    velocity: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    yaw: float = 0.0
+    time: float = 0.0
+
+    def copy(self) -> "StateEstimate":
+        """Deep copy of the estimate."""
+        return StateEstimate(
+            position=self.position.copy(),
+            velocity=self.velocity.copy(),
+            yaw=float(self.yaw),
+            time=float(self.time),
+        )
+
+
+class ComplementaryFilter:
+    """Complementary filter fusing IMU dead-reckoning with odometry fixes.
+
+    Between odometry messages the estimate is propagated by integrating the
+    IMU's linear acceleration and yaw rate.  Each odometry message pulls the
+    estimate towards the measured state with gain ``correction_gain`` (1.0
+    snaps to the measurement, 0.0 ignores it).
+    """
+
+    def __init__(self, correction_gain: float = 0.8) -> None:
+        if not 0.0 <= correction_gain <= 1.0:
+            raise ValueError(f"correction_gain must be in [0, 1], got {correction_gain}")
+        self.correction_gain = float(correction_gain)
+        self.estimate = StateEstimate()
+        self._initialized = False
+
+    def reset(self, estimate: Optional[StateEstimate] = None) -> None:
+        """Reset the filter (between missions)."""
+        self.estimate = estimate.copy() if estimate is not None else StateEstimate()
+        self._initialized = estimate is not None
+
+    def predict(self, linear_acceleration: np.ndarray, yaw_rate: float, dt: float) -> StateEstimate:
+        """Propagate the estimate with an IMU sample over ``dt`` seconds."""
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        est = self.estimate
+        accel = np.asarray(linear_acceleration, dtype=float)
+        est.position = est.position + est.velocity * dt + 0.5 * accel * dt * dt
+        est.velocity = est.velocity + accel * dt
+        est.yaw = float((est.yaw + yaw_rate * dt + np.pi) % (2 * np.pi) - np.pi)
+        est.time += dt
+        return est.copy()
+
+    def correct(
+        self, position: np.ndarray, velocity: np.ndarray, yaw: float
+    ) -> StateEstimate:
+        """Blend an odometry fix into the estimate."""
+        gain = self.correction_gain if self._initialized else 1.0
+        est = self.estimate
+        est.position = (1 - gain) * est.position + gain * np.asarray(position, dtype=float)
+        est.velocity = (1 - gain) * est.velocity + gain * np.asarray(velocity, dtype=float)
+        # Blend yaw on the circle to avoid wrap-around artefacts.
+        delta = np.arctan2(np.sin(yaw - est.yaw), np.cos(yaw - est.yaw))
+        est.yaw = float((est.yaw + gain * delta + np.pi) % (2 * np.pi) - np.pi)
+        self._initialized = True
+        return est.copy()

@@ -1,0 +1,106 @@
+"""Point cloud generation kernel.
+
+Converts a depth image into a point cloud in the world frame.  This is the
+first kernel of the perception stage ("P.C. Gen." in Fig. 3); its output is
+the ``Point Cloud`` inter-kernel state consumed by OctoMap generation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import topics
+from repro.pipeline.kernel import KernelNode
+from repro.rosmw.message import DepthImageMsg, PointCloudMsg
+
+
+class PointCloudGenerator:
+    """Pure compute kernel: depth image -> world-frame point cloud.
+
+    The depth message carries the camera pose and field of view, from which
+    the per-pixel ray directions are reconstructed (mirroring how a real
+    driver uses the camera intrinsics).
+    """
+
+    def __init__(self, stride: int = 1, max_points: int = 4096) -> None:
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        self.stride = stride
+        self.max_points = max_points
+
+    def compute(self, depth_msg: DepthImageMsg) -> PointCloudMsg:
+        """Generate the point cloud for one depth image."""
+        depth = np.asarray(depth_msg.depth, dtype=float)
+        if depth.ndim != 2 or depth.size == 0:
+            return PointCloudMsg(points=np.zeros((0, 3)))
+        height, width = depth.shape
+        az = np.deg2rad(np.linspace(-depth_msg.fov_h / 2, depth_msg.fov_h / 2, width))
+        el = np.deg2rad(np.linspace(-depth_msg.fov_v / 2, depth_msg.fov_v / 2, height))
+        az_grid, el_grid = np.meshgrid(az, el)
+        x = np.cos(el_grid) * np.cos(az_grid)
+        y = np.cos(el_grid) * np.sin(az_grid)
+        z = np.sin(el_grid)
+        directions = np.stack([x, y, z], axis=-1)
+
+        sub_depth = depth[:: self.stride, :: self.stride]
+        sub_dirs = directions[:: self.stride, :: self.stride]
+        valid = np.isfinite(sub_depth) & (sub_depth > 0) & (sub_depth <= depth_msg.max_range)
+        if not valid.any():
+            return PointCloudMsg(points=np.zeros((0, 3)))
+        ranges = sub_depth[valid]
+        dirs = sub_dirs[valid]
+
+        yaw = float(depth_msg.camera_yaw)
+        cos_yaw, sin_yaw = np.cos(yaw), np.sin(yaw)
+        rotation = np.array(
+            [[cos_yaw, -sin_yaw, 0.0], [sin_yaw, cos_yaw, 0.0], [0.0, 0.0, 1.0]]
+        )
+        world_dirs = dirs @ rotation.T
+        points = depth_msg.camera_position[None, :] + world_dirs * ranges[:, None]
+        if len(points) > self.max_points:
+            points = points[: self.max_points]
+        return PointCloudMsg(points=points)
+
+
+class PointCloudNode(KernelNode):
+    """Node wrapper for the point cloud generation kernel."""
+
+    stage = "perception"
+
+    def __init__(self, latency: float = 0.015, stride: int = 1) -> None:
+        super().__init__("point_cloud_generation", latency=latency)
+        self.kernel = PointCloudGenerator(stride=stride)
+
+    def on_start(self) -> None:
+        self._cloud_pub = self.create_publisher(topics.POINT_CLOUD, PointCloudMsg)
+        self.create_subscription(topics.DEPTH_IMAGE, DepthImageMsg, self._on_depth)
+
+    def _on_depth(self, msg: DepthImageMsg) -> None:
+        self.cache_inputs(depth=msg)
+        self.charge_invocation()
+        cloud = self.kernel.compute(msg)
+        self.publish_output(self._cloud_pub, cloud)
+
+    def _do_recompute(self) -> None:
+        depth: Optional[DepthImageMsg] = self.cached_input("depth")
+        if depth is None:
+            return
+        cloud = self.kernel.compute(depth)
+        self.publish_output(self._cloud_pub, cloud)
+
+    def corrupt_internal(self, rng: np.random.Generator, bit: int) -> str:
+        """A transient fault in the (stateless) conversion corrupts one point."""
+        from repro.core.fault import corrupt_array_element
+
+        def corrupt(msg, fault_rng):
+            if isinstance(msg, PointCloudMsg) and msg.points.size:
+                corrupt_array_element(msg.points, fault_rng, bit=bit)
+
+        from repro.pipeline.kernel import PendingFault
+
+        self.arm_output_fault(
+            PendingFault(corrupt=corrupt, rng=rng, description="point cloud element")
+        )
+        return f"{self.name}: corrupt one point coordinate (bit {bit})"

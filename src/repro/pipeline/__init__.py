@@ -1,0 +1,32 @@
+"""End-to-end PPC pipeline wiring and the mission runner.
+
+This package turns the perception, planning and control kernels into a ROS
+node graph matching Fig. 2 of the paper, defines the registry of monitored
+inter-kernel states (Section III-B / Fig. 4), and provides a closed-loop
+mission runner that launches the graph against a simulated environment and
+reports quality-of-flight (QoF) metrics.
+"""
+
+from repro.pipeline.kernel import KernelNode, PendingFault
+from repro.pipeline.builder import PipelineConfig, build_pipeline, PipelineHandles
+from repro.pipeline.runner import MissionResult, MissionRunner
+from repro.pipeline.states import (
+    INTER_KERNEL_STATES,
+    MONITORED_FEATURES,
+    InterKernelState,
+    feature_vector_size,
+)
+
+__all__ = [
+    "KernelNode",
+    "PendingFault",
+    "PipelineConfig",
+    "PipelineHandles",
+    "build_pipeline",
+    "MissionRunner",
+    "MissionResult",
+    "InterKernelState",
+    "INTER_KERNEL_STATES",
+    "MONITORED_FEATURES",
+    "feature_vector_size",
+]

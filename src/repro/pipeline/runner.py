@@ -1,0 +1,164 @@
+"""Closed-loop mission runner and per-mission result record.
+
+The runner launches the node graph, advances simulated time until the mission
+terminates (goal reached, collision, left the world or time budget exhausted)
+and then gathers everything a campaign needs: the flight outcome, the
+quality-of-flight metrics, the per-node compute-time accounting and the
+detection/recovery statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.pipeline.builder import PipelineHandles
+from repro.platforms.energy import EnergyModel
+from repro.sim.airsim import FlightOutcome
+
+
+@dataclass
+class MissionResult:
+    """Everything recorded about one simulated mission."""
+
+    success: bool
+    flight_time: float
+    mission_energy: float
+    flight_energy: float
+    compute_energy: float
+    distance_travelled: float
+    outcome: FlightOutcome
+    environment: str
+    platform: str
+    planner: str
+    setting: str = "golden"
+    seed: int = 0
+    fault_description: str = ""
+    fault_target: str = ""
+    compute_time: Dict[str, float] = field(default_factory=dict)
+    compute_categories: Dict[str, float] = field(default_factory=dict)
+    categories_by_node: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    detection_alarms: int = 0
+    detection_alarms_by_stage: Dict[str, int] = field(default_factory=dict)
+    detection_checked_samples: int = 0
+    recoveries_by_stage: Dict[str, int] = field(default_factory=dict)
+    replan_count: int = 0
+    trajectory: np.ndarray = field(default_factory=lambda: np.zeros((0, 3)))
+
+    @property
+    def failed(self) -> bool:
+        """Whether the mission did not reach its goal."""
+        return not self.success
+
+    @property
+    def total_compute_time(self) -> float:
+        """Total modelled compute time over all pipeline nodes."""
+        return sum(self.compute_time.values())
+
+
+class MissionRunner:
+    """Runs one closed-loop mission on a built pipeline."""
+
+    def __init__(self, handles: PipelineHandles, time_step: float = 0.25) -> None:
+        self.handles = handles
+        self.time_step = float(time_step)
+
+    def run(
+        self,
+        setting: str = "golden",
+        seed: int = 0,
+        fault_description: str = "",
+        fault_target: str = "",
+    ) -> MissionResult:
+        """Launch the graph and run the mission to termination."""
+        handles = self.handles
+        graph = handles.graph
+        airsim = handles.airsim
+        config = handles.config
+
+        graph.start_all()
+        hard_limit = config.mission_time_limit + 5.0
+        t = graph.clock.now
+        while not airsim.mission_done and t < hard_limit:
+            t += self.time_step
+            graph.spin_until(t)
+        if not airsim.mission_done:
+            airsim._finish(success=False, reason="runner time limit", timeout=True)
+
+        return self.collect(
+            setting=setting,
+            seed=seed,
+            fault_description=fault_description,
+            fault_target=fault_target,
+        )
+
+    # ------------------------------------------------------------- collection
+    def collect(
+        self,
+        setting: str,
+        seed: int,
+        fault_description: str = "",
+        fault_target: str = "",
+    ) -> MissionResult:
+        """Assemble the mission record after the flight has terminated."""
+        handles = self.handles
+        outcome = handles.airsim.outcome
+        platform = handles.platform
+
+        energy_model = EnergyModel(platform)
+        energy = energy_model.mission_energy(outcome.flight_time, outcome.flight_energy)
+
+        compute_time: Dict[str, float] = {}
+        compute_categories: Dict[str, float] = {}
+        categories_by_node: Dict[str, Dict[str, float]] = {}
+        for node in handles.graph.nodes:
+            if node.accounting.busy_time > 0:
+                compute_time[node.name] = node.accounting.busy_time
+            if node.accounting.categories:
+                categories_by_node[node.name] = dict(node.accounting.categories)
+            for category, seconds in node.accounting.categories.items():
+                compute_categories[category] = compute_categories.get(category, 0.0) + seconds
+
+        detection_node = handles.extras.get("detection_node")
+        recovery_node = handles.extras.get("recovery_node")
+        detection_alarms = getattr(detection_node, "total_alarms", 0)
+        alarms_by_stage = dict(getattr(detection_node, "alarms_by_stage", {}) or {})
+        checked = getattr(detection_node, "checked_samples", 0)
+        recoveries = dict(getattr(recovery_node, "recovery_counts", {}) or {})
+
+        motion_planner = handles.kernels.get("motion_planner")
+        replan_count = getattr(motion_planner, "replan_count", 0)
+
+        trajectory = (
+            np.asarray(outcome.trajectory)
+            if outcome.trajectory
+            else np.zeros((0, 3))
+        )
+
+        return MissionResult(
+            success=outcome.success,
+            flight_time=outcome.flight_time,
+            mission_energy=energy.total,
+            flight_energy=energy.flight_energy,
+            compute_energy=energy.compute_energy,
+            distance_travelled=outcome.distance_travelled,
+            outcome=outcome,
+            environment=handles.world.name,
+            platform=platform.name,
+            planner=handles.config.planner_name,
+            setting=setting,
+            seed=seed,
+            fault_description=fault_description,
+            fault_target=fault_target,
+            compute_time=compute_time,
+            compute_categories=compute_categories,
+            categories_by_node=categories_by_node,
+            detection_alarms=detection_alarms,
+            detection_alarms_by_stage=alarms_by_stage,
+            detection_checked_samples=checked,
+            recoveries_by_stage=recoveries,
+            replan_count=replan_count,
+            trajectory=trajectory,
+        )

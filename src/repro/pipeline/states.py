@@ -1,0 +1,222 @@
+"""Registry of inter-kernel states monitored and injected by MAVFI.
+
+Section III-B of the paper analyses the resilience of the inter-kernel states
+(Fig. 4) and Section IV monitors them for anomalies (Fig. 5a):
+
+* perception: ``time_to_collision`` and ``future_collision_seq``,
+* planning: the way-point coordinates ``(x, y, z)``, ``yaw`` and velocities
+  ``(vx, vy, vz)`` of the planned multi-DOF trajectory,
+* control: the flight command ``(vx, vy, vz)`` and yaw rate.
+
+This module defines the canonical feature order (13 features -- the input
+dimension of the paper's autoencoder), the mapping from topics to feature
+samples used by the detectors, and the injection targets for the Fig. 4
+state-corruption experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro import topics
+from repro.rosmw.message import (
+    CollisionCheckMsg,
+    FlightCommandMsg,
+    Message,
+    MultiDOFTrajectoryMsg,
+)
+
+#: Cap applied to ``time_to_collision`` before it is used as a feature; the
+#: collision checker reports ``inf`` when nothing lies ahead.
+TIME_TO_COLLISION_CAP = 10.0
+
+
+@dataclass(frozen=True)
+class InterKernelState:
+    """One monitored / injectable inter-kernel state."""
+
+    name: str
+    stage: str
+    topic: str
+    inject_field: str
+    description: str
+
+
+#: Fig. 4 injection targets: every monitored inter-kernel state.
+INTER_KERNEL_STATES: List[InterKernelState] = [
+    InterKernelState(
+        name="time_to_collision",
+        stage="perception",
+        topic=topics.COLLISION_CHECK,
+        inject_field="time_to_collision",
+        description="Predicted time until the vehicle hits an obstacle on its current course.",
+    ),
+    InterKernelState(
+        name="future_collision_seq",
+        stage="perception",
+        topic=topics.COLLISION_CHECK,
+        inject_field="future_collision_seq",
+        description="Sequence counter of future-collision events on the current trajectory.",
+    ),
+    InterKernelState(
+        name="waypoint_x",
+        stage="planning",
+        topic=topics.TRAJECTORY,
+        inject_field=".x",
+        description="x coordinate of a planned way-point.",
+    ),
+    InterKernelState(
+        name="waypoint_y",
+        stage="planning",
+        topic=topics.TRAJECTORY,
+        inject_field=".y",
+        description="y coordinate of a planned way-point.",
+    ),
+    InterKernelState(
+        name="waypoint_z",
+        stage="planning",
+        topic=topics.TRAJECTORY,
+        inject_field=".z",
+        description="z coordinate of a planned way-point.",
+    ),
+    InterKernelState(
+        name="waypoint_yaw",
+        stage="planning",
+        topic=topics.TRAJECTORY,
+        inject_field=".yaw",
+        description="Heading of a planned way-point.",
+    ),
+    InterKernelState(
+        name="waypoint_vx",
+        stage="planning",
+        topic=topics.TRAJECTORY,
+        inject_field=".vx",
+        description="x velocity of a planned way-point.",
+    ),
+    InterKernelState(
+        name="waypoint_vy",
+        stage="planning",
+        topic=topics.TRAJECTORY,
+        inject_field=".vy",
+        description="y velocity of a planned way-point.",
+    ),
+    InterKernelState(
+        name="waypoint_vz",
+        stage="planning",
+        topic=topics.TRAJECTORY,
+        inject_field=".vz",
+        description="z velocity of a planned way-point.",
+    ),
+    InterKernelState(
+        name="command_vx",
+        stage="control",
+        topic=topics.FLIGHT_COMMAND,
+        inject_field="vx",
+        description="Commanded x velocity.",
+    ),
+    InterKernelState(
+        name="command_vy",
+        stage="control",
+        topic=topics.FLIGHT_COMMAND,
+        inject_field="vy",
+        description="Commanded y velocity.",
+    ),
+    InterKernelState(
+        name="command_vz",
+        stage="control",
+        topic=topics.FLIGHT_COMMAND,
+        inject_field="vz",
+        description="Commanded z velocity.",
+    ),
+    InterKernelState(
+        name="command_yaw_rate",
+        stage="control",
+        topic=topics.FLIGHT_COMMAND,
+        inject_field="yaw_rate",
+        description="Commanded yaw rate.",
+    ),
+]
+
+
+#: The canonical feature order of the anomaly detectors (13 features, the
+#: input dimension of the paper's autoencoder).
+MONITORED_FEATURES: List[str] = [state.name for state in INTER_KERNEL_STATES]
+
+#: Stage owning each monitored feature.
+FEATURE_STAGE: Dict[str, str] = {state.name: state.stage for state in INTER_KERNEL_STATES}
+
+#: Topics that carry monitored inter-kernel states.
+MONITORED_TOPICS = (topics.COLLISION_CHECK, topics.TRAJECTORY, topics.FLIGHT_COMMAND)
+
+
+def feature_vector_size() -> int:
+    """Number of monitored features (13 in the paper's configuration)."""
+    return len(MONITORED_FEATURES)
+
+
+def state_by_name(name: str) -> InterKernelState:
+    """Look an inter-kernel state up by name."""
+    for state in INTER_KERNEL_STATES:
+        if state.name == name:
+            return state
+    raise KeyError(f"unknown inter-kernel state '{name}'")
+
+
+def extract_feature_samples(topic: str, message: Message) -> List[Dict[str, float]]:
+    """Convert one message into a list of feature-sample dictionaries.
+
+    Most messages yield exactly one sample; a trajectory message yields one
+    sample per way-point so that a corruption anywhere along the planned path
+    is visible to the detectors.
+    """
+    samples: List[Dict[str, float]] = []
+    if topic == topics.COLLISION_CHECK and isinstance(message, CollisionCheckMsg):
+        ttc = message.time_to_collision
+        if not (ttc == ttc):  # NaN guard without importing math
+            ttc = TIME_TO_COLLISION_CAP
+        ttc = min(max(float(ttc), -TIME_TO_COLLISION_CAP), TIME_TO_COLLISION_CAP)
+        samples.append(
+            {
+                "time_to_collision": ttc,
+                "future_collision_seq": float(message.future_collision_seq),
+            }
+        )
+    elif topic == topics.TRAJECTORY and isinstance(message, MultiDOFTrajectoryMsg):
+        for waypoint in message.waypoints:
+            samples.append(
+                {
+                    "waypoint_x": float(waypoint.x),
+                    "waypoint_y": float(waypoint.y),
+                    "waypoint_z": float(waypoint.z),
+                    "waypoint_yaw": float(waypoint.yaw),
+                    "waypoint_vx": float(waypoint.vx),
+                    "waypoint_vy": float(waypoint.vy),
+                    "waypoint_vz": float(waypoint.vz),
+                }
+            )
+    elif topic == topics.FLIGHT_COMMAND and isinstance(message, FlightCommandMsg):
+        samples.append(
+            {
+                "command_vx": float(message.vx),
+                "command_vy": float(message.vy),
+                "command_vz": float(message.vz),
+                "command_yaw_rate": float(message.yaw_rate),
+            }
+        )
+    return samples
+
+
+def stage_of_topic(topic: str) -> str:
+    """PPC stage that publishes ``topic`` (for recovery routing)."""
+    mapping = {
+        topics.COLLISION_CHECK: "perception",
+        topics.OCCUPANCY_MAP: "perception",
+        topics.POINT_CLOUD: "perception",
+        topics.TRAJECTORY: "planning",
+        topics.MISSION_STATUS: "planning",
+        topics.FLIGHT_COMMAND: "control",
+    }
+    if topic not in mapping:
+        raise KeyError(f"topic '{topic}' does not belong to a PPC stage")
+    return mapping[topic]

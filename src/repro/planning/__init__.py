@@ -1,0 +1,37 @@
+"""Planning stage kernels.
+
+The planning stage of the pipeline contains the mission planner (package
+delivery: fly to the delivery point) and the motion planner (shortest path +
+smoothening).  Three sampling-based motion planners are provided, matching the
+algorithms evaluated in Fig. 3 of the paper:
+
+* :class:`~repro.planning.rrt.RRTPlanner`
+* :class:`~repro.planning.rrt.RRTConnectPlanner`
+* :class:`~repro.planning.rrt.RRTStarPlanner`
+
+plus the shortcut/velocity-profile smoother and the two planning nodes.
+"""
+
+from repro.planning.mission import MissionPlannerNode
+from repro.planning.motion_planner import MotionPlannerNode, PlannerConfig
+from repro.planning.rrt import (
+    PlanningProblem,
+    RRTConnectPlanner,
+    RRTPlanner,
+    RRTStarPlanner,
+    make_planner,
+)
+from repro.planning.smoothing import PathSmoother, SmootherConfig
+
+__all__ = [
+    "PlanningProblem",
+    "RRTPlanner",
+    "RRTConnectPlanner",
+    "RRTStarPlanner",
+    "make_planner",
+    "PathSmoother",
+    "SmootherConfig",
+    "MotionPlannerNode",
+    "PlannerConfig",
+    "MissionPlannerNode",
+]

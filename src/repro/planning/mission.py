@@ -1,0 +1,69 @@
+"""Mission planner kernel (package delivery).
+
+MAVBench's mission planner decides the high-level objective -- here a package
+delivery: fly from the take-off point to the delivery point.  It tracks
+progress from odometry and publishes the mission status (goal, distance to
+goal, completion), which the motion planner consumes to know where to plan to.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import topics
+from repro.pipeline.kernel import KernelNode
+from repro.rosmw.message import MissionStatusMsg, OdometryMsg
+
+
+class MissionPlannerNode(KernelNode):
+    """Publishes the delivery goal and mission progress."""
+
+    stage = "planning"
+
+    def __init__(
+        self,
+        goal: np.ndarray,
+        goal_tolerance: float = 2.0,
+        latency: float = 0.001,
+        update_rate: float = 2.0,
+    ) -> None:
+        super().__init__("mission_planner", latency=latency)
+        self.goal = np.asarray(goal, dtype=float)
+        self.goal_tolerance = float(goal_tolerance)
+        self.update_rate = update_rate
+        self.completed = False
+        self._latest_odometry: Optional[OdometryMsg] = None
+
+    def on_start(self) -> None:
+        self._status_pub = self.create_publisher(topics.MISSION_STATUS, MissionStatusMsg)
+        self.create_subscription(topics.ODOMETRY, OdometryMsg, self._on_odometry)
+        self.create_timer(1.0 / self.update_rate, self._publish_status, offset=0.015)
+
+    def _on_odometry(self, msg: OdometryMsg) -> None:
+        self._latest_odometry = msg
+
+    def _publish_status(self) -> None:
+        self.charge_invocation()
+        distance = float("inf")
+        if self._latest_odometry is not None:
+            distance = float(np.linalg.norm(self._latest_odometry.position - self.goal))
+            if distance <= self.goal_tolerance:
+                self.completed = True
+        self.cache_inputs(odometry=self._latest_odometry)
+        msg = MissionStatusMsg(
+            goal=self.goal.copy(),
+            distance_to_goal=distance,
+            completed=self.completed,
+            aborted=False,
+        )
+        self.publish_output(self._status_pub, msg)
+
+    def _do_recompute(self) -> None:
+        self._publish_status()
+
+    def reset_kernel(self) -> None:
+        super().reset_kernel()
+        self.completed = False
+        self._latest_odometry = None

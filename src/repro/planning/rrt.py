@@ -1,0 +1,372 @@
+"""Sampling-based motion planners: RRT, RRT-Connect and RRT*.
+
+The motion planner kernel of MAVBench uses OMPL's sampling-based planners;
+the paper evaluates RRT, RRTConnect and RRT* (Fig. 3).  These planners operate
+on the occupancy map snapshot: a state is valid when it keeps a clearance
+distance from every occupied voxel centre, and an edge is valid when all its
+samples are valid.  The implementations are deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+
+@dataclass
+class PlanningProblem:
+    """One motion-planning query against an occupancy snapshot.
+
+    ``start_escape_radius`` relaxes the clearance constraint in a small ball
+    around the start: the vehicle may legitimately be closer to an obstacle
+    than the planning clearance (e.g. after braking in front of it), and the
+    planner must still be able to back out of that pocket.
+    """
+
+    start: np.ndarray
+    goal: np.ndarray
+    occupied_centers: np.ndarray = field(default_factory=lambda: np.zeros((0, 3)))
+    map_resolution: float = 1.0
+    bounds_lo: Sequence[float] = (-5.0, -30.0, 0.5)
+    bounds_hi: Sequence[float] = (65.0, 30.0, 10.0)
+    clearance: float = 1.1
+    start_escape_radius: float = 2.5
+
+    def __post_init__(self) -> None:
+        self.start = np.asarray(self.start, dtype=float)
+        self.goal = np.asarray(self.goal, dtype=float)
+        self.occupied_centers = np.asarray(self.occupied_centers, dtype=float)
+        if self.occupied_centers.size:
+            self._tree: Optional[cKDTree] = cKDTree(self.occupied_centers)
+        else:
+            self._tree = None
+
+    # ---------------------------------------------------------------- queries
+    def state_valid(self, point: np.ndarray) -> bool:
+        """Whether ``point`` is inside bounds and clear of occupied voxels."""
+        p = np.asarray(point, dtype=float)
+        lo = np.asarray(self.bounds_lo, dtype=float)
+        hi = np.asarray(self.bounds_hi, dtype=float)
+        if np.any(p < lo) or np.any(p > hi):
+            return False
+        if self._tree is None:
+            return True
+        if np.linalg.norm(p - self.start) < self.start_escape_radius:
+            return True
+        dist, _ = self._tree.query(p)
+        return bool(dist > self.clearance)
+
+    def edge_valid(self, a: np.ndarray, b: np.ndarray, step: float = 0.5) -> bool:
+        """Whether the straight segment between ``a`` and ``b`` is collision-free."""
+        a = np.asarray(a, dtype=float)
+        b = np.asarray(b, dtype=float)
+        length = float(np.linalg.norm(b - a))
+        n_samples = max(2, int(np.ceil(length / step)) + 1)
+        ts = np.linspace(0.0, 1.0, n_samples)
+        samples = a[None, :] + ts[:, None] * (b - a)[None, :]
+        lo = np.asarray(self.bounds_lo, dtype=float)
+        hi = np.asarray(self.bounds_hi, dtype=float)
+        if np.any(samples < lo[None, :]) or np.any(samples > hi[None, :]):
+            return False
+        if self._tree is None:
+            return True
+        dists, _ = self._tree.query(samples)
+        near_start = (
+            np.linalg.norm(samples - self.start[None, :], axis=1) < self.start_escape_radius
+        )
+        return bool(np.all((dists > self.clearance) | near_start))
+
+
+@dataclass
+class PlannerResult:
+    """Outcome of one planning query."""
+
+    success: bool
+    path: List[np.ndarray] = field(default_factory=list)
+    iterations: int = 0
+    tree_size: int = 0
+    planner_name: str = "rrt"
+
+    @property
+    def length(self) -> float:
+        """Total Euclidean length of the returned path."""
+        if len(self.path) < 2:
+            return 0.0
+        pts = np.asarray(self.path)
+        return float(np.linalg.norm(np.diff(pts, axis=0), axis=1).sum())
+
+
+class _TreePlannerBase:
+    """Common machinery for the single- and dual-tree planners."""
+
+    name = "rrt"
+
+    def __init__(
+        self,
+        max_iterations: int = 600,
+        step_size: float = 3.0,
+        goal_bias: float = 0.15,
+        goal_tolerance: float = 2.0,
+        seed: int = 0,
+    ) -> None:
+        self.max_iterations = int(max_iterations)
+        self.step_size = float(step_size)
+        self.goal_bias = float(goal_bias)
+        self.goal_tolerance = float(goal_tolerance)
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------ primitives
+    def _sample(
+        self, rng: np.random.Generator, problem: PlanningProblem
+    ) -> np.ndarray:
+        if rng.uniform() < self.goal_bias:
+            return problem.goal.copy()
+        lo = np.asarray(problem.bounds_lo, dtype=float)
+        hi = np.asarray(problem.bounds_hi, dtype=float)
+        return rng.uniform(lo, hi)
+
+    def _steer(self, from_point: np.ndarray, to_point: np.ndarray) -> np.ndarray:
+        delta = to_point - from_point
+        dist = float(np.linalg.norm(delta))
+        if dist <= self.step_size:
+            return to_point.copy()
+        return from_point + delta * (self.step_size / dist)
+
+    @staticmethod
+    def _nearest(nodes: np.ndarray, point: np.ndarray) -> int:
+        dists = np.linalg.norm(nodes - point[None, :], axis=1)
+        return int(np.argmin(dists))
+
+    @staticmethod
+    def _extract_path(nodes: List[np.ndarray], parents: List[int], leaf: int) -> List[np.ndarray]:
+        path = []
+        idx = leaf
+        while idx != -1:
+            path.append(nodes[idx].copy())
+            idx = parents[idx]
+        path.reverse()
+        return path
+
+    def plan(self, problem: PlanningProblem) -> PlannerResult:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class RRTPlanner(_TreePlannerBase):
+    """Classic single-tree RRT."""
+
+    name = "rrt"
+
+    def plan(self, problem: PlanningProblem) -> PlannerResult:
+        """Grow a tree from the start until the goal region is reached."""
+        rng = np.random.default_rng(self.seed)
+        if not problem.state_valid(problem.start):
+            # The vehicle may legitimately be closer to an obstacle than the
+            # planner clearance; planning from an invalid start is allowed as
+            # long as the rest of the path is clear.
+            pass
+        nodes: List[np.ndarray] = [problem.start.copy()]
+        parents: List[int] = [-1]
+        node_array = np.array([problem.start])
+        for iteration in range(1, self.max_iterations + 1):
+            target = self._sample(rng, problem)
+            nearest_idx = self._nearest(node_array, target)
+            new_point = self._steer(nodes[nearest_idx], target)
+            if not problem.state_valid(new_point):
+                continue
+            if not problem.edge_valid(nodes[nearest_idx], new_point):
+                continue
+            nodes.append(new_point)
+            parents.append(nearest_idx)
+            node_array = np.vstack([node_array, new_point[None, :]])
+            if np.linalg.norm(new_point - problem.goal) <= self.goal_tolerance:
+                if problem.edge_valid(new_point, problem.goal):
+                    nodes.append(problem.goal.copy())
+                    parents.append(len(nodes) - 2)
+                    path = self._extract_path(nodes, parents, len(nodes) - 1)
+                    return PlannerResult(
+                        success=True,
+                        path=path,
+                        iterations=iteration,
+                        tree_size=len(nodes),
+                        planner_name=self.name,
+                    )
+        return PlannerResult(
+            success=False,
+            iterations=self.max_iterations,
+            tree_size=len(nodes),
+            planner_name=self.name,
+        )
+
+
+class RRTStarPlanner(_TreePlannerBase):
+    """RRT* with local rewiring for asymptotically optimal paths."""
+
+    name = "rrt_star"
+
+    def __init__(
+        self,
+        max_iterations: int = 600,
+        step_size: float = 3.0,
+        goal_bias: float = 0.15,
+        goal_tolerance: float = 2.0,
+        rewire_radius: float = 5.0,
+        goal_extra_iterations: int = 150,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(max_iterations, step_size, goal_bias, goal_tolerance, seed)
+        self.rewire_radius = float(rewire_radius)
+        self.goal_extra_iterations = int(goal_extra_iterations)
+
+    def plan(self, problem: PlanningProblem) -> PlannerResult:
+        """Grow and rewire a tree; return the best goal-reaching path found.
+
+        Once the goal region has been reached, the planner keeps refining for
+        ``goal_extra_iterations`` more samples (closing in on the shortest
+        path) and then stops, rather than always exhausting the full budget.
+        """
+        rng = np.random.default_rng(self.seed)
+        nodes: List[np.ndarray] = [problem.start.copy()]
+        parents: List[int] = [-1]
+        costs: List[float] = [0.0]
+        node_array = np.array([problem.start])
+        goal_nodes: List[int] = []
+        first_goal_iteration: Optional[int] = None
+
+        for iteration in range(1, self.max_iterations + 1):
+            if (
+                first_goal_iteration is not None
+                and iteration - first_goal_iteration > self.goal_extra_iterations
+            ):
+                break
+            target = self._sample(rng, problem)
+            nearest_idx = self._nearest(node_array, target)
+            new_point = self._steer(nodes[nearest_idx], target)
+            if not problem.state_valid(new_point):
+                continue
+            if not problem.edge_valid(nodes[nearest_idx], new_point):
+                continue
+
+            # Choose the lowest-cost parent within the rewire radius.
+            dists = np.linalg.norm(node_array - new_point[None, :], axis=1)
+            neighbor_idx = np.where(dists <= self.rewire_radius)[0]
+            best_parent = nearest_idx
+            best_cost = costs[nearest_idx] + float(dists[nearest_idx])
+            for idx in neighbor_idx:
+                candidate_cost = costs[idx] + float(dists[idx])
+                if candidate_cost < best_cost and problem.edge_valid(nodes[idx], new_point):
+                    best_parent = int(idx)
+                    best_cost = candidate_cost
+
+            nodes.append(new_point)
+            parents.append(best_parent)
+            costs.append(best_cost)
+            new_idx = len(nodes) - 1
+            node_array = np.vstack([node_array, new_point[None, :]])
+
+            # Rewire neighbours through the new node when that is cheaper.
+            for idx in neighbor_idx:
+                rewired_cost = best_cost + float(dists[idx])
+                if rewired_cost < costs[idx] and problem.edge_valid(new_point, nodes[idx]):
+                    parents[idx] = new_idx
+                    costs[idx] = rewired_cost
+
+            if np.linalg.norm(new_point - problem.goal) <= self.goal_tolerance:
+                goal_nodes.append(new_idx)
+                if first_goal_iteration is None:
+                    first_goal_iteration = iteration
+
+        if goal_nodes:
+            best_goal = min(goal_nodes, key=lambda idx: costs[idx])
+            path = self._extract_path(nodes, parents, best_goal)
+            path.append(problem.goal.copy())
+            return PlannerResult(
+                success=True,
+                path=path,
+                iterations=self.max_iterations,
+                tree_size=len(nodes),
+                planner_name=self.name,
+            )
+        return PlannerResult(
+            success=False,
+            iterations=self.max_iterations,
+            tree_size=len(nodes),
+            planner_name=self.name,
+        )
+
+
+class RRTConnectPlanner(_TreePlannerBase):
+    """Bidirectional RRT-Connect: two trees grown towards each other."""
+
+    name = "rrt_connect"
+
+    def plan(self, problem: PlanningProblem) -> PlannerResult:
+        """Alternate extending a start tree and a goal tree until they connect."""
+        rng = np.random.default_rng(self.seed)
+        trees = [
+            {"nodes": [problem.start.copy()], "parents": [-1]},
+            {"nodes": [problem.goal.copy()], "parents": [-1]},
+        ]
+        for iteration in range(1, self.max_iterations + 1):
+            active, other = trees[iteration % 2], trees[(iteration + 1) % 2]
+            target = self._sample(rng, problem)
+            active_array = np.asarray(active["nodes"])
+            nearest_idx = self._nearest(active_array, target)
+            new_point = self._steer(active["nodes"][nearest_idx], target)
+            if not problem.state_valid(new_point):
+                continue
+            if not problem.edge_valid(active["nodes"][nearest_idx], new_point):
+                continue
+            active["nodes"].append(new_point)
+            active["parents"].append(nearest_idx)
+
+            # Try to connect the other tree directly to the new point.
+            other_array = np.asarray(other["nodes"])
+            other_nearest = self._nearest(other_array, new_point)
+            if np.linalg.norm(
+                other["nodes"][other_nearest] - new_point
+            ) <= self.step_size * 1.5 and problem.edge_valid(
+                other["nodes"][other_nearest], new_point
+            ):
+                path_active = self._extract_path(
+                    active["nodes"], active["parents"], len(active["nodes"]) - 1
+                )
+                path_other = self._extract_path(
+                    other["nodes"], other["parents"], other_nearest
+                )
+                if iteration % 2 == 0:
+                    # ``active`` is the start tree; ``other`` is the goal tree.
+                    path = path_active + list(reversed(path_other))
+                else:
+                    # ``active`` is the goal tree: its path runs goal->connect.
+                    path = path_other + list(reversed(path_active))
+                return PlannerResult(
+                    success=True,
+                    path=path,
+                    iterations=iteration,
+                    tree_size=len(trees[0]["nodes"]) + len(trees[1]["nodes"]),
+                    planner_name=self.name,
+                )
+        return PlannerResult(
+            success=False,
+            iterations=self.max_iterations,
+            tree_size=len(trees[0]["nodes"]) + len(trees[1]["nodes"]),
+            planner_name=self.name,
+        )
+
+
+PLANNER_CLASSES = {
+    "rrt": RRTPlanner,
+    "rrt_connect": RRTConnectPlanner,
+    "rrt_star": RRTStarPlanner,
+}
+
+
+def make_planner(name: str, seed: int = 0, **kwargs) -> _TreePlannerBase:
+    """Instantiate a planner by name (``rrt``, ``rrt_connect`` or ``rrt_star``)."""
+    key = name.lower()
+    if key not in PLANNER_CLASSES:
+        raise KeyError(f"unknown planner '{name}'; expected one of {sorted(PLANNER_CLASSES)}")
+    return PLANNER_CLASSES[key](seed=seed, **kwargs)

@@ -1,0 +1,136 @@
+"""Path smoothing and velocity-profile generation.
+
+The motion planner kernel of MAVBench runs "Shortest Path + Smoothening":
+after a sampling-based planner returns a piecewise-linear path, the smoother
+(1) shortcuts redundant intermediate nodes, (2) resamples the path at a
+regular spacing and (3) attaches a velocity and yaw profile, producing the
+multi-DOF trajectory whose way-points (x, y, z, yaw) and velocities
+(vx, vy, vz) are the planning-stage inter-kernel states of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.planning.rrt import PlanningProblem
+from repro.rosmw.message import MultiDOFTrajectoryMsg, Waypoint
+
+
+@dataclass
+class SmootherConfig:
+    """Parameters of the shortcut smoother and the velocity profile."""
+
+    waypoint_spacing: float = 2.0
+    cruise_speed: float = 4.0
+    approach_distance: float = 6.0
+    min_speed: float = 0.8
+    shortcut_passes: int = 2
+
+
+class PathSmoother:
+    """Shortcut smoothing plus velocity/yaw profile generation."""
+
+    def __init__(self, config: SmootherConfig = None) -> None:
+        self.config = config if config is not None else SmootherConfig()
+
+    # -------------------------------------------------------------- shortcut
+    def shortcut(self, path: List[np.ndarray], problem: PlanningProblem) -> List[np.ndarray]:
+        """Remove intermediate nodes whose bypass segment is collision-free."""
+        if len(path) <= 2:
+            return [np.asarray(p, dtype=float) for p in path]
+        points = [np.asarray(p, dtype=float) for p in path]
+        for _ in range(self.config.shortcut_passes):
+            simplified = [points[0]]
+            idx = 0
+            while idx < len(points) - 1:
+                # Greedily jump to the farthest node reachable in a straight line.
+                next_idx = idx + 1
+                for candidate in range(len(points) - 1, idx, -1):
+                    if problem.edge_valid(points[idx], points[candidate]):
+                        next_idx = candidate
+                        break
+                simplified.append(points[next_idx])
+                idx = next_idx
+            points = simplified
+        return points
+
+    # ------------------------------------------------------------- resampling
+    def resample(self, path: List[np.ndarray]) -> np.ndarray:
+        """Resample a piecewise-linear path at ``waypoint_spacing`` intervals."""
+        if len(path) == 0:
+            return np.zeros((0, 3))
+        if len(path) == 1:
+            return np.asarray(path, dtype=float)
+        points = np.asarray(path, dtype=float)
+        seg_lengths = np.linalg.norm(np.diff(points, axis=0), axis=1)
+        cumulative = np.concatenate([[0.0], np.cumsum(seg_lengths)])
+        total = float(cumulative[-1])
+        if total <= 1e-9:
+            return points[:1]
+        n_samples = max(2, int(np.ceil(total / self.config.waypoint_spacing)) + 1)
+        sample_s = np.linspace(0.0, total, n_samples)
+        resampled = np.empty((n_samples, 3))
+        for axis in range(3):
+            resampled[:, axis] = np.interp(sample_s, cumulative, points[:, axis])
+        return resampled
+
+    # ------------------------------------------------------------ trajectory
+    def to_trajectory(
+        self,
+        path: Sequence[np.ndarray],
+        problem: PlanningProblem,
+        planner_name: str = "rrt_star",
+        replan_index: int = 0,
+    ) -> MultiDOFTrajectoryMsg:
+        """Build the full multi-DOF trajectory message from a raw planner path."""
+        cfg = self.config
+        shortcut_path = self.shortcut(list(path), problem)
+        samples = self.resample(shortcut_path)
+        waypoints: List[Waypoint] = []
+        if len(samples) == 0:
+            return MultiDOFTrajectoryMsg(
+                waypoints=[], planner_name=planner_name, replan_index=replan_index
+            )
+
+        goal = samples[-1]
+        time_from_start = 0.0
+        for i, point in enumerate(samples):
+            if i + 1 < len(samples):
+                direction = samples[i + 1] - point
+            elif i > 0:
+                direction = point - samples[i - 1]
+            else:
+                direction = np.array([1.0, 0.0, 0.0])
+            norm = float(np.linalg.norm(direction))
+            unit = direction / norm if norm > 1e-9 else np.array([1.0, 0.0, 0.0])
+
+            distance_to_goal = float(np.linalg.norm(goal - point))
+            speed = cfg.cruise_speed
+            if distance_to_goal < cfg.approach_distance:
+                speed = max(
+                    cfg.min_speed,
+                    cfg.cruise_speed * distance_to_goal / cfg.approach_distance,
+                )
+            velocity = unit * speed
+            yaw = float(np.arctan2(unit[1], unit[0]))
+            waypoints.append(
+                Waypoint(
+                    x=float(point[0]),
+                    y=float(point[1]),
+                    z=float(point[2]),
+                    yaw=yaw,
+                    vx=float(velocity[0]),
+                    vy=float(velocity[1]),
+                    vz=float(velocity[2]),
+                    time_from_start=time_from_start,
+                )
+            )
+            if i + 1 < len(samples):
+                segment = float(np.linalg.norm(samples[i + 1] - point))
+                time_from_start += segment / max(speed, cfg.min_speed)
+        return MultiDOFTrajectoryMsg(
+            waypoints=waypoints, planner_name=planner_name, replan_index=replan_index
+        )

@@ -1,0 +1,40 @@
+"""Compute-platform, redundancy and cyber-physical performance models.
+
+The paper evaluates its schemes on two companion computers (Intel i9-9940X and
+NVIDIA TX2 / ARM Cortex-A57, Fig. 9) and compares software anomaly detection
+against hardware redundancy (DMR / TMR) using the visual performance model of
+Krishnan et al. [16] on two vehicles (the AirSim UAV and a DJI-Spark-class
+MAV, Fig. 8).  This package implements those models:
+
+* :mod:`repro.platforms.compute` -- per-kernel latency and power models for
+  the two companion computers.
+* :mod:`repro.platforms.visual_performance` -- the closed-form
+  cyber-physical model linking compute latency, power and weight to the
+  maximum safe velocity, flight time and energy.
+* :mod:`repro.platforms.redundancy` -- DMR/TMR redundancy overhead models.
+* :mod:`repro.platforms.energy` -- mission energy accounting.
+"""
+
+from repro.platforms.compute import (
+    KERNEL_BASE_LATENCIES,
+    PLATFORMS,
+    PlatformModel,
+    get_platform,
+)
+from repro.platforms.energy import EnergyModel, MissionEnergy
+from repro.platforms.redundancy import RedundancyScheme, apply_redundancy
+from repro.platforms.visual_performance import UavSpec, VisualPerformanceModel, UAV_SPECS
+
+__all__ = [
+    "PlatformModel",
+    "PLATFORMS",
+    "KERNEL_BASE_LATENCIES",
+    "get_platform",
+    "VisualPerformanceModel",
+    "UavSpec",
+    "UAV_SPECS",
+    "RedundancyScheme",
+    "apply_redundancy",
+    "EnergyModel",
+    "MissionEnergy",
+]

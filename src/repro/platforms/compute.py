@@ -1,0 +1,109 @@
+"""Compute-platform models for the companion computer.
+
+Fig. 9 of the paper compares an Intel i9-9940X (14 cores, 3.3 GHz, 165 W) with
+an ARM Cortex-A57 on the NVIDIA TX2 (4 cores, 2 GHz, < 15 W): the edge
+platform runs the same pipeline with slower kernel response, which lengthens
+flights and amplifies the worst-case impact of faults.  The model here scales
+each kernel's latency and the pipeline's update rates by a per-platform
+factor, and feeds the visual-performance model that derates the safe flight
+velocity when compute response slows down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: Baseline (i9-9940X) per-kernel latencies in seconds.  The perception and
+#: planning numbers follow the paper's Table II discussion (one occupancy-map
+#: update is about 289 ms and one trajectory generation about 83 ms on the
+#: i9; one control-stage recomputation takes 0.46 ms).
+KERNEL_BASE_LATENCIES: Dict[str, float] = {
+    "point_cloud_generation": 0.015,
+    "octomap_generation": 0.289,
+    "collision_check": 0.005,
+    "mission_planner": 0.001,
+    "motion_planner": 0.083,
+    "pid_control": 0.00046,
+}
+
+#: Baseline detection latencies in seconds per detector invocation.  A cGAD
+#: range check is a handful of arithmetic operations; one forward pass of the
+#: 13-6-3-13 autoencoder is a few hundred FLOPs -- both well under a
+#: microsecond on the i9 companion computer.
+DETECTION_BASE_LATENCIES: Dict[str, float] = {
+    "gad": 2.0e-7,
+    "aad": 2.0e-6,
+}
+
+
+@dataclass(frozen=True)
+class PlatformModel:
+    """One companion-computer platform.
+
+    ``latency_scale`` multiplies every kernel latency, ``rate_scale``
+    multiplies the pipeline update rates (camera, map, planner decision,
+    control), and ``velocity_factor`` is the safe-velocity derating from the
+    visual-performance model (slower compute -> slower safe flight).
+    """
+
+    name: str
+    core_count: int
+    core_frequency_ghz: float
+    compute_power_w: float
+    latency_scale: float = 1.0
+    rate_scale: float = 1.0
+    velocity_factor: float = 1.0
+    description: str = ""
+    kernel_latencies: Dict[str, float] = field(default_factory=dict)
+
+    def kernel_latency(self, kernel_name: str) -> float:
+        """Modelled latency of one kernel invocation on this platform."""
+        base = self.kernel_latencies.get(
+            kernel_name, KERNEL_BASE_LATENCIES.get(kernel_name, 0.001)
+        )
+        return base * self.latency_scale
+
+    def detection_latency(self, detector: str) -> float:
+        """Modelled latency of one detector invocation on this platform."""
+        base = DETECTION_BASE_LATENCIES.get(detector.lower(), 1.0e-6)
+        return base * self.latency_scale
+
+    def scaled_rate(self, base_rate: float) -> float:
+        """Pipeline update rate on this platform."""
+        return base_rate * self.rate_scale
+
+
+PLATFORMS: Dict[str, PlatformModel] = {
+    "i9": PlatformModel(
+        name="i9",
+        core_count=14,
+        core_frequency_ghz=3.3,
+        compute_power_w=165.0,
+        latency_scale=1.0,
+        rate_scale=1.0,
+        velocity_factor=1.0,
+        description="Intel i9-9940X desktop companion computer (paper Fig. 9).",
+    ),
+    "tx2": PlatformModel(
+        name="tx2",
+        core_count=4,
+        core_frequency_ghz=2.0,
+        compute_power_w=15.0,
+        latency_scale=3.5,
+        rate_scale=0.5,
+        velocity_factor=0.55,
+        description="NVIDIA TX2 / ARM Cortex-A57 edge companion computer (paper Fig. 9).",
+    ),
+}
+
+#: Alias used in the paper's Fig. 8/9 captions.
+PLATFORMS["cortex-a57"] = PLATFORMS["tx2"]
+
+
+def get_platform(name: str) -> PlatformModel:
+    """Look a platform model up by name (``i9``, ``tx2`` or ``cortex-a57``)."""
+    key = name.lower()
+    if key not in PLATFORMS:
+        raise KeyError(f"unknown platform '{name}'; expected one of {sorted(PLATFORMS)}")
+    return PLATFORMS[key]

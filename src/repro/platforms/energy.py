@@ -1,0 +1,40 @@
+"""Mission energy accounting.
+
+"Mission energy" is one of the paper's quality-of-flight metrics: the energy
+spent by the rotors plus the energy spent by the companion computer over the
+mission.  The rotor energy is integrated by the vehicle dynamics during the
+flight; the compute energy is the platform's power times the flight time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platforms.compute import PlatformModel
+
+
+@dataclass(frozen=True)
+class MissionEnergy:
+    """Breakdown of the energy consumed by one mission (joules)."""
+
+    flight_energy: float
+    compute_energy: float
+
+    @property
+    def total(self) -> float:
+        """Total mission energy."""
+        return self.flight_energy + self.compute_energy
+
+
+class EnergyModel:
+    """Combines rotor energy with companion-computer energy."""
+
+    def __init__(self, platform: PlatformModel) -> None:
+        self.platform = platform
+
+    def mission_energy(self, flight_time_s: float, rotor_energy_j: float) -> MissionEnergy:
+        """Energy of one mission given its flight time and integrated rotor energy."""
+        if flight_time_s < 0:
+            raise ValueError(f"flight time cannot be negative: {flight_time_s}")
+        compute_energy = self.platform.compute_power_w * flight_time_s
+        return MissionEnergy(flight_energy=float(rotor_energy_j), compute_energy=compute_energy)

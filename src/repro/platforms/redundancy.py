@@ -1,0 +1,90 @@
+"""Hardware-redundancy (DMR / TMR) models.
+
+The traditional protections the paper compares against are dual- and
+triple-modular redundancy of the compute subsystem: running two or three
+copies of the companion computer with a voter.  On a SWaP-constrained MAV the
+duplicated hardware costs weight, power and (for voting/synchronisation) some
+latency, which the visual performance model converts into slower, longer and
+more energy-hungry flights (Fig. 8).  The software anomaly-detection scheme
+is represented by its measured compute overhead instead.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.platforms.visual_performance import FlightPerformance, VisualPerformanceModel
+
+
+class RedundancyScheme(enum.Enum):
+    """Protection schemes compared in Fig. 8."""
+
+    NONE = "none"
+    DMR = "dmr"
+    TMR = "tmr"
+    ANOMALY_DETECTION = "anomaly_detection"
+
+
+@dataclass(frozen=True)
+class RedundancyOverhead:
+    """Multipliers/overheads a protection scheme adds to the compute subsystem."""
+
+    compute_power_multiplier: float
+    compute_mass_multiplier: float
+    latency_overhead_fraction: float
+    description: str
+
+
+#: Overheads per scheme.  DMR duplicates and TMR triplicates the compute
+#: hardware (plus a small voter/synchronisation latency); the anomaly
+#: detection scheme costs only its software overhead (Table II: at most
+#: 0.0062 % for the autoencoder, about 2.2 % for the Gaussian scheme).
+REDUNDANCY_OVERHEADS = {
+    RedundancyScheme.NONE: RedundancyOverhead(
+        compute_power_multiplier=1.0,
+        compute_mass_multiplier=1.0,
+        latency_overhead_fraction=0.0,
+        description="Unprotected baseline.",
+    ),
+    RedundancyScheme.DMR: RedundancyOverhead(
+        compute_power_multiplier=2.0,
+        compute_mass_multiplier=2.0,
+        latency_overhead_fraction=0.05,
+        description="Dual modular redundancy: two compute copies plus comparison.",
+    ),
+    RedundancyScheme.TMR: RedundancyOverhead(
+        compute_power_multiplier=3.0,
+        compute_mass_multiplier=3.0,
+        latency_overhead_fraction=0.08,
+        description="Triple modular redundancy: three compute copies plus voting.",
+    ),
+    RedundancyScheme.ANOMALY_DETECTION: RedundancyOverhead(
+        compute_power_multiplier=1.0,
+        compute_mass_multiplier=1.0,
+        latency_overhead_fraction=0.000062,
+        description="Software anomaly detection and recovery (autoencoder-based).",
+    ),
+}
+
+
+def apply_redundancy(
+    model: VisualPerformanceModel,
+    scheme: RedundancyScheme,
+    compute_latency_s: float,
+) -> FlightPerformance:
+    """Flight performance of a vehicle protected with ``scheme``.
+
+    The scheme's extra compute mass and power are added to the vehicle, its
+    latency overhead stretches the end-to-end compute latency, and the visual
+    performance model converts the result into velocity, flight time and
+    energy.
+    """
+    overhead = REDUNDANCY_OVERHEADS[scheme]
+    base_mass = model.spec.compute_mass_kg
+    base_power = model.spec.compute_power_w
+    extra_mass = base_mass * (overhead.compute_mass_multiplier - 1.0)
+    extra_power = base_power * (overhead.compute_power_multiplier - 1.0)
+    protected = model.with_extra_compute(extra_mass_kg=extra_mass, extra_power_w=extra_power)
+    latency = compute_latency_s * (1.0 + overhead.latency_overhead_fraction)
+    return protected.performance(latency)

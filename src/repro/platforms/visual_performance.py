@@ -1,0 +1,153 @@
+"""Cyber-physical visual performance model (Krishnan et al. [16]).
+
+Fig. 8 of the paper uses "a UAV visual performance model" to compare
+hardware-redundancy protection (DMR, TMR) against the software anomaly
+detection and recovery schemes on two vehicles: the (larger) AirSim UAV and a
+DJI-Spark-class MAV.  The model links the compute subsystem to flight
+performance:
+
+* the **maximum safe velocity** is the fastest speed at which the vehicle can
+  still stop within its sensing range given its end-to-end response time
+  (sensor + compute latency) and braking acceleration;
+* extra compute (e.g. duplicated or triplicated hardware) adds **power** and
+  **weight**, which raises hover power, lowers the achievable acceleration
+  and therefore lowers the safe velocity;
+* flight time over a mission distance follows from the velocity, and mission
+  energy from flight time times total power.
+
+The closed-form expressions below follow the published model; the redundancy
+configurations are produced by :mod:`repro.platforms.redundancy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class UavSpec:
+    """Physical description of one vehicle."""
+
+    name: str
+    mass_kg: float
+    max_thrust_n: float
+    sensing_range_m: float
+    sensor_latency_s: float
+    hover_power_w: float
+    power_per_kg_w: float
+    compute_mass_kg: float
+    compute_power_w: float
+    mission_distance_m: float = 55.0
+
+    @property
+    def thrust_to_weight(self) -> float:
+        """Thrust-to-weight ratio of the loaded vehicle."""
+        return self.max_thrust_n / (self.mass_kg * 9.81)
+
+    @property
+    def braking_acceleration(self) -> float:
+        """Horizontal acceleration available for braking (m/s^2)."""
+        # The rotors must still support the weight; the usable horizontal
+        # force is the excess thrust.
+        excess = max(self.max_thrust_n - self.mass_kg * 9.81, 0.1)
+        return excess / self.mass_kg
+
+
+#: The two vehicles of Fig. 8.  The AirSim UAV is the larger MAVBench vehicle
+#: able to carry a desktop-class companion computer; the DJI-Spark-class MAV
+#: is small enough that extra compute weight and power are proportionally
+#: expensive -- which is why redundancy hurts it much more.
+UAV_SPECS: Dict[str, UavSpec] = {
+    "airsim": UavSpec(
+        name="airsim",
+        mass_kg=3.2,
+        max_thrust_n=75.0,
+        sensing_range_m=25.0,
+        sensor_latency_s=0.05,
+        hover_power_w=350.0,
+        power_per_kg_w=110.0,
+        compute_mass_kg=0.30,
+        compute_power_w=30.0,
+    ),
+    # A DJI-Spark-class MAV already carrying a small companion computer
+    # (0.25 kg of the 0.55 kg take-off mass): duplicating or triplicating that
+    # computer eats straight into its thin thrust margin.
+    "dji_spark": UavSpec(
+        name="dji_spark",
+        mass_kg=0.55,
+        max_thrust_n=13.5,
+        sensing_range_m=12.0,
+        sensor_latency_s=0.05,
+        hover_power_w=95.0,
+        power_per_kg_w=320.0,
+        compute_mass_kg=0.25,
+        compute_power_w=10.0,
+    ),
+}
+
+
+@dataclass
+class FlightPerformance:
+    """Derived flight performance for one configuration."""
+
+    max_velocity: float
+    flight_time: float
+    flight_energy: float
+    total_power: float
+    response_time: float
+
+
+class VisualPerformanceModel:
+    """Closed-form performance model of one vehicle + compute configuration."""
+
+    def __init__(self, spec: UavSpec) -> None:
+        self.spec = spec
+
+    # ----------------------------------------------------------- composition
+    def with_extra_compute(self, extra_mass_kg: float, extra_power_w: float) -> "VisualPerformanceModel":
+        """Return a new model with additional compute mass and power on board."""
+        spec = replace(
+            self.spec,
+            mass_kg=self.spec.mass_kg + extra_mass_kg,
+            compute_mass_kg=self.spec.compute_mass_kg + extra_mass_kg,
+            compute_power_w=self.spec.compute_power_w + extra_power_w,
+            hover_power_w=self.spec.hover_power_w + extra_mass_kg * self.spec.power_per_kg_w,
+        )
+        return VisualPerformanceModel(spec)
+
+    # -------------------------------------------------------------- equations
+    def response_time(self, compute_latency_s: float) -> float:
+        """End-to-end response time: sensing plus compute latency."""
+        return self.spec.sensor_latency_s + compute_latency_s
+
+    def max_safe_velocity(self, compute_latency_s: float) -> float:
+        """Highest velocity at which the vehicle can stop inside its sensing range.
+
+        Solves ``d = v * t_response + v^2 / (2 a)`` for ``v``.
+        """
+        t = self.response_time(compute_latency_s)
+        a = self.spec.braking_acceleration
+        d = self.spec.sensing_range_m
+        v = a * (-t + np.sqrt(t * t + 2.0 * d / a))
+        return float(max(v, 0.1))
+
+    def total_power(self, velocity: float) -> float:
+        """Total electrical power at cruise: hover + induced drag + compute."""
+        drag_power = 0.02 * self.spec.hover_power_w * velocity
+        return self.spec.hover_power_w + drag_power + self.spec.compute_power_w
+
+    def performance(self, compute_latency_s: float) -> FlightPerformance:
+        """Full flight performance for a given end-to-end compute latency."""
+        velocity = self.max_safe_velocity(compute_latency_s)
+        flight_time = self.spec.mission_distance_m / velocity
+        power = self.total_power(velocity)
+        return FlightPerformance(
+            max_velocity=velocity,
+            flight_time=flight_time,
+            flight_energy=power * flight_time,
+            total_power=power,
+            response_time=self.response_time(compute_latency_s),
+        )

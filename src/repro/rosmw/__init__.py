@@ -1,0 +1,77 @@
+"""A lightweight, in-process ROS-like middleware.
+
+The MAVFI paper builds its fault injector and its anomaly detection and
+recovery node on top of the Robot Operating System (ROS): kernels are ROS
+nodes, inter-kernel states travel over ROS topics, one-to-one requests use ROS
+services, and the ROS master restarts crashed nodes.  This package provides
+the same mechanisms in-process so that the whole closed-loop system can be
+simulated deterministically and quickly:
+
+* :class:`~repro.rosmw.clock.SimClock` -- simulated time source.
+* :class:`~repro.rosmw.topic.TopicBus` -- named topics with one-to-many
+  publish/subscribe delivery.
+* :class:`~repro.rosmw.service.ServiceBus` -- named one-to-one services.
+* :class:`~repro.rosmw.node.Node` -- base class for compute kernels with
+  publishers, subscriptions, timers and crash/restart hooks.
+* :class:`~repro.rosmw.graph.NodeGraph` -- the "master": node registry,
+  launch, spin and automatic restart of crashed nodes.
+* :class:`~repro.rosmw.executor.Executor` -- deterministic, simulated-time
+  executor that fires node timers in timestamp order.
+"""
+
+from repro.rosmw.clock import SimClock
+from repro.rosmw.exceptions import (
+    NodeCrashError,
+    RosmwError,
+    ServiceNotFoundError,
+    TopicTypeError,
+)
+from repro.rosmw.executor import Executor
+from repro.rosmw.graph import NodeGraph
+from repro.rosmw.message import (
+    CollisionCheckMsg,
+    DepthImageMsg,
+    FlightCommandMsg,
+    Header,
+    ImuMsg,
+    Message,
+    MultiDOFTrajectoryMsg,
+    OccupancyMapMsg,
+    OdometryMsg,
+    PointCloudMsg,
+    RecomputeRequestMsg,
+    Waypoint,
+)
+from repro.rosmw.node import Node, Publisher, Subscription, Timer
+from repro.rosmw.service import ServiceBus, ServiceProxy, ServiceServer
+from repro.rosmw.topic import TopicBus
+
+__all__ = [
+    "SimClock",
+    "Executor",
+    "NodeGraph",
+    "Node",
+    "Publisher",
+    "Subscription",
+    "Timer",
+    "TopicBus",
+    "ServiceBus",
+    "ServiceProxy",
+    "ServiceServer",
+    "Message",
+    "Header",
+    "Waypoint",
+    "PointCloudMsg",
+    "DepthImageMsg",
+    "ImuMsg",
+    "OdometryMsg",
+    "OccupancyMapMsg",
+    "CollisionCheckMsg",
+    "MultiDOFTrajectoryMsg",
+    "FlightCommandMsg",
+    "RecomputeRequestMsg",
+    "RosmwError",
+    "NodeCrashError",
+    "TopicTypeError",
+    "ServiceNotFoundError",
+]

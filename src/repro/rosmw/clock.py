@@ -1,0 +1,55 @@
+"""Simulated clock shared by all nodes of a node graph.
+
+ROS systems can run on simulated time published on ``/clock``.  The
+reproduction always uses simulated time so that campaigns are deterministic
+and run orders of magnitude faster than wall clock.
+"""
+
+from __future__ import annotations
+
+from repro.rosmw.exceptions import ClockError
+
+
+class SimClock:
+    """A monotonically non-decreasing simulated time source.
+
+    Parameters
+    ----------
+    start:
+        Initial simulated time in seconds.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ClockError(f"simulated time cannot start negative: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Advance the clock by ``dt`` seconds and return the new time."""
+        if dt < 0.0:
+            raise ClockError(f"cannot advance the clock by a negative step: {dt}")
+        self._now += dt
+        return self._now
+
+    def set(self, t: float) -> float:
+        """Jump the clock forward to absolute time ``t`` (never backwards)."""
+        if t < self._now:
+            raise ClockError(
+                f"cannot move simulated time backwards: {t} < {self._now}"
+            )
+        self._now = float(t)
+        return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset the clock, e.g. between missions of a campaign."""
+        if start < 0.0:
+            raise ClockError(f"simulated time cannot start negative: {start}")
+        self._now = float(start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.3f})"

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the rosmw middleware."""
+
+
+class RosmwError(Exception):
+    """Base class for all middleware errors."""
+
+
+class TopicTypeError(RosmwError):
+    """A publisher or subscriber used a message type inconsistent with the topic."""
+
+
+class ServiceNotFoundError(RosmwError):
+    """A service proxy called a service name that no server advertises."""
+
+
+class NodeCrashError(RosmwError):
+    """Raised inside a node callback to emulate a process crash.
+
+    The paper notes that ROS node crashes are outside the SDC scope because the
+    ROS master detects and restarts crashed nodes.  The middleware reproduces
+    that behaviour: a callback raising :class:`NodeCrashError` marks the node
+    as crashed and the :class:`~repro.rosmw.graph.NodeGraph` restarts it.
+    """
+
+
+class DuplicateNodeError(RosmwError):
+    """Two nodes were registered under the same name."""
+
+
+class ClockError(RosmwError):
+    """Simulated time was manipulated inconsistently (e.g. moved backwards)."""

@@ -1,0 +1,60 @@
+"""Deterministic, simulated-time executor for node timers.
+
+The executor owns the set of periodic timers registered by nodes and fires
+them in timestamp order as simulated time advances.  Ties are broken by
+registration order so that campaigns are bit-for-bit reproducible across runs
+with the same seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Tuple
+
+from repro.rosmw.clock import SimClock
+from repro.rosmw.node import Timer
+
+
+class Executor:
+    """Fires node timers in simulated-time order."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self._heap: List[Tuple[float, int, Timer]] = []
+        self._counter = itertools.count()
+
+    def register_timer(self, timer: Timer) -> None:
+        """Add a timer to the schedule."""
+        heapq.heappush(self._heap, (timer.next_fire, next(self._counter), timer))
+
+    def pending_count(self) -> int:
+        """Number of live timer entries currently scheduled."""
+        return sum(1 for _, _, t in self._heap if not t.cancelled)
+
+    def spin_until(self, t: float) -> int:
+        """Fire every due timer up to and including simulated time ``t``.
+
+        The clock is advanced to each timer's fire time before its callback
+        runs, and finally to ``t``.  Returns the number of callbacks fired.
+        """
+        fired = 0
+        while self._heap and self._heap[0][0] <= t:
+            fire_time, _, timer = heapq.heappop(self._heap)
+            if timer.cancelled or not timer.node.alive:
+                continue
+            if fire_time > self.clock.now:
+                self.clock.set(fire_time)
+            timer.fired_count += 1
+            fired += 1
+            timer.node._run_guarded(timer.callback)
+            if not timer.cancelled:
+                timer.next_fire = fire_time + timer.period
+                heapq.heappush(self._heap, (timer.next_fire, next(self._counter), timer))
+        if t > self.clock.now:
+            self.clock.set(t)
+        return fired
+
+    def clear(self) -> None:
+        """Drop all scheduled timers (between missions)."""
+        self._heap.clear()

@@ -1,0 +1,124 @@
+"""The node graph: registry, launch, spin and crash/restart handling.
+
+The :class:`NodeGraph` plays the role of the ROS master plus launch file.  It
+owns the shared clock, topic bus, service bus and executor, keeps the node
+registry, starts all nodes, and restarts nodes that crash -- matching the
+paper's observation that ROS node crashes are handled by the master and are
+therefore outside the SDC threat model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.rosmw.clock import SimClock
+from repro.rosmw.exceptions import DuplicateNodeError
+from repro.rosmw.executor import Executor
+from repro.rosmw.node import Node
+from repro.rosmw.service import ServiceBus
+from repro.rosmw.topic import TopicBus
+
+
+class NodeGraph:
+    """A complete middleware instance: clock, buses, executor and nodes."""
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.topic_bus = TopicBus()
+        self.service_bus = ServiceBus()
+        self.executor = Executor(self.clock)
+        self._nodes: Dict[str, Node] = {}
+        self._crashed: List[str] = []
+        self.auto_restart = True
+
+    # --------------------------------------------------------------- registry
+    def add_node(self, node: Node) -> Node:
+        """Register ``node`` under its name and attach it to this graph."""
+        if node.name in self._nodes:
+            raise DuplicateNodeError(f"a node named '{node.name}' already exists")
+        node.attach(self)
+        self._nodes[node.name] = node
+        return node
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        """Register several nodes at once."""
+        for node in nodes:
+            self.add_node(node)
+
+    def get_node(self, name: str) -> Node:
+        """Look a node up by name."""
+        return self._nodes[name]
+
+    def has_node(self, name: str) -> bool:
+        """Whether a node with ``name`` is registered."""
+        return name in self._nodes
+
+    def node_names(self) -> List[str]:
+        """All registered node names, sorted."""
+        return sorted(self._nodes)
+
+    @property
+    def nodes(self) -> List[Node]:
+        """All registered nodes."""
+        return list(self._nodes.values())
+
+    # ---------------------------------------------------------------- launch
+    def start_all(self) -> None:
+        """Start every registered node (the launch-file step)."""
+        for node in self._nodes.values():
+            if not node.alive:
+                node.start()
+
+    def shutdown_all(self) -> None:
+        """Shut every node down and clear the executor."""
+        for node in self._nodes.values():
+            node.shutdown()
+        self.executor.clear()
+
+    # --------------------------------------------------------------- spinning
+    def spin_until(self, t: float) -> int:
+        """Advance simulated time to ``t``, firing due timers and restarting crashes."""
+        fired = self.executor.spin_until(t)
+        if self.auto_restart and self._crashed:
+            self.handle_crashes()
+        return fired
+
+    # ----------------------------------------------------------------- crashes
+    def report_crash(self, node: Node) -> None:
+        """Record that ``node`` crashed (called from ``Node._run_guarded``)."""
+        if node.name not in self._crashed:
+            self._crashed.append(node.name)
+
+    def handle_crashes(self) -> List[str]:
+        """Restart every crashed node; returns the names restarted."""
+        restarted: List[str] = []
+        while self._crashed:
+            name = self._crashed.pop(0)
+            node = self._nodes.get(name)
+            if node is None:
+                continue
+            node.restart()
+            restarted.append(name)
+        return restarted
+
+    @property
+    def crashed_nodes(self) -> List[str]:
+        """Names of nodes that crashed and have not yet been restarted."""
+        return list(self._crashed)
+
+    # -------------------------------------------------------------- accounting
+    def total_compute_time(self, category: Optional[str] = None) -> float:
+        """Total modelled compute time across nodes (optionally one category)."""
+        if category is None:
+            return sum(node.accounting.busy_time for node in self._nodes.values())
+        return sum(
+            node.accounting.categories.get(category, 0.0)
+            for node in self._nodes.values()
+        )
+
+    def reset_accounting(self) -> None:
+        """Zero all node compute-time counters and bus statistics."""
+        for node in self._nodes.values():
+            node.accounting.reset()
+        self.topic_bus.reset_statistics()
+        self.service_bus.reset_statistics()

@@ -1,0 +1,182 @@
+"""Message types exchanged over the middleware.
+
+The message set mirrors the topics in the MAVBench/MAVFI PPC pipeline
+(Fig. 2 of the paper): RGB-D depth images, IMU/odometry, point clouds, the
+occupancy map (OctoMap), collision-check results, multi-DOF trajectories and
+flight commands, plus the recompute-request message used by the anomaly
+detection and recovery node.
+
+All messages are plain dataclasses.  Numeric payloads use ``numpy`` arrays or
+Python floats so the fault injector can flip individual bits in them.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass
+class Header:
+    """Message header carrying the simulated timestamp and a sequence number."""
+
+    stamp: float = 0.0
+    seq: int = 0
+    frame_id: str = "world"
+
+
+@dataclass
+class Message:
+    """Base class for all middleware messages."""
+
+    header: Header = field(default_factory=Header)
+
+    def copy(self) -> "Message":
+        """Return a deep copy (used when fanning a message out to subscribers)."""
+        return copy.deepcopy(self)
+
+
+@dataclass
+class DepthImageMsg(Message):
+    """A depth image from the simulated RGB-D camera.
+
+    ``depth`` is an ``(H, W)`` float64 array of ranges in metres along each
+    camera ray; ``float('inf')`` marks rays that hit nothing within the camera
+    range.
+    """
+
+    depth: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
+    fov_h: float = 90.0
+    fov_v: float = 60.0
+    max_range: float = 25.0
+    camera_position: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    camera_yaw: float = 0.0
+
+
+@dataclass
+class ImuMsg(Message):
+    """Inertial measurement: linear acceleration and angular velocity."""
+
+    linear_acceleration: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    angular_velocity: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    orientation_yaw: float = 0.0
+
+
+@dataclass
+class OdometryMsg(Message):
+    """Ground-truth-derived odometry used for localization."""
+
+    position: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    velocity: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    yaw: float = 0.0
+
+
+@dataclass
+class PointCloudMsg(Message):
+    """A point cloud in the world frame, shape ``(N, 3)``."""
+
+    points: np.ndarray = field(default_factory=lambda: np.zeros((0, 3)))
+
+
+@dataclass
+class OccupancyMapMsg(Message):
+    """A snapshot view of the probabilistic occupancy (OctoMap-style) map.
+
+    The map itself lives in the perception kernel; the message carries the set
+    of currently occupied voxel centres plus the map resolution, which is what
+    the planner consumes.
+    """
+
+    resolution: float = 1.0
+    occupied_centers: np.ndarray = field(default_factory=lambda: np.zeros((0, 3)))
+    origin: np.ndarray = field(default_factory=lambda: np.zeros(3))
+
+
+@dataclass
+class CollisionCheckMsg(Message):
+    """Collision-check output: the monitored perception inter-kernel states."""
+
+    time_to_collision: float = float("inf")
+    future_collision_seq: int = 0
+    closest_obstacle_distance: float = float("inf")
+
+
+@dataclass
+class Waypoint:
+    """A single multi-DOF trajectory point (position, yaw and velocity)."""
+
+    x: float = 0.0
+    y: float = 0.0
+    z: float = 0.0
+    yaw: float = 0.0
+    vx: float = 0.0
+    vy: float = 0.0
+    vz: float = 0.0
+    time_from_start: float = 0.0
+
+    def position(self) -> np.ndarray:
+        """Return the (x, y, z) position as an array."""
+        return np.array([self.x, self.y, self.z], dtype=float)
+
+    def velocity(self) -> np.ndarray:
+        """Return the (vx, vy, vz) velocity as an array."""
+        return np.array([self.vx, self.vy, self.vz], dtype=float)
+
+
+@dataclass
+class MultiDOFTrajectoryMsg(Message):
+    """The planned multi-DOF trajectory published by the motion planner."""
+
+    waypoints: List[Waypoint] = field(default_factory=list)
+    planner_name: str = "rrt_star"
+    replan_index: int = 0
+
+    def __len__(self) -> int:
+        return len(self.waypoints)
+
+
+@dataclass
+class FlightCommandMsg(Message):
+    """The velocity/yaw-rate flight command issued by the control stage."""
+
+    vx: float = 0.0
+    vy: float = 0.0
+    vz: float = 0.0
+    yaw_rate: float = 0.0
+
+    def velocity(self) -> np.ndarray:
+        """Return the commanded (vx, vy, vz) as an array."""
+        return np.array([self.vx, self.vy, self.vz], dtype=float)
+
+
+@dataclass
+class RecomputeRequestMsg(Message):
+    """Recovery signal from the anomaly detection node to a PPC stage."""
+
+    stage: str = "control"
+    reason: str = "anomaly"
+    detector: str = "gad"
+
+
+@dataclass
+class AlarmMsg(Message):
+    """Raw alarm emitted by a detector (used for logging and analysis)."""
+
+    stage: str = "control"
+    state_name: str = ""
+    score: float = 0.0
+    threshold: float = 0.0
+    detector: str = "gad"
+
+
+@dataclass
+class MissionStatusMsg(Message):
+    """Mission progress as tracked by the mission planner."""
+
+    goal: Optional[np.ndarray] = None
+    distance_to_goal: float = float("inf")
+    completed: bool = False
+    aborted: bool = False

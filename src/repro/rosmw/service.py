@@ -1,0 +1,90 @@
+"""Named one-to-one services (request/response).
+
+ROS services provide one-to-one communication between nodes.  MAVFI uses them
+for the recomputation path: the anomaly detection node requests a stage to
+recompute its latest output.  The reproduction also uses services for mission
+bookkeeping (e.g. querying mission status).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.rosmw.exceptions import ServiceNotFoundError
+
+ServiceHandler = Callable[[Any], Any]
+
+
+class ServiceServer:
+    """Handle to an advertised service (used to unadvertise on node shutdown)."""
+
+    def __init__(self, bus: "ServiceBus", name: str) -> None:
+        self._bus = bus
+        self.name = name
+
+    def shutdown(self) -> None:
+        """Remove the service from the bus."""
+        self._bus.unadvertise(self.name)
+
+
+class ServiceProxy:
+    """Client-side handle used to call a service by name."""
+
+    def __init__(self, bus: "ServiceBus", name: str) -> None:
+        self._bus = bus
+        self.name = name
+
+    def call(self, request: Any) -> Any:
+        """Call the service synchronously and return its response."""
+        return self._bus.call(self.name, request)
+
+    def exists(self) -> bool:
+        """Whether a server currently advertises this service."""
+        return self._bus.has_service(self.name)
+
+
+class ServiceBus:
+    """Registry and synchronous dispatcher for all services of one node graph."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, ServiceHandler] = {}
+        self._call_counts: Dict[str, int] = {}
+
+    def advertise(self, name: str, handler: ServiceHandler) -> ServiceServer:
+        """Register ``handler`` for service ``name`` (replacing any previous one)."""
+        self._handlers[name] = handler
+        self._call_counts.setdefault(name, 0)
+        return ServiceServer(self, name)
+
+    def unadvertise(self, name: str) -> None:
+        """Remove the service ``name`` (no-op if absent)."""
+        self._handlers.pop(name, None)
+
+    def proxy(self, name: str) -> ServiceProxy:
+        """Create a client proxy for service ``name``."""
+        return ServiceProxy(self, name)
+
+    def has_service(self, name: str) -> bool:
+        """Whether ``name`` currently has a server."""
+        return name in self._handlers
+
+    def call(self, name: str, request: Any) -> Any:
+        """Dispatch a request to the service ``name``."""
+        handler = self._handlers.get(name)
+        if handler is None:
+            raise ServiceNotFoundError(f"no server advertises service '{name}'")
+        self._call_counts[name] = self._call_counts.get(name, 0) + 1
+        return handler(request)
+
+    def call_count(self, name: str) -> int:
+        """How many times ``name`` has been called."""
+        return self._call_counts.get(name, 0)
+
+    def services(self) -> List[str]:
+        """Names of all advertised services."""
+        return sorted(self._handlers)
+
+    def reset_statistics(self) -> None:
+        """Zero the per-service call counters (between missions)."""
+        for name in self._call_counts:
+            self._call_counts[name] = 0

@@ -1,0 +1,176 @@
+"""The AirSim-interface node: sensors out, flight commands in, physics inside.
+
+In MAVBench the host machine runs Unreal Engine + AirSim, which publish camera
+images and IMU data to the companion computer and execute the flight commands
+coming back from the PPC pipeline (Fig. 2).  This node plays that role inside
+the simulated node graph:
+
+* a physics timer integrates the quadrotor dynamics under the latest flight
+  command and checks for collision, goal arrival, leaving the world and the
+  mission time budget;
+* a camera timer publishes depth images;
+* an odometry timer publishes odometry and IMU samples at a higher rate.
+
+The mission outcome (success / collision / timeout, flight time, energy,
+distance and the full trajectory) is accumulated here and read by the mission
+runner once the flight terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro import topics
+from repro.rosmw.message import DepthImageMsg, FlightCommandMsg, ImuMsg, OdometryMsg
+from repro.rosmw.node import Node
+from repro.sim.sensors import CameraConfig, DepthCamera, Imu, OdometrySensor
+from repro.sim.vehicle import QuadrotorDynamics, QuadrotorParams, QuadrotorState
+from repro.sim.world import World
+
+
+@dataclass
+class FlightOutcome:
+    """Result of one simulated mission."""
+
+    success: bool = False
+    collision: bool = False
+    timeout: bool = False
+    out_of_bounds: bool = False
+    flight_time: float = 0.0
+    flight_energy: float = 0.0
+    distance_travelled: float = 0.0
+    final_distance_to_goal: float = float("inf")
+    trajectory: List[np.ndarray] = field(default_factory=list)
+    reason: str = "incomplete"
+
+    @property
+    def failed(self) -> bool:
+        """Whether the mission ended without reaching the goal."""
+        return not self.success
+
+
+@dataclass
+class MissionConfig:
+    """Mission end-points and limits."""
+
+    start: np.ndarray = field(default_factory=lambda: np.array([0.0, 0.0, 1.5]))
+    goal: np.ndarray = field(default_factory=lambda: np.array([55.0, 0.0, 2.0]))
+    goal_tolerance: float = 2.0
+    time_limit: float = 120.0
+
+
+class AirSimInterfaceNode(Node):
+    """Simulated AirSim + flight controller endpoint inside the node graph."""
+
+    def __init__(
+        self,
+        world: World,
+        mission: Optional[MissionConfig] = None,
+        vehicle_params: Optional[QuadrotorParams] = None,
+        camera_config: Optional[CameraConfig] = None,
+        physics_rate: float = 20.0,
+        camera_rate: float = 5.0,
+        odometry_rate: float = 20.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__("airsim_interface")
+        self.world = world
+        self.mission = mission if mission is not None else MissionConfig()
+        self.vehicle = QuadrotorDynamics(
+            params=vehicle_params,
+            initial_state=QuadrotorState(position=np.asarray(self.mission.start, float)),
+        )
+        self.camera = DepthCamera(world, camera_config)
+        self.imu = Imu(seed=seed)
+        self.odometry = OdometrySensor(seed=seed)
+        self.physics_rate = physics_rate
+        self.camera_rate = camera_rate
+        self.odometry_rate = odometry_rate
+        self.outcome = FlightOutcome()
+        self.mission_done = False
+        self._latest_command = FlightCommandMsg()
+        self._trajectory_stride = max(1, int(physics_rate / 5))
+        self._physics_steps = 0
+
+    # --------------------------------------------------------------- topology
+    def on_start(self) -> None:
+        self._depth_pub = self.create_publisher(topics.DEPTH_IMAGE, DepthImageMsg)
+        self._imu_pub = self.create_publisher(topics.IMU, ImuMsg)
+        self._odom_pub = self.create_publisher(topics.ODOMETRY, OdometryMsg)
+        self.create_subscription(
+            topics.FLIGHT_COMMAND, FlightCommandMsg, self._on_flight_command
+        )
+        self.create_timer(1.0 / self.physics_rate, self._physics_step)
+        self.create_timer(1.0 / self.camera_rate, self._publish_camera, offset=0.01)
+        self.create_timer(1.0 / self.odometry_rate, self._publish_odometry, offset=0.005)
+
+    # -------------------------------------------------------------- callbacks
+    def _on_flight_command(self, msg: FlightCommandMsg) -> None:
+        self._latest_command = msg
+
+    def _publish_camera(self) -> None:
+        if self.mission_done:
+            return
+        self._depth_pub.publish(self.camera.capture(self.vehicle.state))
+
+    def _publish_odometry(self) -> None:
+        if self.mission_done:
+            return
+        self._odom_pub.publish(self.odometry.measure(self.vehicle.state))
+        self._imu_pub.publish(self.imu.measure(self.vehicle.state))
+
+    def _physics_step(self) -> None:
+        if self.mission_done:
+            return
+        dt = 1.0 / self.physics_rate
+        command = self._latest_command
+        state = self.vehicle.step(
+            np.array([command.vx, command.vy, command.vz], dtype=float),
+            float(command.yaw_rate),
+            dt,
+        )
+        self._physics_steps += 1
+        if self._physics_steps % self._trajectory_stride == 0:
+            self.outcome.trajectory.append(state.position.copy())
+
+        goal = np.asarray(self.mission.goal, dtype=float)
+        distance_to_goal = float(np.linalg.norm(state.position - goal))
+        self.outcome.final_distance_to_goal = distance_to_goal
+
+        if distance_to_goal <= self.mission.goal_tolerance:
+            self._finish(success=True, reason="goal reached")
+        elif self.world.sphere_collides(state.position, self.vehicle.params.collision_radius):
+            self._finish(success=False, reason="collision", collision=True)
+        elif state.position[2] < self.world.bounds_lo[2] - 0.5:
+            self._finish(success=False, reason="ground impact", collision=True)
+        elif not self.world.in_bounds(state.position, margin=-8.0):
+            self._finish(success=False, reason="left the world", out_of_bounds=True)
+        elif state.time >= self.mission.time_limit:
+            self._finish(success=False, reason="mission time limit exceeded", timeout=True)
+
+    def _finish(
+        self,
+        success: bool,
+        reason: str,
+        collision: bool = False,
+        timeout: bool = False,
+        out_of_bounds: bool = False,
+    ) -> None:
+        self.mission_done = True
+        self.outcome.success = success
+        self.outcome.collision = collision
+        self.outcome.timeout = timeout
+        self.outcome.out_of_bounds = out_of_bounds
+        self.outcome.reason = reason
+        self.outcome.flight_time = float(self.vehicle.state.time)
+        self.outcome.flight_energy = float(self.vehicle.energy_used)
+        self.outcome.distance_travelled = float(self.vehicle.distance_travelled)
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def state(self) -> QuadrotorState:
+        """Current ground-truth vehicle state."""
+        return self.vehicle.state

@@ -1,0 +1,147 @@
+"""Procedural environment generator.
+
+Section V of the paper defines an environment by the configuration pair
+``[obstacle density, side length of cuboid obstacles (metres)]`` and uses a
+UAV environment generator (RoboRun) to produce the Sparse ([0.05, 6]) and
+Dense ([0.2, 10]) environments, plus "a hundred of error-free randomized
+environments" for training the detectors.  This module reproduces that
+generator: it scatters axis-aligned cuboids over the world footprint until the
+requested 2-D obstacle density is reached, keeping a protected corridor around
+the start and goal positions so missions are always feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.world import Cuboid, World
+
+
+@dataclass
+class GeneratorConfig:
+    """Configuration of the procedural environment generator.
+
+    ``obstacle_density`` is the fraction of the world footprint area covered
+    by obstacle footprints; ``cuboid_side`` is the nominal side length of the
+    cuboid obstacles in metres (their height spans most of the world height).
+    """
+
+    obstacle_density: float = 0.05
+    cuboid_side: float = 6.0
+    bounds_lo: Tuple[float, float, float] = (-5.0, -30.0, 0.0)
+    bounds_hi: Tuple[float, float, float] = (65.0, 30.0, 12.0)
+    side_jitter: float = 0.25
+    height_fraction: float = 0.85
+    protected_radius: float = 5.0
+    max_obstacles: int = 400
+
+
+class EnvironmentGenerator:
+    """Generates worlds from an ``[obstacle density, cuboid side]`` pair."""
+
+    def __init__(self, config: Optional[GeneratorConfig] = None) -> None:
+        self.config = config if config is not None else GeneratorConfig()
+
+    def generate(
+        self,
+        seed: int,
+        start: Sequence[float] = (0.0, 0.0, 1.0),
+        goal: Sequence[float] = (55.0, 0.0, 2.0),
+        name: str = "generated",
+    ) -> World:
+        """Generate a world whose obstacle footprint matches the density target.
+
+        Parameters
+        ----------
+        seed:
+            Seed for the obstacle layout; the same seed always yields the same
+            world.
+        start, goal:
+            Mission endpoints; a ``protected_radius`` disc around each stays
+            obstacle-free so every generated mission is feasible.
+        name:
+            Name recorded on the world.
+        """
+        cfg = self.config
+        rng = np.random.default_rng(seed)
+        world = World(bounds_lo=cfg.bounds_lo, bounds_hi=cfg.bounds_hi, name=name)
+
+        lo = np.asarray(cfg.bounds_lo, dtype=float)
+        hi = np.asarray(cfg.bounds_hi, dtype=float)
+        footprint_area = (hi[0] - lo[0]) * (hi[1] - lo[1])
+        target_area = cfg.obstacle_density * footprint_area
+        start = np.asarray(start, dtype=float)
+        goal = np.asarray(goal, dtype=float)
+
+        placed_area = 0.0
+        obstacles = []
+        attempts = 0
+        max_attempts = cfg.max_obstacles * 20
+        while (
+            placed_area < target_area
+            and len(obstacles) < cfg.max_obstacles
+            and attempts < max_attempts
+        ):
+            attempts += 1
+            side_x = cfg.cuboid_side * (1.0 + rng.uniform(-cfg.side_jitter, cfg.side_jitter))
+            side_y = cfg.cuboid_side * (1.0 + rng.uniform(-cfg.side_jitter, cfg.side_jitter))
+            height = (hi[2] - lo[2]) * cfg.height_fraction
+            cx = rng.uniform(lo[0] + side_x / 2, hi[0] - side_x / 2)
+            cy = rng.uniform(lo[1] + side_y / 2, hi[1] - side_y / 2)
+            center = np.array([cx, cy, lo[2] + height / 2])
+            if (
+                np.linalg.norm(center[:2] - start[:2]) < cfg.protected_radius + side_x
+                or np.linalg.norm(center[:2] - goal[:2]) < cfg.protected_radius + side_x
+            ):
+                continue
+            obstacle = Cuboid.from_center(
+                center, (side_x, side_y, height), name=f"cuboid_{len(obstacles)}"
+            )
+            obstacles.append(obstacle)
+            placed_area += side_x * side_y
+
+        world.add_obstacles(obstacles)
+        return world
+
+
+def corridor_walls(
+    bounds_lo: Sequence[float],
+    bounds_hi: Sequence[float],
+    wall_positions: Sequence[float],
+    gap_centers: Sequence[float],
+    gap_width: float = 8.0,
+    thickness: float = 1.0,
+) -> list:
+    """Build wall obstacles with gaps, used by the Factory preset.
+
+    Each wall sits at an ``x`` position from ``wall_positions`` and spans the
+    full ``y`` extent of the world except for a gap of ``gap_width`` centred on
+    the matching entry of ``gap_centers``.
+    """
+    lo = np.asarray(bounds_lo, dtype=float)
+    hi = np.asarray(bounds_hi, dtype=float)
+    height = (hi[2] - lo[2]) * 0.9
+    walls = []
+    for x, gap_c in zip(wall_positions, gap_centers):
+        left_hi_y = gap_c - gap_width / 2
+        right_lo_y = gap_c + gap_width / 2
+        if left_hi_y > lo[1]:
+            walls.append(
+                Cuboid(
+                    lo=(x - thickness / 2, float(lo[1]), float(lo[2])),
+                    hi=(x + thickness / 2, float(left_hi_y), float(lo[2] + height)),
+                    name=f"wall_x{x:.0f}_left",
+                )
+            )
+        if right_lo_y < hi[1]:
+            walls.append(
+                Cuboid(
+                    lo=(x - thickness / 2, float(right_lo_y), float(lo[2])),
+                    hi=(x + thickness / 2, float(hi[1]), float(lo[2] + height)),
+                    name=f"wall_x{x:.0f}_right",
+                )
+            )
+    return walls

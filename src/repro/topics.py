@@ -1,0 +1,40 @@
+"""Canonical topic and service names of the PPC pipeline.
+
+These mirror the topic graph of Fig. 2 in the paper: sensor topics published
+by the AirSim interface, inter-kernel state topics between the PPC stages, the
+flight-command topic consumed by the actuator, and the recomputation services
+used by the anomaly detection and recovery node.
+"""
+
+# Sensor topics (AirSim interface -> perception).
+DEPTH_IMAGE = "/sensors/depth_image"
+IMU = "/sensors/imu"
+ODOMETRY = "/sensors/odometry"
+
+# Perception inter-kernel states.
+POINT_CLOUD = "/perception/point_cloud"
+OCCUPANCY_MAP = "/perception/occupancy_map"
+COLLISION_CHECK = "/perception/collision_check"
+
+# Planning inter-kernel states.
+TRAJECTORY = "/planning/multidoftraj"
+MISSION_STATUS = "/planning/mission_status"
+
+# Control output.
+FLIGHT_COMMAND = "/control/flight_command"
+
+# Detection and recovery.
+ANOMALY_ALARM = "/detection/alarm"
+RECOMPUTE_PERCEPTION = "/recovery/recompute_perception"
+RECOMPUTE_PLANNING = "/recovery/recompute_planning"
+RECOMPUTE_CONTROL = "/recovery/recompute_control"
+
+#: Recomputation service name for each PPC stage.
+RECOMPUTE_SERVICES = {
+    "perception": RECOMPUTE_PERCEPTION,
+    "planning": RECOMPUTE_PLANNING,
+    "control": RECOMPUTE_CONTROL,
+}
+
+#: The three PPC stage names, in pipeline order.
+PPC_STAGES = ("perception", "planning", "control")

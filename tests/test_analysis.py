@@ -1,0 +1,93 @@
+"""Tests for trajectory analysis and report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import (
+    format_distribution_table,
+    format_overhead_table,
+    format_percentage_map,
+    format_success_rate_table,
+    format_table,
+)
+from repro.analysis.trajectory import analyze_trajectory, compare_trajectories
+from repro.core.overhead import OverheadReport
+
+
+class TestTrajectoryAnalysis:
+    def test_straight_line_metrics(self):
+        trajectory = [[float(x), 0.0, 2.0] for x in range(0, 11)]
+        metrics = analyze_trajectory(trajectory)
+        assert metrics.path_length == pytest.approx(10.0)
+        assert metrics.straight_line_distance == pytest.approx(10.0)
+        assert metrics.detour_ratio == pytest.approx(1.0)
+        assert metrics.max_lateral_deviation == pytest.approx(0.0)
+
+    def test_detour_metrics(self):
+        trajectory = [[0, 0, 2], [5, 5, 2], [10, 0, 2]]
+        metrics = analyze_trajectory(trajectory)
+        assert metrics.detour_ratio > 1.3
+        assert metrics.max_lateral_deviation == pytest.approx(5.0)
+
+    def test_single_point_trajectory(self):
+        metrics = analyze_trajectory([[1.0, 2.0, 3.0]])
+        assert metrics.path_length == 0.0
+        assert metrics.num_points == 1
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_trajectory([[1.0, 2.0]])
+
+    def test_compare_identical_trajectories(self):
+        trajectory = [[float(x), 0.0, 2.0] for x in range(10)]
+        comparison = compare_trajectories(trajectory, trajectory)
+        assert comparison.mean_deviation == pytest.approx(0.0)
+        assert comparison.length_ratio == pytest.approx(1.0)
+
+    def test_compare_detoured_trajectory(self):
+        reference = [[float(x), 0.0, 2.0] for x in range(11)]
+        detour = [[float(x), 3.0 if 3 <= x <= 7 else 0.0, 2.0] for x in range(11)]
+        comparison = compare_trajectories(detour, reference)
+        assert comparison.max_deviation >= 2.5
+        assert comparison.length_ratio > 1.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long_header"], [[1, 2], [30, 40]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long_header" in lines[1]
+        assert len(lines) == 5
+
+    def test_success_rate_table(self):
+        rates = {"golden": {"farm": 1.0, "dense": 0.85}, "injection": {"farm": 0.97}}
+        text = format_success_rate_table(
+            rates,
+            environments=["farm", "dense"],
+            settings=["golden", "injection"],
+            setting_labels={"golden": "Golden Run", "injection": "Injection Run"},
+        )
+        assert "Golden Run" in text
+        assert "85.0%" in text
+        assert "-" in text  # missing dense/injection cell
+
+    def test_distribution_table(self):
+        text = format_distribution_table({"golden": [10, 11, 12], "fi": [10, 20, 30]})
+        assert "golden" in text and "fi" in text
+        assert "30.0" in text
+
+    def test_overhead_table(self):
+        report = OverheadReport(
+            detector="gad",
+            environment="sparse",
+            detection_fraction={"perception": 1e-6},
+            recovery_fraction={"perception": 0.01},
+        )
+        text = format_overhead_table({"sparse": report})
+        assert "sparse" in text
+        assert "RECOV" in text
+
+    def test_percentage_map(self):
+        text = format_percentage_map({"recovered": 0.875}, title="Recovery")
+        assert "87.5%" in text

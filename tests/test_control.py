@@ -1,0 +1,249 @@
+"""Tests for the PID controller and the path tracking / command issue kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import topics
+from repro.control.path_tracking import ControlNode, PathTracker, TrackerConfig
+from repro.control.pid import PidController, PidGains
+from repro.rosmw.graph import NodeGraph
+from repro.rosmw.message import (
+    CollisionCheckMsg,
+    MissionStatusMsg,
+    MultiDOFTrajectoryMsg,
+    OdometryMsg,
+    Waypoint,
+)
+
+
+class TestPidController:
+    def test_proportional_only(self):
+        pid = PidController(PidGains(kp=2.0))
+        assert pid.update(1.5, 0.1) == pytest.approx(3.0)
+
+    def test_integral_accumulates(self):
+        pid = PidController(PidGains(kp=0.0, ki=1.0))
+        pid.update(1.0, 1.0)
+        assert pid.update(1.0, 1.0) == pytest.approx(2.0)
+
+    def test_integral_clamped(self):
+        pid = PidController(PidGains(kp=0.0, ki=1.0, integral_limit=2.0))
+        for _ in range(10):
+            pid.update(5.0, 1.0)
+        assert pid.integral == pytest.approx(2.0)
+
+    def test_derivative_term(self):
+        pid = PidController(PidGains(kp=0.0, kd=1.0))
+        pid.update(0.0, 0.5)
+        assert pid.update(1.0, 0.5) == pytest.approx(2.0)
+
+    def test_derivative_zero_on_first_sample(self):
+        pid = PidController(PidGains(kp=0.0, kd=10.0))
+        assert pid.update(3.0, 0.1) == 0.0
+
+    def test_output_limit(self):
+        pid = PidController(PidGains(kp=100.0, output_limit=5.0))
+        assert pid.update(10.0, 0.1) == 5.0
+        assert pid.update(-10.0, 0.1) == -5.0
+
+    def test_reset(self):
+        pid = PidController(PidGains(ki=1.0, kd=1.0))
+        pid.update(2.0, 0.5)
+        pid.reset()
+        assert pid.integral == 0.0
+        assert not pid._has_previous
+
+    def test_invalid_dt_rejected(self):
+        with pytest.raises(ValueError):
+            PidController().update(1.0, 0.0)
+
+
+def _straight_waypoints(n=10, spacing=2.0, speed=3.0):
+    return [
+        Waypoint(x=i * spacing, y=0.0, z=2.0, yaw=0.0, vx=speed, vy=0.0, vz=0.0)
+        for i in range(n)
+    ]
+
+
+class TestPathTracker:
+    def test_no_waypoints_hover(self):
+        tracker = PathTracker()
+        cmd = tracker.compute([], np.zeros(3), 0.0, 0.1)
+        assert cmd.vx == 0.0 and cmd.vy == 0.0 and cmd.vz == 0.0
+
+    def test_commands_towards_next_waypoint(self):
+        tracker = PathTracker()
+        waypoints = _straight_waypoints()
+        tracker.on_new_trajectory(waypoints, np.array([0.0, 0.0, 2.0]))
+        cmd = tracker.compute(waypoints, np.array([0.0, 0.0, 2.0]), 0.0, 0.1)
+        assert cmd.vx > 0.5
+        assert abs(cmd.vy) < 0.5
+
+    def test_capture_advances_index_as_vehicle_progresses(self):
+        tracker = PathTracker(TrackerConfig(capture_radius=1.5))
+        waypoints = _straight_waypoints()
+        tracker.on_new_trajectory(waypoints, np.array([0.0, 0.0, 2.0]))
+        start_index = tracker.current_index
+        # Walk the vehicle along the path; the target index must follow.
+        for x in np.arange(0.0, 12.0, 0.5):
+            tracker.compute(waypoints, np.array([x, 0.0, 2.0]), 0.0, 0.1)
+        assert tracker.current_index > start_index + 2
+
+    def test_command_respects_speed_limits(self):
+        config = TrackerConfig(max_speed=2.0, max_vertical_speed=0.5)
+        tracker = PathTracker(config)
+        waypoints = [Waypoint(x=100.0, y=100.0, z=50.0, vx=50.0, vy=50.0, vz=50.0)]
+        cmd = tracker.compute(waypoints, np.zeros(3), 0.0, 0.1)
+        assert np.hypot(cmd.vx, cmd.vy) <= 2.0 + 1e-6
+        assert abs(cmd.vz) <= 0.5 + 1e-6
+
+    def test_unreachable_waypoint_skipped_after_timeout(self):
+        config = TrackerConfig(target_timeout=1.0)
+        tracker = PathTracker(config)
+        waypoints = _straight_waypoints()
+        waypoints[2].x = -1e9  # corrupted, unreachable
+        tracker.on_new_trajectory(waypoints, np.array([0.0, 0.0, 2.0]))
+        tracker.current_index = 2
+        for _ in range(15):
+            tracker.compute(waypoints, np.array([2.0, 0.0, 2.0]), 0.0, 0.1)
+        assert tracker.current_index > 2
+        assert tracker.skipped_waypoints >= 1
+
+    def test_corrupted_waypoint_produces_bounded_command(self):
+        tracker = PathTracker()
+        waypoints = _straight_waypoints()
+        waypoints[1].x = 1e300
+        waypoints[1].vy = float("nan")
+        tracker.current_index = 1
+        cmd = tracker.compute(waypoints, np.zeros(3), 0.0, 0.1)
+        assert np.isfinite([cmd.vx, cmd.vy, cmd.vz, cmd.yaw_rate]).all()
+
+    def test_brake_scale(self):
+        tracker = PathTracker(TrackerConfig(brake_horizon=2.0, min_brake_scale=0.2))
+        assert tracker.brake_scale(float("inf")) == 1.0
+        assert tracker.brake_scale(3.0) == 1.0
+        assert tracker.brake_scale(1.0) == pytest.approx(0.5)
+        assert tracker.brake_scale(0.0) == pytest.approx(0.2)
+
+    def test_braking_slows_command(self):
+        tracker = PathTracker()
+        waypoints = _straight_waypoints()
+        tracker.on_new_trajectory(waypoints, np.array([0.0, 0.0, 2.0]))
+        fast = tracker.compute(waypoints, np.array([0.0, 0.0, 2.0]), 0.0, 0.1)
+        tracker.reset()
+        tracker.on_new_trajectory(waypoints, np.array([0.0, 0.0, 2.0]))
+        slow = tracker.compute(
+            waypoints, np.array([0.0, 0.0, 2.0]), 0.0, 0.1, time_to_collision=0.5
+        )
+        assert abs(slow.vx) < abs(fast.vx)
+
+    def test_yaw_rate_towards_target_heading(self):
+        tracker = PathTracker()
+        waypoints = [Waypoint(x=0.0, y=10.0, z=2.0, yaw=np.pi / 2)]
+        cmd = tracker.compute(waypoints, np.zeros(3), 0.0, 0.1)
+        assert cmd.yaw_rate > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        px=st.floats(-50, 50), py=st.floats(-50, 50), pz=st.floats(0, 10),
+        ttc=st.floats(0, 10),
+    )
+    def test_command_always_finite_and_bounded(self, px, py, pz, ttc):
+        """Property: the issued command is always finite and inside the envelope."""
+        config = TrackerConfig()
+        tracker = PathTracker(config)
+        waypoints = _straight_waypoints()
+        cmd = tracker.compute(
+            waypoints, np.array([px, py, pz]), 0.0, 0.1, time_to_collision=ttc
+        )
+        values = [cmd.vx, cmd.vy, cmd.vz, cmd.yaw_rate]
+        assert np.isfinite(values).all()
+        assert np.hypot(cmd.vx, cmd.vy) <= config.max_speed + 1e-6
+        assert abs(cmd.vz) <= config.max_vertical_speed + 1e-6
+
+
+class TestControlNode:
+    def _graph(self):
+        graph = NodeGraph()
+        node = ControlNode(control_rate=10.0)
+        graph.add_node(node)
+        graph.start_all()
+        return graph, node
+
+    def _feed(self, graph, position=(0.0, 0.0, 2.0)):
+        graph.topic_bus.publish(
+            topics.TRAJECTORY, MultiDOFTrajectoryMsg(waypoints=_straight_waypoints())
+        )
+        graph.topic_bus.publish(
+            topics.ODOMETRY, OdometryMsg(position=np.asarray(position, float))
+        )
+
+    def test_publishes_commands_at_control_rate(self):
+        graph, node = self._graph()
+        self._feed(graph)
+        graph.spin_until(1.0)
+        assert graph.topic_bus.publish_count(topics.FLIGHT_COMMAND) >= 9
+
+    def test_no_command_without_odometry(self):
+        graph, node = self._graph()
+        graph.spin_until(1.0)
+        assert graph.topic_bus.publish_count(topics.FLIGHT_COMMAND) == 0
+
+    def test_hover_after_mission_completed(self):
+        graph, node = self._graph()
+        self._feed(graph)
+        graph.topic_bus.publish(
+            topics.MISSION_STATUS, MissionStatusMsg(goal=np.zeros(3), completed=True)
+        )
+        graph.spin_until(1.0)
+        cmd = graph.topic_bus.last_message(topics.FLIGHT_COMMAND)
+        assert cmd.vx == 0.0 and cmd.vy == 0.0
+
+    def test_braking_on_collision_warning(self):
+        graph, node = self._graph()
+        self._feed(graph)
+        graph.spin_until(0.5)
+        fast = graph.topic_bus.last_message(topics.FLIGHT_COMMAND)
+        graph.topic_bus.publish(
+            topics.COLLISION_CHECK, CollisionCheckMsg(time_to_collision=0.3)
+        )
+        graph.spin_until(1.0)
+        slow = graph.topic_bus.last_message(topics.FLIGHT_COMMAND)
+        assert np.hypot(slow.vx, slow.vy) < np.hypot(fast.vx, fast.vy)
+
+    def test_recompute_republishes_command(self):
+        graph, node = self._graph()
+        self._feed(graph)
+        graph.spin_until(0.5)
+        count = graph.topic_bus.publish_count(topics.FLIGHT_COMMAND)
+        assert node.recompute()
+        assert graph.topic_bus.publish_count(topics.FLIGHT_COMMAND) == count + 1
+        assert node.accounting.categories.get("recovery", 0.0) > 0
+
+    def test_corrupt_internal_variants(self):
+        graph, node = self._graph()
+        self._feed(graph)
+        graph.spin_until(0.5)
+        rng = np.random.default_rng(0)
+        descriptions = {node.corrupt_internal(rng, bit=40) for _ in range(12)}
+        assert any("PID integral" in d or "trajectory" in d or "command" in d for d in descriptions)
+
+    def test_corrupting_tracked_trajectory_does_not_touch_shared_message(self):
+        graph, node = self._graph()
+        shared = MultiDOFTrajectoryMsg(waypoints=_straight_waypoints())
+        graph.topic_bus.publish(topics.TRAJECTORY, shared)
+        graph.topic_bus.publish(topics.ODOMETRY, OdometryMsg(position=np.zeros(3)))
+        original = [w.x for w in shared.waypoints]
+        rng = np.random.default_rng(1)
+        for _ in range(8):
+            node.corrupt_internal(rng, bit=63)
+        assert [w.x for w in shared.waypoints] == original
+
+    def test_reset_kernel(self):
+        graph, node = self._graph()
+        self._feed(graph)
+        graph.spin_until(0.5)
+        node.reset_kernel()
+        assert node._latest_trajectory is None
+        assert node.kernel.current_index == 0

@@ -1,0 +1,148 @@
+"""Tests for the single-bit-flip fault primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fault import (
+    BitField,
+    FaultSpec,
+    classify_bit,
+    corrupt_array_element,
+    corrupt_message_field,
+    flip_float_bit,
+    flip_int_bit,
+    numeric_leaf_fields,
+    random_bit_for_field,
+)
+from repro.rosmw.message import (
+    CollisionCheckMsg,
+    FlightCommandMsg,
+    MultiDOFTrajectoryMsg,
+    Waypoint,
+)
+
+
+class TestBitPrimitives:
+    def test_sign_flip(self):
+        assert flip_float_bit(3.5, 63) == -3.5
+        assert flip_float_bit(-3.5, 63) == 3.5
+
+    def test_mantissa_flip_is_small(self):
+        original = 100.0
+        flipped = flip_float_bit(original, 0)
+        assert flipped != original
+        assert abs(flipped - original) / original < 1e-10
+
+    def test_exponent_flip_is_large(self):
+        original = 100.0
+        flipped = flip_float_bit(original, 62)
+        assert abs(flipped) < 1e-100 or abs(flipped) > 1e100
+
+    def test_double_flip_restores(self):
+        value = 123.456
+        assert flip_float_bit(flip_float_bit(value, 40), 40) == value
+
+    def test_flip_zero(self):
+        assert flip_float_bit(0.0, 62) == 2.0  # exponent bit of +0.0
+
+    def test_invalid_bit_rejected(self):
+        with pytest.raises(ValueError):
+            flip_float_bit(1.0, 64)
+        with pytest.raises(ValueError):
+            flip_float_bit(1.0, -1)
+
+    def test_int_flip(self):
+        assert flip_int_bit(0, 0) == 1
+        assert flip_int_bit(5, 1) == 7
+        assert flip_int_bit(1, 31) < 0  # sign bit of a 32-bit int
+
+    def test_int_flip_invalid_bit(self):
+        with pytest.raises(ValueError):
+            flip_int_bit(1, 32)
+
+    def test_classify_bit(self):
+        assert classify_bit(63) == BitField.SIGN
+        assert classify_bit(52) == BitField.EXPONENT
+        assert classify_bit(62) == BitField.EXPONENT
+        assert classify_bit(0) == BitField.MANTISSA
+
+    def test_random_bit_for_field(self):
+        rng = np.random.default_rng(0)
+        assert random_bit_for_field(rng, BitField.SIGN) == 63
+        for _ in range(20):
+            assert classify_bit(random_bit_for_field(rng, BitField.EXPONENT)) == BitField.EXPONENT
+            assert classify_bit(random_bit_for_field(rng, BitField.MANTISSA)) == BitField.MANTISSA
+            assert 0 <= random_bit_for_field(rng, BitField.ANY) <= 63
+
+    def test_fault_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(bit=70)
+        assert FaultSpec(bit=63).bit == 63
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        value=st.floats(allow_nan=False, allow_infinity=False, width=64),
+        bit=st.integers(0, 63),
+    )
+    def test_flip_is_an_involution(self, value, bit):
+        """Property: flipping the same bit twice restores the original value."""
+        once = flip_float_bit(value, bit)
+        twice = flip_float_bit(once, bit)
+        assert twice == value or (np.isnan(twice) and np.isnan(value))
+
+
+class TestArrayAndMessageCorruption:
+    def test_corrupt_array_element(self):
+        array = np.ones((4, 3))
+        rng = np.random.default_rng(0)
+        index = corrupt_array_element(array, rng, bit=63)
+        assert array.reshape(-1)[index] == -1.0
+
+    def test_corrupt_empty_array_rejected(self):
+        with pytest.raises(ValueError):
+            corrupt_array_element(np.zeros((0, 3)), np.random.default_rng(0), bit=1)
+
+    def test_numeric_leaves_of_flight_command(self):
+        leaves = numeric_leaf_fields(FlightCommandMsg())
+        names = {leaf[2] for leaf in leaves}
+        assert names == {"vx", "vy", "vz", "yaw_rate"}
+
+    def test_numeric_leaves_skip_header(self):
+        leaves = numeric_leaf_fields(CollisionCheckMsg())
+        assert not any("header" in leaf[2] for leaf in leaves)
+
+    def test_numeric_leaves_of_trajectory_include_waypoints(self):
+        msg = MultiDOFTrajectoryMsg(waypoints=[Waypoint(x=1.0), Waypoint(x=2.0)])
+        names = {leaf[2] for leaf in numeric_leaf_fields(msg)}
+        assert "waypoints[0].x" in names
+        assert "waypoints[1].vz" in names
+
+    def test_corrupt_message_field_changes_exactly_one_value(self):
+        msg = FlightCommandMsg(vx=1.0, vy=2.0, vz=3.0, yaw_rate=4.0)
+        rng = np.random.default_rng(3)
+        path = corrupt_message_field(msg, rng, bit=63)
+        values = [msg.vx, msg.vy, msg.vz, msg.yaw_rate]
+        originals = [1.0, 2.0, 3.0, 4.0]
+        changed = [v for v, o in zip(values, originals) if v != o]
+        assert len(changed) == 1
+        assert path in ("vx", "vy", "vz", "yaw_rate")
+
+    def test_corrupt_message_field_with_suffix_targeting(self):
+        msg = MultiDOFTrajectoryMsg(waypoints=[Waypoint(x=5.0, y=1.0, yaw=0.5)])
+        rng = np.random.default_rng(0)
+        path = corrupt_message_field(msg, rng, bit=63, field_name=".y")
+        assert path.endswith(".y")
+        assert msg.waypoints[0].y == -1.0
+        assert msg.waypoints[0].yaw == 0.5  # .yaw must not match the .y suffix
+
+    def test_corrupt_message_field_no_match_returns_none(self):
+        msg = FlightCommandMsg()
+        assert corrupt_message_field(msg, np.random.default_rng(0), 5, field_name="nonexistent") is None
+
+    def test_corrupt_integer_field(self):
+        msg = CollisionCheckMsg(future_collision_seq=2)
+        rng = np.random.default_rng(1)
+        path = corrupt_message_field(msg, rng, bit=4, field_name="future_collision_seq")
+        assert path == "future_collision_seq"
+        assert msg.future_collision_seq != 2

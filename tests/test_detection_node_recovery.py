@@ -1,0 +1,199 @@
+"""Tests for the anomaly detection node, recovery coordinator and their wiring."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro import topics
+from repro.detection.node import AnomalyDetectionNode, DetectionPolicy, attach_detection
+from repro.detection.recovery import RecoveryCoordinatorNode
+from repro.pipeline.builder import PipelineConfig, build_pipeline
+from repro.pipeline.runner import MissionRunner
+from repro.rosmw.graph import NodeGraph
+from repro.rosmw.message import (
+    FlightCommandMsg,
+    MultiDOFTrajectoryMsg,
+    RecomputeRequestMsg,
+    Waypoint,
+)
+
+
+class _StubKernel:
+    """Minimal kernel-like object for recovery coordinator tests."""
+
+    def __init__(self, name, stage, can_recompute=True):
+        self.name = name
+        self.stage = stage
+        self.can_recompute = can_recompute
+        self.recompute_calls = 0
+
+    def recompute(self):
+        self.recompute_calls += 1
+        return self.can_recompute
+
+
+class TestRecoveryCoordinator:
+    def test_routes_to_stage_kernels(self, graph):
+        perception = _StubKernel("octomap", "perception")
+        control = _StubKernel("pid", "control")
+        node = RecoveryCoordinatorNode([perception, control])
+        graph.add_node(node)
+        graph.start_all()
+        assert node.recompute_stage("perception")
+        assert perception.recompute_calls == 1
+        assert control.recompute_calls == 0
+        assert node.recovery_counts["perception"] == 1
+
+    def test_services_advertised(self, graph):
+        node = RecoveryCoordinatorNode([_StubKernel("pid", "control")])
+        graph.add_node(node)
+        graph.start_all()
+        for service in topics.RECOMPUTE_SERVICES.values():
+            assert graph.service_bus.has_service(service)
+
+    def test_service_call_triggers_recompute(self, graph):
+        kernel = _StubKernel("pid", "control")
+        node = RecoveryCoordinatorNode([kernel])
+        graph.add_node(node)
+        graph.start_all()
+        graph.service_bus.call(topics.RECOMPUTE_SERVICES["control"], RecomputeRequestMsg())
+        assert kernel.recompute_calls == 1
+
+    def test_stage_without_kernels_reports_false(self, graph):
+        node = RecoveryCoordinatorNode([])
+        graph.add_node(node)
+        graph.start_all()
+        assert not node.recompute_stage("planning")
+        assert node.total_recoveries == 0
+
+    def test_kernel_that_cannot_recompute(self, graph):
+        kernel = _StubKernel("pid", "control", can_recompute=False)
+        node = RecoveryCoordinatorNode([kernel])
+        graph.add_node(node)
+        graph.start_all()
+        assert not node.recompute_stage("control")
+
+
+def _trajectory(xs, corrupt_index=None, corrupt_value=1e155):
+    waypoints = [Waypoint(x=float(x), y=0.0, z=2.0, vx=3.0) for x in xs]
+    if corrupt_index is not None:
+        waypoints[corrupt_index].x = corrupt_value
+    return MultiDOFTrajectoryMsg(waypoints=waypoints)
+
+
+class TestAnomalyDetectionNode:
+    def _graph_with_detection(self, detector, graph):
+        node = AnomalyDetectionNode(copy.deepcopy(detector), detection_latency=1e-6)
+        graph.add_node(node)
+        graph.start_all()
+        return node
+
+    def test_clean_messages_pass_through(self, graph, trained_gad):
+        node = self._graph_with_detection(trained_gad, graph)
+        received = []
+        graph.topic_bus.subscribe(topics.TRAJECTORY, MultiDOFTrajectoryMsg, received.append)
+        graph.topic_bus.publish(topics.TRAJECTORY, _trajectory(range(0, 20, 2)))
+        assert len(received) == 1
+        assert node.total_alarms == 0
+
+    def test_corrupted_trajectory_dropped_and_alarm_raised(self, graph, trained_gad):
+        node = self._graph_with_detection(trained_gad, graph)
+        received = []
+        graph.topic_bus.subscribe(topics.TRAJECTORY, MultiDOFTrajectoryMsg, received.append)
+        graph.topic_bus.publish(topics.TRAJECTORY, _trajectory(range(0, 20, 2), corrupt_index=5))
+        assert received == []
+        assert node.total_alarms == 1
+        assert node.alarms_by_stage["planning"] == 1
+        assert node.dropped_messages == 1
+
+    def test_corrupted_command_dropped(self, graph, trained_gad):
+        node = self._graph_with_detection(trained_gad, graph)
+        received = []
+        graph.topic_bus.subscribe(topics.FLIGHT_COMMAND, FlightCommandMsg, received.append)
+        graph.topic_bus.publish(topics.FLIGHT_COMMAND, FlightCommandMsg(vx=1.0))
+        graph.topic_bus.publish(topics.FLIGHT_COMMAND, FlightCommandMsg(vx=1e200))
+        assert len(received) == 1
+        assert node.alarms_by_stage["control"] == 1
+
+    def test_aad_policy_recomputes_control_stage(self, graph, trained_aad):
+        node = AnomalyDetectionNode(copy.deepcopy(trained_aad), detection_latency=1e-6)
+        calls = []
+        graph.add_node(node)
+        graph.service_bus.advertise(
+            topics.RECOMPUTE_SERVICES["control"], lambda req: calls.append("control") or True
+        )
+        graph.service_bus.advertise(
+            topics.RECOMPUTE_SERVICES["planning"], lambda req: calls.append("planning") or True
+        )
+        graph.start_all()
+        graph.topic_bus.publish(topics.TRAJECTORY, _trajectory(range(0, 20, 2), corrupt_index=4))
+        assert calls == ["control"]
+
+    def test_gad_policy_recomputes_owning_stage(self, graph, trained_gad):
+        node = AnomalyDetectionNode(copy.deepcopy(trained_gad), detection_latency=1e-6)
+        calls = []
+        graph.add_node(node)
+        for stage, service in topics.RECOMPUTE_SERVICES.items():
+            graph.service_bus.advertise(service, lambda req, s=stage: calls.append(s) or True)
+        graph.start_all()
+        graph.topic_bus.publish(topics.TRAJECTORY, _trajectory(range(0, 20, 2), corrupt_index=4))
+        assert calls == ["planning"]
+
+    def test_detection_time_charged(self, graph, trained_gad):
+        node = self._graph_with_detection(trained_gad, graph)
+        graph.topic_bus.publish(topics.FLIGHT_COMMAND, FlightCommandMsg(vx=1.0))
+        graph.topic_bus.publish(topics.FLIGHT_COMMAND, FlightCommandMsg(vx=1.1))
+        assert node.accounting.busy_time > 0
+        assert any(key.startswith("detection:") for key in node.accounting.categories)
+
+    def test_no_drop_policy(self, graph, trained_gad):
+        node = AnomalyDetectionNode(
+            copy.deepcopy(trained_gad),
+            policy=DetectionPolicy(recompute_target="stage", drop_corrupted_message=False),
+        )
+        graph.add_node(node)
+        graph.start_all()
+        received = []
+        graph.topic_bus.subscribe(topics.TRAJECTORY, MultiDOFTrajectoryMsg, received.append)
+        graph.topic_bus.publish(topics.TRAJECTORY, _trajectory(range(0, 20, 2), corrupt_index=5))
+        assert len(received) == 1
+        assert node.total_alarms == 1
+
+    def test_reset_detection(self, graph, trained_gad):
+        node = self._graph_with_detection(trained_gad, graph)
+        graph.topic_bus.publish(topics.TRAJECTORY, _trajectory(range(0, 20, 2), corrupt_index=5))
+        node.reset_detection()
+        assert node.total_alarms == 0
+        assert node.dropped_messages == 0
+
+    def test_shutdown_removes_taps(self, graph, trained_gad):
+        node = self._graph_with_detection(trained_gad, graph)
+        node.shutdown()
+        received = []
+        graph.topic_bus.subscribe(topics.TRAJECTORY, MultiDOFTrajectoryMsg, received.append)
+        graph.topic_bus.publish(topics.TRAJECTORY, _trajectory(range(0, 20, 2), corrupt_index=5))
+        assert len(received) == 1  # no longer intercepted
+
+
+class TestAttachDetection:
+    def test_attach_wires_nodes_and_extras(self, trained_gad):
+        handles = build_pipeline(PipelineConfig(environment="farm", seed=0))
+        detection, recovery = attach_detection(handles, copy.deepcopy(trained_gad))
+        assert handles.graph.has_node("anomaly_detection")
+        assert handles.graph.has_node("recovery_coordinator")
+        assert handles.extras["detection_node"] is detection
+        assert handles.extras["recovery_node"] is recovery
+
+    def test_detection_latency_from_platform(self, trained_aad):
+        handles = build_pipeline(PipelineConfig(environment="farm", seed=0))
+        detection, _ = attach_detection(handles, copy.deepcopy(trained_aad))
+        assert detection.detection_latency == pytest.approx(
+            handles.platform.detection_latency("aad")
+        )
+
+    def test_full_mission_with_detection_still_succeeds(self, trained_aad):
+        handles = build_pipeline(PipelineConfig(environment="farm", seed=0))
+        attach_detection(handles, copy.deepcopy(trained_aad))
+        result = MissionRunner(handles).run(setting="dr", seed=0)
+        assert result.success

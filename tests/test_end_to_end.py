@@ -1,0 +1,163 @@
+"""End-to-end integration tests: fault injection, detection and recovery.
+
+These tests exercise the complete MAVFI stack the way the paper's evaluation
+does, at a miniature scale: build the pipeline in a simulated environment, fly
+missions with and without injected faults, attach the anomaly detection and
+recovery node, and check the system-level behaviour.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro import topics
+from repro.analysis.trajectory import compare_trajectories
+from repro.core.fault import BitField
+from repro.core.injector import FaultInjectorNode, FaultPlan
+from repro.detection.node import attach_detection
+from repro.detection.training import FeatureCollectorNode, collect_training_data, train_detectors
+from repro.pipeline.builder import PipelineConfig, build_pipeline
+from repro.pipeline.runner import MissionRunner
+
+
+def _run_mission(environment="farm", seed=0, detector=None, fault_plan=None, planner="rrt_star"):
+    handles = build_pipeline(
+        PipelineConfig(environment=environment, seed=seed, planner_name=planner)
+    )
+    if detector is not None:
+        attach_detection(handles, copy.deepcopy(detector))
+    injector = None
+    if fault_plan is not None:
+        injector = FaultInjectorNode(fault_plan, handles.kernels)
+        handles.graph.add_node(injector)
+    result = MissionRunner(handles).run(setting="test", seed=seed)
+    return result, handles, injector
+
+
+class TestGoldenMissions:
+    @pytest.mark.parametrize("environment", ["farm", "sparse"])
+    def test_golden_mission_reaches_goal(self, environment):
+        result, handles, _ = _run_mission(environment=environment)
+        assert result.success
+        assert result.flight_time < 60.0
+        # All pipeline topics must have been exercised.
+        for topic in (
+            topics.DEPTH_IMAGE,
+            topics.POINT_CLOUD,
+            topics.OCCUPANCY_MAP,
+            topics.COLLISION_CHECK,
+            topics.TRAJECTORY,
+            topics.FLIGHT_COMMAND,
+        ):
+            assert handles.graph.topic_bus.publish_count(topic) > 0
+
+    @pytest.mark.parametrize("planner", ["rrt", "rrt_connect", "rrt_star"])
+    def test_all_planner_variants_fly(self, planner):
+        result, _, _ = _run_mission(environment="farm", planner=planner)
+        assert result.success
+
+    def test_golden_runs_are_repeatable(self):
+        first, _, _ = _run_mission(environment="sparse", seed=3)
+        second, _, _ = _run_mission(environment="sparse", seed=3)
+        assert first.flight_time == pytest.approx(second.flight_time)
+        assert first.mission_energy == pytest.approx(second.mission_energy)
+
+
+class TestFaultInjectionEndToEnd:
+    def test_sign_flip_on_planner_trajectory_causes_detour(self):
+        golden, _, _ = _run_mission(environment="sparse", seed=5)
+        plan = FaultPlan(
+            target_type="state",
+            target="waypoint_x",
+            injection_time=4.0,
+            bit=63,
+            seed=11,
+        )
+        faulty, _, injector = _run_mission(environment="sparse", seed=5, fault_plan=plan)
+        assert injector.injected
+        # The corrupted way-point either lengthens the flight or leaves it
+        # unchanged (when the way-point was already behind the vehicle), but
+        # must never shorten it beyond numerical noise.
+        assert faulty.flight_time >= golden.flight_time - 0.5
+
+    def test_mantissa_faults_are_mostly_masked(self):
+        golden, _, _ = _run_mission(environment="farm", seed=2)
+        plan = FaultPlan(
+            target_type="stage",
+            target="planning",
+            injection_time=4.0,
+            bit_field=BitField.MANTISSA,
+            seed=7,
+        )
+        faulty, _, _ = _run_mission(environment="farm", seed=2, fault_plan=plan)
+        assert faulty.success
+        assert faulty.flight_time == pytest.approx(golden.flight_time, rel=0.15)
+
+    def test_detection_and_recovery_restores_flight_time(self, trained_gad):
+        """A harmful trajectory corruption is caught by GAD and the flight restored."""
+        golden, _, _ = _run_mission(environment="farm", seed=5)
+
+        def harmful_plan():
+            return FaultPlan(
+                target_type="kernel",
+                target="motion_planner",
+                injection_time=4.0,
+                bit=63,
+                seed=21,
+            )
+
+        faulty, _, _ = _run_mission(environment="farm", seed=5, fault_plan=harmful_plan())
+        recovered, handles, _ = _run_mission(
+            environment="farm", seed=5, fault_plan=harmful_plan(), detector=trained_gad
+        )
+        detection_node = handles.extras["detection_node"]
+        assert recovered.success
+        # With D&R the flight time must not be worse than the unprotected run.
+        assert recovered.flight_time <= faulty.flight_time + 0.5
+        assert detection_node.checked_samples > 0
+
+    def test_detection_statistics_recorded_in_result(self, trained_aad):
+        plan = FaultPlan(
+            target_type="state", target="waypoint_x", injection_time=4.0, bit=63, seed=3
+        )
+        result, _, _ = _run_mission(
+            environment="farm", seed=1, fault_plan=plan, detector=trained_aad
+        )
+        assert result.detection_checked_samples > 0
+        assert isinstance(result.detection_alarms_by_stage, dict)
+
+    def test_trajectory_comparison_between_golden_and_faulty(self):
+        golden, _, _ = _run_mission(environment="sparse", seed=5)
+        plan = FaultPlan(
+            target_type="state", target="waypoint_x", injection_time=4.0, bit=63, seed=11
+        )
+        faulty, _, _ = _run_mission(environment="sparse", seed=5, fault_plan=plan)
+        comparison = compare_trajectories(faulty.trajectory, golden.trajectory)
+        assert comparison.length_ratio >= 0.95
+
+
+class TestTrainingHarness:
+    def test_feature_collector_gathers_samples(self):
+        handles = build_pipeline(PipelineConfig(environment="farm", seed=0))
+        collector = FeatureCollectorNode()
+        handles.graph.add_node(collector)
+        MissionRunner(handles).run(setting="training", seed=0)
+        assert len(collector.vectors) > 50
+        assert any(collector.deltas["command_vx"])
+        assert any(collector.deltas["waypoint_x"])
+
+    def test_collect_training_data_shapes(self):
+        deltas, vectors = collect_training_data(num_environments=1)
+        assert vectors.ndim == 2 and vectors.shape[1] == 13
+        assert set(deltas) >= {"command_vx", "waypoint_x", "time_to_collision"}
+
+    def test_train_detectors_and_cache(self, tmp_path):
+        first = train_detectors(num_environments=1, cache_dir=tmp_path)
+        assert first.num_samples > 0
+        assert (tmp_path / "gad_1.json").exists()
+        assert (tmp_path / "aad_1.json").exists()
+        # Second call must load from the cache (num_samples == 0 marks a load).
+        second = train_detectors(num_environments=1, cache_dir=tmp_path)
+        assert second.num_samples == 0
+        assert second.aad.threshold == pytest.approx(first.aad.threshold)

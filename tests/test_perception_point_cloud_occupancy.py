@@ -1,0 +1,190 @@
+"""Tests for point cloud generation and the occupancy map kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import topics
+from repro.perception.occupancy import OccupancyMap, OctoMapNode
+from repro.perception.point_cloud import PointCloudGenerator, PointCloudNode
+from repro.rosmw.graph import NodeGraph
+from repro.rosmw.message import DepthImageMsg, PointCloudMsg
+from repro.sim.sensors import CameraConfig, DepthCamera
+from repro.sim.vehicle import QuadrotorState
+from repro.sim.world import Cuboid, World
+
+
+def _depth_msg_from_world(world, position=(0.0, 0.0, 3.0), yaw=0.0):
+    camera = DepthCamera(world, CameraConfig(width=17, height=9))
+    return camera.capture(QuadrotorState(position=np.asarray(position, float), yaw=yaw))
+
+
+class TestPointCloudGenerator:
+    def test_empty_depth_image(self):
+        generator = PointCloudGenerator()
+        cloud = generator.compute(DepthImageMsg())
+        assert cloud.points.shape == (0, 3)
+
+    def test_points_lie_on_obstacle_surface(self, simple_world):
+        generator = PointCloudGenerator()
+        cloud = generator.compute(_depth_msg_from_world(simple_world))
+        assert len(cloud.points) > 0
+        # Every reconstructed point must be on (or extremely near) geometry.
+        for point in cloud.points:
+            assert simple_world.distance_to_nearest(point) < 0.3 or point[2] < 0.3
+
+    def test_no_points_when_nothing_visible(self):
+        world = World(name="empty")
+        generator = PointCloudGenerator()
+        msg = _depth_msg_from_world(world, position=(0, 0, 30.0))
+        # Camera is above the world looking forward: only infinite returns.
+        cloud = generator.compute(msg)
+        assert len(cloud.points) == 0
+
+    def test_stride_reduces_point_count(self, simple_world):
+        full = PointCloudGenerator(stride=1).compute(_depth_msg_from_world(simple_world))
+        strided = PointCloudGenerator(stride=2).compute(_depth_msg_from_world(simple_world))
+        assert len(strided.points) < len(full.points)
+
+    def test_invalid_stride_rejected(self):
+        with pytest.raises(ValueError):
+            PointCloudGenerator(stride=0)
+
+    def test_max_points_cap(self, simple_world):
+        generator = PointCloudGenerator(max_points=5)
+        cloud = generator.compute(_depth_msg_from_world(simple_world))
+        assert len(cloud.points) <= 5
+
+    def test_yaw_rotation_applied(self, simple_world):
+        # Obstacle at +x: when the camera faces +x the points have x > 0.
+        generator = PointCloudGenerator()
+        cloud = generator.compute(_depth_msg_from_world(simple_world, yaw=0.0))
+        obstacle_points = cloud.points[cloud.points[:, 2] > 0.5]
+        assert np.all(obstacle_points[:, 0] > 5.0)
+
+
+class TestOccupancyMap:
+    def test_insert_marks_voxels_occupied(self):
+        occupancy = OccupancyMap(resolution=1.0)
+        occupancy.insert_point_cloud(np.array([[5.2, 0.1, 2.0]]))
+        assert occupancy.is_occupied(np.array([5.4, 0.3, 2.2]))
+        assert not occupancy.is_occupied(np.array([9.0, 0.0, 2.0]))
+
+    def test_occupied_centers_match_resolution_grid(self):
+        occupancy = OccupancyMap(resolution=2.0)
+        occupancy.insert_point_cloud(np.array([[5.0, 1.0, 3.0]]))
+        centers = occupancy.occupied_centers()
+        assert centers.shape == (1, 3)
+        assert np.allclose(centers[0], [5.0, 1.0, 3.0])
+
+    def test_log_odds_clamped(self):
+        occupancy = OccupancyMap(clamp=2.0)
+        for _ in range(10):
+            occupancy.insert_point_cloud(np.array([[1.0, 1.0, 1.0]]))
+        key = occupancy.key_for(np.array([1.0, 1.0, 1.0]))
+        assert occupancy._log_odds[key] <= 2.0
+
+    def test_set_voxel_free(self):
+        occupancy = OccupancyMap()
+        occupancy.insert_point_cloud(np.array([[1.0, 1.0, 1.0]]))
+        key = occupancy.key_for(np.array([1.0, 1.0, 1.0]))
+        occupancy.set_voxel(key, occupied=False)
+        assert not occupancy.is_occupied(np.array([1.0, 1.0, 1.0]))
+
+    def test_non_finite_points_ignored(self):
+        occupancy = OccupancyMap()
+        touched = occupancy.insert_point_cloud(
+            np.array([[np.inf, 0, 0], [np.nan, 1, 1], [2.0, 2.0, 2.0]])
+        )
+        assert touched == 1
+        assert occupancy.num_occupied == 1
+
+    def test_empty_cloud(self):
+        occupancy = OccupancyMap()
+        assert occupancy.insert_point_cloud(np.zeros((0, 3))) == 0
+
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            OccupancyMap(resolution=0.0)
+
+    def test_clear(self):
+        occupancy = OccupancyMap()
+        occupancy.insert_point_cloud(np.array([[1.0, 1.0, 1.0]]))
+        occupancy.clear()
+        assert occupancy.num_voxels == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        x=st.floats(-40, 40), y=st.floats(-40, 40), z=st.floats(0, 10),
+        resolution=st.floats(0.5, 3.0),
+    )
+    def test_inserted_point_always_occupied(self, x, y, z, resolution):
+        """Property: after inserting a point, its containing voxel is occupied."""
+        occupancy = OccupancyMap(resolution=resolution)
+        occupancy.insert_point_cloud(np.array([[x, y, z]]))
+        assert occupancy.is_occupied(np.array([x, y, z]))
+        center = occupancy.center_of(occupancy.key_for(np.array([x, y, z])))
+        assert np.all(np.abs(center - np.array([x, y, z])) <= resolution / 2 + 1e-9)
+
+
+class TestKernelNodes:
+    def test_point_cloud_node_pipeline(self, simple_world):
+        graph = NodeGraph()
+        node = PointCloudNode()
+        graph.add_node(node)
+        graph.start_all()
+        graph.topic_bus.publish(topics.DEPTH_IMAGE, _depth_msg_from_world(simple_world))
+        cloud = graph.topic_bus.last_message(topics.POINT_CLOUD)
+        assert cloud is not None and len(cloud.points) > 0
+        assert node.invocation_count == 1
+        assert node.accounting.busy_time > 0
+
+    def test_octomap_node_integrates_latest_cloud(self, simple_world):
+        graph = NodeGraph()
+        node = OctoMapNode(update_rate=2.0)
+        graph.add_node(node)
+        graph.start_all()
+        graph.topic_bus.publish(
+            topics.POINT_CLOUD, PointCloudMsg(points=np.array([[3.0, 0.0, 2.0]]))
+        )
+        graph.spin_until(1.0)
+        map_msg = graph.topic_bus.last_message(topics.OCCUPANCY_MAP)
+        assert map_msg is not None
+        assert len(map_msg.occupied_centers) == 1
+
+    def test_octomap_internal_fault_flips_voxel(self):
+        graph = NodeGraph()
+        node = OctoMapNode()
+        graph.add_node(node)
+        graph.start_all()
+        node.map.insert_point_cloud(np.array([[3.0, 0.0, 2.0]]))
+        occupied_before = node.map.num_occupied
+        description = node.corrupt_internal(np.random.default_rng(0), bit=40)
+        assert "voxel" in description
+        assert node.map.num_occupied != occupied_before
+
+    def test_octomap_fault_on_empty_map_adds_spurious_voxel(self):
+        graph = NodeGraph()
+        node = OctoMapNode()
+        graph.add_node(node)
+        graph.start_all()
+        node.corrupt_internal(np.random.default_rng(0), bit=40)
+        assert node.map.num_occupied == 1
+
+    def test_point_cloud_recompute_republishes(self, simple_world):
+        graph = NodeGraph()
+        node = PointCloudNode()
+        graph.add_node(node)
+        graph.start_all()
+        graph.topic_bus.publish(topics.DEPTH_IMAGE, _depth_msg_from_world(simple_world))
+        count_before = graph.topic_bus.publish_count(topics.POINT_CLOUD)
+        assert node.recompute()
+        assert graph.topic_bus.publish_count(topics.POINT_CLOUD) == count_before + 1
+        assert node.accounting.categories.get("recovery", 0.0) > 0
+
+    def test_recompute_without_prior_run_is_noop(self):
+        graph = NodeGraph()
+        node = PointCloudNode()
+        graph.add_node(node)
+        graph.start_all()
+        assert not node.recompute()

@@ -1,0 +1,167 @@
+"""Tests for the inter-kernel state registry, pipeline builder and mission runner."""
+
+import numpy as np
+import pytest
+
+from repro import topics
+from repro.pipeline.builder import PipelineConfig, build_pipeline
+from repro.pipeline.runner import MissionRunner
+from repro.pipeline.states import (
+    INTER_KERNEL_STATES,
+    MONITORED_FEATURES,
+    MONITORED_TOPICS,
+    extract_feature_samples,
+    feature_vector_size,
+    state_by_name,
+    stage_of_topic,
+)
+from repro.platforms.compute import get_platform
+from repro.rosmw.message import (
+    CollisionCheckMsg,
+    FlightCommandMsg,
+    MultiDOFTrajectoryMsg,
+    Waypoint,
+)
+from repro.sim.world import World
+
+
+class TestStateRegistry:
+    def test_thirteen_monitored_features(self):
+        assert feature_vector_size() == 13
+        assert len(MONITORED_FEATURES) == 13
+
+    def test_every_stage_has_states(self):
+        stages = {state.stage for state in INTER_KERNEL_STATES}
+        assert stages == {"perception", "planning", "control"}
+
+    def test_state_lookup(self):
+        state = state_by_name("time_to_collision")
+        assert state.topic == topics.COLLISION_CHECK
+        with pytest.raises(KeyError):
+            state_by_name("nonexistent")
+
+    def test_stage_of_topic(self):
+        assert stage_of_topic(topics.COLLISION_CHECK) == "perception"
+        assert stage_of_topic(topics.TRAJECTORY) == "planning"
+        assert stage_of_topic(topics.FLIGHT_COMMAND) == "control"
+        with pytest.raises(KeyError):
+            stage_of_topic("/unknown")
+
+    def test_extract_collision_check_sample(self):
+        samples = extract_feature_samples(
+            topics.COLLISION_CHECK,
+            CollisionCheckMsg(time_to_collision=3.0, future_collision_seq=2),
+        )
+        assert len(samples) == 1
+        assert samples[0]["time_to_collision"] == 3.0
+        assert samples[0]["future_collision_seq"] == 2.0
+
+    def test_extract_clamps_infinite_ttc(self):
+        samples = extract_feature_samples(
+            topics.COLLISION_CHECK, CollisionCheckMsg(time_to_collision=float("inf"))
+        )
+        assert np.isfinite(samples[0]["time_to_collision"])
+
+    def test_extract_trajectory_one_sample_per_waypoint(self):
+        msg = MultiDOFTrajectoryMsg(waypoints=[Waypoint(x=1.0), Waypoint(x=2.0), Waypoint(x=3.0)])
+        samples = extract_feature_samples(topics.TRAJECTORY, msg)
+        assert len(samples) == 3
+        assert samples[1]["waypoint_x"] == 2.0
+
+    def test_extract_flight_command(self):
+        samples = extract_feature_samples(
+            topics.FLIGHT_COMMAND, FlightCommandMsg(vx=1.0, yaw_rate=0.2)
+        )
+        assert samples[0]["command_vx"] == 1.0
+        assert samples[0]["command_yaw_rate"] == 0.2
+
+    def test_unmonitored_topic_yields_nothing(self):
+        assert extract_feature_samples("/sensors/imu", FlightCommandMsg()) == []
+
+    def test_monitored_topics_cover_all_states(self):
+        assert set(MONITORED_TOPICS) == {state.topic for state in INTER_KERNEL_STATES}
+
+
+class TestBuilder:
+    def test_builds_all_kernels(self, built_pipeline):
+        expected = {
+            "point_cloud_generation",
+            "octomap_generation",
+            "collision_check",
+            "mission_planner",
+            "motion_planner",
+            "pid_control",
+        }
+        assert set(built_pipeline.kernels) == expected
+        assert built_pipeline.graph.has_node("airsim_interface")
+
+    def test_stage_kernels(self, built_pipeline):
+        assert len(built_pipeline.stage_kernels("perception")) == 3
+        assert len(built_pipeline.stage_kernels("planning")) == 2
+        assert len(built_pipeline.stage_kernels("control")) == 1
+
+    def test_graph_not_started(self, built_pipeline):
+        assert all(not node.alive for node in built_pipeline.graph.nodes)
+
+    def test_platform_latencies_applied(self):
+        i9 = build_pipeline(PipelineConfig(environment="farm", platform="i9"))
+        tx2 = build_pipeline(PipelineConfig(environment="farm", platform="tx2"))
+        assert tx2.kernels["octomap_generation"].latency > i9.kernels["octomap_generation"].latency
+        assert tx2.kernels["octomap_generation"].latency == pytest.approx(
+            get_platform("tx2").kernel_latency("octomap_generation")
+        )
+
+    def test_platform_velocity_derating(self):
+        i9 = build_pipeline(PipelineConfig(environment="farm", platform="i9"))
+        tx2 = build_pipeline(PipelineConfig(environment="farm", platform="tx2"))
+        assert (
+            tx2.airsim.vehicle.params.max_speed < i9.airsim.vehicle.params.max_speed
+        )
+
+    def test_custom_world_accepted(self):
+        world = World(name="custom")
+        handles = build_pipeline(PipelineConfig(environment=world, start_jitter_std=0.0))
+        assert handles.world is world
+
+    def test_planner_choice_propagates(self):
+        handles = build_pipeline(PipelineConfig(environment="farm", planner_name="rrt_connect"))
+        assert handles.kernels["motion_planner"].config.planner_name == "rrt_connect"
+
+    def test_start_jitter_varies_with_seed(self):
+        a = build_pipeline(PipelineConfig(environment="farm", seed=1))
+        b = build_pipeline(PipelineConfig(environment="farm", seed=2))
+        assert not np.allclose(a.airsim.mission.start, b.airsim.mission.start)
+
+    def test_kernel_lookup(self, built_pipeline):
+        assert built_pipeline.kernel("pid_control").stage == "control"
+
+
+class TestMissionRunner:
+    def test_farm_mission_succeeds(self, built_pipeline):
+        result = MissionRunner(built_pipeline).run(setting="golden", seed=0)
+        assert result.success
+        assert result.outcome.reason == "goal reached"
+        assert result.flight_time > 5.0
+        assert result.mission_energy > result.flight_energy > 0
+        assert result.distance_travelled > 40.0
+        assert result.environment == "farm"
+        assert result.platform == "i9"
+        assert len(result.trajectory) > 5
+
+    def test_compute_accounting_collected(self, built_pipeline):
+        result = MissionRunner(built_pipeline).run(setting="golden", seed=0)
+        assert "octomap_generation" in result.compute_time
+        assert result.total_compute_time > 0
+        assert "octomap_generation" in result.categories_by_node
+
+    def test_replan_count_recorded(self, built_pipeline):
+        result = MissionRunner(built_pipeline).run(setting="golden", seed=0)
+        assert result.replan_count >= 1
+
+    def test_time_limit_enforced(self):
+        config = PipelineConfig(environment="farm", seed=0, mission_time_limit=3.0)
+        handles = build_pipeline(config)
+        result = MissionRunner(handles).run(setting="golden", seed=0)
+        assert not result.success
+        assert result.outcome.timeout
+        assert result.flight_time <= 3.5

@@ -1,0 +1,193 @@
+"""Tests for the motion planner node (replanning triggers, recompute, faults)."""
+
+import numpy as np
+import pytest
+
+from repro import topics
+from repro.planning.motion_planner import MotionPlannerNode, PlannerConfig
+from repro.rosmw.graph import NodeGraph
+from repro.rosmw.message import (
+    CollisionCheckMsg,
+    MissionStatusMsg,
+    MultiDOFTrajectoryMsg,
+    OccupancyMapMsg,
+    OdometryMsg,
+)
+
+
+def _planner_graph(**config_kwargs):
+    graph = NodeGraph()
+    config = PlannerConfig(planner_name="rrt_star", decision_rate=2.0, **config_kwargs)
+    node = MotionPlannerNode(config=config)
+    graph.add_node(node)
+    graph.start_all()
+    return graph, node
+
+
+def _feed_basics(graph, position=(0.0, 0.0, 2.0), goal=(40.0, 0.0, 2.0)):
+    graph.topic_bus.publish(
+        topics.ODOMETRY, OdometryMsg(position=np.asarray(position, float))
+    )
+    graph.topic_bus.publish(
+        topics.MISSION_STATUS, MissionStatusMsg(goal=np.asarray(goal, float))
+    )
+
+
+class TestReplanTriggers:
+    def test_plans_when_goal_and_odometry_known(self):
+        graph, node = _planner_graph()
+        _feed_basics(graph)
+        graph.spin_until(1.0)
+        trajectory = graph.topic_bus.last_message(topics.TRAJECTORY)
+        assert trajectory is not None
+        assert len(trajectory.waypoints) > 2
+        assert node.replan_count == 1
+
+    def test_does_not_plan_without_goal(self):
+        graph, node = _planner_graph()
+        graph.topic_bus.publish(topics.ODOMETRY, OdometryMsg(position=np.zeros(3)))
+        graph.spin_until(2.0)
+        assert node.replan_count == 0
+
+    def test_does_not_replan_without_reason(self):
+        graph, node = _planner_graph()
+        _feed_basics(graph)
+        graph.spin_until(4.0)
+        assert node.replan_count == 1
+
+    def test_replans_on_low_time_to_collision(self):
+        graph, node = _planner_graph(min_replan_interval=0.5)
+        _feed_basics(graph)
+        graph.spin_until(1.0)
+        graph.topic_bus.publish(
+            topics.COLLISION_CHECK, CollisionCheckMsg(time_to_collision=1.0)
+        )
+        graph.spin_until(2.5)
+        assert node.replan_count >= 2
+
+    def test_replans_on_new_future_collision(self):
+        graph, node = _planner_graph(min_replan_interval=0.5)
+        _feed_basics(graph)
+        graph.spin_until(1.0)
+        graph.topic_bus.publish(
+            topics.COLLISION_CHECK,
+            CollisionCheckMsg(time_to_collision=float("inf"), future_collision_seq=1),
+        )
+        graph.spin_until(2.5)
+        assert node.replan_count >= 2
+
+    def test_replans_when_vehicle_deviates_from_trajectory(self):
+        graph, node = _planner_graph(min_replan_interval=0.5, deviation_replan_threshold=3.0)
+        _feed_basics(graph)
+        graph.spin_until(1.0)
+        # Teleport the vehicle far off the planned path.
+        graph.topic_bus.publish(
+            topics.ODOMETRY, OdometryMsg(position=np.array([5.0, 20.0, 2.0]))
+        )
+        graph.spin_until(2.5)
+        assert node.replan_count >= 2
+
+    def test_replans_when_stalled(self):
+        graph, node = _planner_graph(
+            min_replan_interval=0.5,
+            progress_watchdog_window=2.0,
+            progress_watchdog_distance=1.0,
+        )
+        _feed_basics(graph)
+        graph.spin_until(1.0)
+        # Vehicle never moves: the watchdog must force a replan.
+        for t in np.arange(1.5, 7.0, 0.5):
+            graph.topic_bus.publish(
+                topics.ODOMETRY, OdometryMsg(position=np.array([0.0, 0.0, 2.0]))
+            )
+            graph.spin_until(t)
+        assert node.replan_count >= 2
+
+    def test_no_replan_after_mission_completed(self):
+        graph, node = _planner_graph()
+        _feed_basics(graph)
+        graph.spin_until(1.0)
+        graph.topic_bus.publish(
+            topics.MISSION_STATUS,
+            MissionStatusMsg(goal=np.array([40.0, 0, 2.0]), completed=True),
+        )
+        graph.topic_bus.publish(
+            topics.COLLISION_CHECK, CollisionCheckMsg(time_to_collision=0.5)
+        )
+        graph.spin_until(4.0)
+        assert node.replan_count == 1
+
+
+class TestRecomputeAndFaults:
+    def test_recompute_republishes_identical_trajectory(self):
+        graph, node = _planner_graph()
+        _feed_basics(graph)
+        graph.spin_until(1.0)
+        before = graph.topic_bus.last_message(topics.TRAJECTORY)
+        assert node.recompute()
+        after = graph.topic_bus.last_message(topics.TRAJECTORY)
+        assert len(before.waypoints) == len(after.waypoints)
+        for a, b in zip(before.waypoints, after.waypoints):
+            assert a.x == pytest.approx(b.x)
+            assert a.y == pytest.approx(b.y)
+            assert a.z == pytest.approx(b.z)
+
+    def test_recompute_does_not_change_future_seeds(self):
+        graph, node = _planner_graph()
+        _feed_basics(graph)
+        graph.spin_until(1.0)
+        count_before = node.replan_count
+        node.recompute()
+        assert node.replan_count == count_before
+
+    def test_corrupt_internal_corrupts_and_republishes(self):
+        graph, node = _planner_graph()
+        _feed_basics(graph)
+        graph.spin_until(1.0)
+        publishes_before = graph.topic_bus.publish_count(topics.TRAJECTORY)
+        description = node.corrupt_internal(np.random.default_rng(0), bit=63)
+        assert "trajectory" in description
+        assert graph.topic_bus.publish_count(topics.TRAJECTORY) == publishes_before + 1
+
+    def test_corrupt_internal_before_any_plan_arms_output_fault(self):
+        graph, node = _planner_graph()
+        description = node.corrupt_internal(np.random.default_rng(0), bit=10)
+        assert node.has_pending_fault
+        assert "pending" in description
+
+    def test_corruption_does_not_leak_into_other_nodes_copies(self):
+        graph, node = _planner_graph()
+        received = []
+        graph.topic_bus.subscribe(topics.TRAJECTORY, MultiDOFTrajectoryMsg, received.append)
+        _feed_basics(graph)
+        graph.spin_until(1.0)
+        original = received[0]
+        original_x = [w.x for w in original.waypoints]
+        node.corrupt_internal(np.random.default_rng(1), bit=63)
+        # The first (clean) message previously delivered must be untouched.
+        assert [w.x for w in original.waypoints] == original_x
+
+    def test_reset_kernel(self):
+        graph, node = _planner_graph()
+        _feed_basics(graph)
+        graph.spin_until(1.0)
+        node.reset_kernel()
+        assert node.replan_count == 0
+        assert node._current_trajectory is None
+
+    def test_failed_plan_counted(self):
+        # An occupied goal region cannot be reached: planning fails.
+        graph, node = _planner_graph(max_iterations=60)
+        centers = [
+            [40.0 + dx, dy, 2.0 + dz]
+            for dx in np.arange(-4, 4.5, 1.0)
+            for dy in np.arange(-4, 4.5, 1.0)
+            for dz in np.arange(-1.5, 2.0, 1.0)
+        ]
+        graph.topic_bus.publish(
+            topics.OCCUPANCY_MAP,
+            OccupancyMapMsg(resolution=1.0, occupied_centers=np.array(centers)),
+        )
+        _feed_basics(graph, goal=(40.0, 0.0, 2.0))
+        graph.spin_until(1.0)
+        assert node.failed_plan_count >= 1

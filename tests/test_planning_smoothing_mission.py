@@ -1,0 +1,139 @@
+"""Tests for path smoothing / trajectory generation and the mission planner."""
+
+import numpy as np
+import pytest
+
+from repro import topics
+from repro.planning.mission import MissionPlannerNode
+from repro.planning.rrt import PlanningProblem
+from repro.planning.smoothing import PathSmoother, SmootherConfig
+from repro.rosmw.graph import NodeGraph
+from repro.rosmw.message import OdometryMsg
+
+
+def _free_problem():
+    return PlanningProblem(start=np.array([0.0, 0.0, 2.0]), goal=np.array([30.0, 0.0, 2.0]))
+
+
+def _l_shaped_path():
+    return [
+        np.array([0.0, 0.0, 2.0]),
+        np.array([10.0, 0.0, 2.0]),
+        np.array([10.0, 10.0, 2.0]),
+        np.array([20.0, 10.0, 2.0]),
+    ]
+
+
+class TestPathSmoother:
+    def test_shortcut_removes_redundant_nodes_in_free_space(self):
+        smoother = PathSmoother()
+        path = [np.array([float(x), 0.0, 2.0]) for x in range(0, 31, 5)]
+        shortcut = smoother.shortcut(path, _free_problem())
+        assert len(shortcut) == 2
+
+    def test_shortcut_preserves_endpoints(self):
+        smoother = PathSmoother()
+        shortcut = smoother.shortcut(_l_shaped_path(), _free_problem())
+        assert np.allclose(shortcut[0], [0, 0, 2])
+        assert np.allclose(shortcut[-1], [20, 10, 2])
+
+    def test_shortcut_keeps_detour_when_wall_in_between(self):
+        centers = [[10.0, y, z] for y in np.arange(-15, 8.0, 1.0) for z in np.arange(0.5, 8.5, 1.0)]
+        problem = PlanningProblem(
+            start=np.array([0.0, 0.0, 2.0]),
+            goal=np.array([20.0, 0.0, 2.0]),
+            occupied_centers=np.array(centers),
+        )
+        path = [
+            np.array([0.0, 0.0, 2.0]),
+            np.array([10.0, 12.0, 2.0]),
+            np.array([20.0, 0.0, 2.0]),
+        ]
+        shortcut = PathSmoother().shortcut(path, problem)
+        assert len(shortcut) == 3
+
+    def test_resample_spacing(self):
+        smoother = PathSmoother(SmootherConfig(waypoint_spacing=2.0))
+        samples = smoother.resample([np.array([0.0, 0, 2]), np.array([20.0, 0, 2])])
+        assert len(samples) >= 11
+        gaps = np.linalg.norm(np.diff(samples, axis=0), axis=1)
+        assert np.all(gaps <= 2.0 + 1e-6)
+
+    def test_resample_degenerate_inputs(self):
+        smoother = PathSmoother()
+        assert smoother.resample([]).shape == (0, 3)
+        assert smoother.resample([np.array([1.0, 2.0, 3.0])]).shape == (1, 3)
+
+    def test_trajectory_waypoint_fields(self):
+        smoother = PathSmoother(SmootherConfig(cruise_speed=4.0))
+        trajectory = smoother.to_trajectory(
+            [np.array([0.0, 0, 2]), np.array([20.0, 0, 2])], _free_problem(),
+            planner_name="rrt_star", replan_index=2,
+        )
+        assert trajectory.planner_name == "rrt_star"
+        assert trajectory.replan_index == 2
+        assert len(trajectory) > 2
+        first = trajectory.waypoints[0]
+        assert first.yaw == pytest.approx(0.0, abs=1e-6)
+        assert first.vx == pytest.approx(4.0, abs=0.5)
+
+    def test_trajectory_slows_near_goal(self):
+        smoother = PathSmoother(SmootherConfig(cruise_speed=4.0, approach_distance=6.0))
+        trajectory = smoother.to_trajectory(
+            [np.array([0.0, 0, 2]), np.array([30.0, 0, 2])], _free_problem()
+        )
+        speeds = [np.linalg.norm([w.vx, w.vy, w.vz]) for w in trajectory.waypoints]
+        assert speeds[-2] < speeds[1]
+
+    def test_trajectory_times_monotonic(self):
+        smoother = PathSmoother()
+        trajectory = smoother.to_trajectory(
+            _l_shaped_path(), _free_problem()
+        )
+        times = [w.time_from_start for w in trajectory.waypoints]
+        assert all(b > a for a, b in zip(times[:-1], times[1:]))
+
+    def test_empty_path_gives_empty_trajectory(self):
+        trajectory = PathSmoother().to_trajectory([], _free_problem())
+        assert len(trajectory) == 0
+
+
+class TestMissionPlannerNode:
+    def _graph_with_mission(self, goal=(20.0, 0.0, 2.0)):
+        graph = NodeGraph()
+        node = MissionPlannerNode(goal=np.array(goal), update_rate=2.0)
+        graph.add_node(node)
+        graph.start_all()
+        return graph, node
+
+    def test_publishes_goal_and_distance(self):
+        graph, node = self._graph_with_mission()
+        graph.topic_bus.publish(topics.ODOMETRY, OdometryMsg(position=np.array([0.0, 0.0, 2.0])))
+        graph.spin_until(1.0)
+        status = graph.topic_bus.last_message(topics.MISSION_STATUS)
+        assert np.allclose(status.goal, [20, 0, 2])
+        assert status.distance_to_goal == pytest.approx(20.0)
+        assert not status.completed
+
+    def test_completion_latches(self):
+        graph, node = self._graph_with_mission(goal=(1.0, 0.0, 2.0))
+        graph.topic_bus.publish(topics.ODOMETRY, OdometryMsg(position=np.array([0.5, 0.0, 2.0])))
+        graph.spin_until(1.0)
+        assert node.completed
+        # Even if the vehicle drifts away later, the mission stays completed.
+        graph.topic_bus.publish(topics.ODOMETRY, OdometryMsg(position=np.array([10.0, 0.0, 2.0])))
+        graph.spin_until(2.0)
+        assert graph.topic_bus.last_message(topics.MISSION_STATUS).completed
+
+    def test_status_without_odometry(self):
+        graph, node = self._graph_with_mission()
+        graph.spin_until(1.0)
+        status = graph.topic_bus.last_message(topics.MISSION_STATUS)
+        assert status.distance_to_goal == float("inf")
+
+    def test_reset_kernel(self):
+        graph, node = self._graph_with_mission(goal=(1.0, 0.0, 2.0))
+        graph.topic_bus.publish(topics.ODOMETRY, OdometryMsg(position=np.array([0.5, 0.0, 2.0])))
+        graph.spin_until(1.0)
+        node.reset_kernel()
+        assert not node.completed

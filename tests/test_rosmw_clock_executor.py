@@ -1,0 +1,133 @@
+"""Tests for the simulated clock and the deterministic executor."""
+
+import pytest
+
+from repro.rosmw.clock import SimClock
+from repro.rosmw.exceptions import ClockError
+from repro.rosmw.graph import NodeGraph
+from repro.rosmw.node import Node
+
+
+class TickerNode(Node):
+    """Records the simulated times at which its timer fires."""
+
+    def __init__(self, name="ticker", period=0.5, offset=0.0):
+        super().__init__(name)
+        self.period = period
+        self.offset = offset
+        self.fired_at = []
+
+    def on_start(self):
+        self.create_timer(self.period, self._tick, offset=self.offset)
+
+    def _tick(self):
+        self.fired_at.append(self.graph.clock.now)
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_starts_at_custom_time(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            SimClock(-1.0)
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == pytest.approx(2.0)
+
+    def test_advance_negative_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ClockError):
+            clock.advance(-0.1)
+
+    def test_set_forward(self):
+        clock = SimClock()
+        clock.set(3.0)
+        assert clock.now == 3.0
+
+    def test_set_backwards_rejected(self):
+        clock = SimClock(4.0)
+        with pytest.raises(ClockError):
+            clock.set(2.0)
+
+    def test_reset(self):
+        clock = SimClock(9.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestExecutor:
+    def test_timer_fires_at_multiples_of_period(self, graph):
+        node = TickerNode(period=0.5)
+        graph.add_node(node)
+        graph.start_all()
+        graph.spin_until(2.0)
+        assert node.fired_at == pytest.approx([0.5, 1.0, 1.5, 2.0])
+
+    def test_timer_offset_shifts_first_fire(self, graph):
+        node = TickerNode(period=1.0, offset=0.25)
+        graph.add_node(node)
+        graph.start_all()
+        graph.spin_until(2.5)
+        assert node.fired_at == pytest.approx([1.25, 2.25])
+
+    def test_clock_advances_to_target_even_without_timers(self, graph):
+        graph.start_all()
+        graph.spin_until(7.5)
+        assert graph.clock.now == pytest.approx(7.5)
+
+    def test_two_timers_fire_in_time_order(self, graph):
+        order = []
+        fast = TickerNode("fast", period=0.3)
+        slow = TickerNode("slow", period=0.7)
+        graph.add_nodes([fast, slow])
+        graph.start_all()
+
+        fast._tick = lambda: order.append(("fast", graph.clock.now))
+        slow._tick = lambda: order.append(("slow", graph.clock.now))
+        # Re-register timers with the patched callbacks.
+        graph.executor.clear()
+        fast.create_timer(0.3, fast._tick)
+        slow.create_timer(0.7, slow._tick)
+
+        graph.spin_until(1.5)
+        times = [t for _, t in order]
+        assert times == sorted(times)
+
+    def test_cancelled_timer_does_not_fire(self, graph):
+        node = TickerNode(period=0.5)
+        graph.add_node(node)
+        graph.start_all()
+        graph.spin_until(0.6)
+        assert len(node.fired_at) == 1
+        node._timers[0].cancel()
+        graph.spin_until(3.0)
+        assert len(node.fired_at) == 1
+
+    def test_timer_of_dead_node_does_not_fire(self, graph):
+        node = TickerNode(period=0.5)
+        graph.add_node(node)
+        graph.start_all()
+        node.shutdown()
+        graph.spin_until(2.0)
+        assert node.fired_at == []
+
+    def test_spin_returns_number_of_fired_callbacks(self, graph):
+        node = TickerNode(period=0.25)
+        graph.add_node(node)
+        graph.start_all()
+        fired = graph.spin_until(1.0)
+        assert fired == 4
+
+    def test_invalid_timer_period_rejected(self, graph):
+        node = TickerNode()
+        graph.add_node(node)
+        node.alive = True
+        with pytest.raises(ValueError):
+            node.create_timer(0.0, lambda: None)

@@ -1,0 +1,164 @@
+"""Tests for nodes, compute accounting and the node graph (crash/restart)."""
+
+import pytest
+
+from repro.rosmw.exceptions import DuplicateNodeError, NodeCrashError
+from repro.rosmw.message import FlightCommandMsg
+from repro.rosmw.node import Node
+
+
+class EchoNode(Node):
+    """Republishes incoming commands on an output topic."""
+
+    def __init__(self):
+        super().__init__("echo")
+        self.received = []
+
+    def on_start(self):
+        self.pub = self.create_publisher("/out", FlightCommandMsg)
+        self.create_subscription("/in", FlightCommandMsg, self._on_msg)
+
+    def _on_msg(self, msg):
+        self.received.append(msg)
+        self.pub.publish(FlightCommandMsg(vx=msg.vx + 1))
+
+
+class CrashyNode(Node):
+    """Crashes on the first message, works afterwards."""
+
+    def __init__(self):
+        super().__init__("crashy")
+        self.started_count = 0
+        self.handled = 0
+
+    def on_start(self):
+        self.started_count += 1
+        self.create_subscription("/in", FlightCommandMsg, self._on_msg)
+
+    def _on_msg(self, msg):
+        if self.started_count == 1:
+            raise NodeCrashError("boom")
+        self.handled += 1
+
+
+class TestNodeBasics:
+    def test_node_starts_and_subscribes(self, graph):
+        node = EchoNode()
+        graph.add_node(node)
+        graph.start_all()
+        graph.topic_bus.publish("/in", FlightCommandMsg(vx=1.0))
+        assert len(node.received) == 1
+
+    def test_publisher_stamps_header(self, graph):
+        node = EchoNode()
+        graph.add_node(node)
+        graph.start_all()
+        graph.clock.advance(3.5)
+        graph.topic_bus.publish("/in", FlightCommandMsg())
+        out = graph.topic_bus.last_message("/out")
+        assert out.header.stamp == pytest.approx(3.5)
+        assert out.header.seq == 0
+
+    def test_publisher_sequence_increments(self, graph):
+        node = EchoNode()
+        graph.add_node(node)
+        graph.start_all()
+        graph.topic_bus.publish("/in", FlightCommandMsg())
+        graph.topic_bus.publish("/in", FlightCommandMsg())
+        assert graph.topic_bus.last_message("/out").header.seq == 1
+
+    def test_shutdown_removes_subscriptions(self, graph):
+        node = EchoNode()
+        graph.add_node(node)
+        graph.start_all()
+        node.shutdown()
+        graph.topic_bus.publish("/in", FlightCommandMsg())
+        assert node.received == []
+
+    def test_compute_accounting(self, graph):
+        node = EchoNode()
+        graph.add_node(node)
+        graph.start_all()
+        node.charge_compute(0.1)
+        node.charge_compute(0.2, category="recovery")
+        assert node.accounting.busy_time == pytest.approx(0.3)
+        assert node.accounting.categories["recovery"] == pytest.approx(0.2)
+        node.accounting.reset()
+        assert node.accounting.busy_time == 0.0
+
+    def test_negative_compute_charge_rejected(self, graph):
+        node = EchoNode()
+        graph.add_node(node)
+        with pytest.raises(ValueError):
+            node.charge_compute(-1.0)
+
+    def test_duplicate_node_name_rejected(self, graph):
+        graph.add_node(EchoNode())
+        with pytest.raises(DuplicateNodeError):
+            graph.add_node(EchoNode())
+
+
+class TestCrashRestart:
+    def test_crash_is_reported_and_restarted(self, graph):
+        node = CrashyNode()
+        graph.add_node(node)
+        graph.start_all()
+        graph.topic_bus.publish("/in", FlightCommandMsg())
+        assert node.crash_count == 1
+        assert graph.crashed_nodes == ["crashy"]
+        graph.spin_until(0.1)  # restart happens during spin
+        assert graph.crashed_nodes == []
+        assert node.restart_count == 1
+        assert node.alive
+
+    def test_restarted_node_processes_messages_again(self, graph):
+        node = CrashyNode()
+        graph.add_node(node)
+        graph.start_all()
+        graph.topic_bus.publish("/in", FlightCommandMsg())
+        graph.spin_until(0.1)
+        graph.topic_bus.publish("/in", FlightCommandMsg())
+        assert node.handled == 1
+
+    def test_manual_crash_handling(self, graph):
+        graph.auto_restart = False
+        node = CrashyNode()
+        graph.add_node(node)
+        graph.start_all()
+        graph.topic_bus.publish("/in", FlightCommandMsg())
+        graph.spin_until(0.1)
+        assert graph.crashed_nodes == ["crashy"]
+        restarted = graph.handle_crashes()
+        assert restarted == ["crashy"]
+
+
+class TestGraphQueries:
+    def test_node_lookup(self, graph):
+        node = EchoNode()
+        graph.add_node(node)
+        assert graph.get_node("echo") is node
+        assert graph.has_node("echo")
+        assert not graph.has_node("missing")
+        assert graph.node_names() == ["echo"]
+
+    def test_total_compute_time(self, graph):
+        a, b = EchoNode(), CrashyNode()
+        graph.add_nodes([a, b])
+        a.charge_compute(1.0)
+        b.charge_compute(2.0, category="recovery")
+        assert graph.total_compute_time() == pytest.approx(3.0)
+        assert graph.total_compute_time("recovery") == pytest.approx(2.0)
+
+    def test_reset_accounting(self, graph):
+        node = EchoNode()
+        graph.add_node(node)
+        node.charge_compute(1.0)
+        graph.reset_accounting()
+        assert graph.total_compute_time() == 0.0
+
+    def test_shutdown_all(self, graph):
+        node = EchoNode()
+        graph.add_node(node)
+        graph.start_all()
+        graph.shutdown_all()
+        assert not node.alive

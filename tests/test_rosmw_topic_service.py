@@ -1,0 +1,189 @@
+"""Tests for topic pub/sub (with taps) and services."""
+
+import pytest
+
+from repro.rosmw.exceptions import ServiceNotFoundError, TopicTypeError
+from repro.rosmw.message import FlightCommandMsg, Message, OdometryMsg
+from repro.rosmw.service import ServiceBus
+from repro.rosmw.topic import TopicBus
+
+
+class TestTopicBus:
+    def test_subscriber_receives_published_message(self):
+        bus = TopicBus()
+        received = []
+        bus.subscribe("/cmd", FlightCommandMsg, received.append)
+        bus.publish("/cmd", FlightCommandMsg(vx=1.0))
+        assert len(received) == 1
+        assert received[0].vx == 1.0
+
+    def test_publish_on_unknown_topic_is_silent(self):
+        bus = TopicBus()
+        delivered = bus.publish("/nobody", FlightCommandMsg())
+        assert delivered is not None
+
+    def test_multiple_subscribers_all_receive(self):
+        bus = TopicBus()
+        a, b = [], []
+        bus.subscribe("/cmd", FlightCommandMsg, a.append)
+        bus.subscribe("/cmd", FlightCommandMsg, b.append)
+        bus.publish("/cmd", FlightCommandMsg())
+        assert len(a) == 1 and len(b) == 1
+
+    def test_type_mismatch_on_publish_rejected(self):
+        bus = TopicBus()
+        bus.advertise("/cmd", FlightCommandMsg)
+        with pytest.raises(TopicTypeError):
+            bus.publish("/cmd", OdometryMsg())
+
+    def test_conflicting_advertise_rejected(self):
+        bus = TopicBus()
+        bus.advertise("/cmd", FlightCommandMsg)
+        with pytest.raises(TopicTypeError):
+            bus.advertise("/cmd", OdometryMsg)
+
+    def test_base_message_type_acts_as_wildcard(self):
+        bus = TopicBus()
+        bus.advertise("/cmd", FlightCommandMsg)
+        received = []
+        bus.subscribe("/cmd", Message, received.append)
+        bus.publish("/cmd", FlightCommandMsg(vx=2.0))
+        assert received[0].vx == 2.0
+
+    def test_wildcard_topic_upgraded_by_concrete_type(self):
+        bus = TopicBus()
+        bus.subscribe("/cmd", Message, lambda m: None)
+        bus.advertise("/cmd", FlightCommandMsg)
+        with pytest.raises(TopicTypeError):
+            bus.publish("/cmd", OdometryMsg())
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = TopicBus()
+        received = []
+        bus.subscribe("/cmd", FlightCommandMsg, received.append)
+        bus.unsubscribe("/cmd", received.append)
+        bus.publish("/cmd", FlightCommandMsg())
+        assert received == []
+
+    def test_tap_can_rewrite_message(self):
+        bus = TopicBus()
+        received = []
+        bus.subscribe("/cmd", FlightCommandMsg, received.append)
+
+        def doubler(name, msg):
+            msg.vx *= 2
+            return msg
+
+        bus.add_tap("/cmd", doubler)
+        bus.publish("/cmd", FlightCommandMsg(vx=1.5))
+        assert received[0].vx == pytest.approx(3.0)
+
+    def test_tap_can_drop_message(self):
+        bus = TopicBus()
+        received = []
+        bus.subscribe("/cmd", FlightCommandMsg, received.append)
+        bus.add_tap("/cmd", lambda name, msg: None)
+        delivered = bus.publish("/cmd", FlightCommandMsg())
+        assert delivered is None
+        assert received == []
+
+    def test_dropped_message_not_counted(self):
+        bus = TopicBus()
+        bus.subscribe("/cmd", FlightCommandMsg, lambda m: None)
+        bus.add_tap("/cmd", lambda name, msg: None)
+        bus.publish("/cmd", FlightCommandMsg())
+        assert bus.publish_count("/cmd") == 0
+
+    def test_prepended_tap_runs_first(self):
+        bus = TopicBus()
+        order = []
+        bus.subscribe("/cmd", FlightCommandMsg, lambda m: None)
+
+        def tap_a(name, msg):
+            order.append("a")
+            return msg
+
+        def tap_b(name, msg):
+            order.append("b")
+            return msg
+
+        bus.add_tap("/cmd", tap_a)
+        bus.add_tap("/cmd", tap_b, prepend=True)
+        bus.publish("/cmd", FlightCommandMsg())
+        assert order == ["b", "a"]
+
+    def test_remove_tap(self):
+        bus = TopicBus()
+        bus.subscribe("/cmd", FlightCommandMsg, lambda m: None)
+        tap = lambda name, msg: None
+        bus.add_tap("/cmd", tap)
+        bus.remove_tap("/cmd", tap)
+        assert bus.publish("/cmd", FlightCommandMsg()) is not None
+
+    def test_statistics_and_reset(self):
+        bus = TopicBus()
+        bus.subscribe("/cmd", FlightCommandMsg, lambda m: None)
+        bus.publish("/cmd", FlightCommandMsg(vx=4.0))
+        assert bus.publish_count("/cmd") == 1
+        assert bus.last_message("/cmd").vx == 4.0
+        assert bus.subscriber_count("/cmd") == 1
+        bus.reset_statistics()
+        assert bus.publish_count("/cmd") == 0
+        assert bus.last_message("/cmd") is None
+
+    def test_topics_listing(self):
+        bus = TopicBus()
+        bus.advertise("/b", FlightCommandMsg)
+        bus.advertise("/a", OdometryMsg)
+        assert bus.topics() == ["/a", "/b"]
+
+
+class TestServiceBus:
+    def test_call_round_trip(self):
+        bus = ServiceBus()
+        bus.advertise("/double", lambda x: x * 2)
+        assert bus.call("/double", 21) == 42
+
+    def test_missing_service_raises(self):
+        bus = ServiceBus()
+        with pytest.raises(ServiceNotFoundError):
+            bus.call("/nope", None)
+
+    def test_proxy_calls_and_exists(self):
+        bus = ServiceBus()
+        bus.advertise("/ping", lambda _: "pong")
+        proxy = bus.proxy("/ping")
+        assert proxy.exists()
+        assert proxy.call(None) == "pong"
+
+    def test_proxy_for_missing_service(self):
+        bus = ServiceBus()
+        proxy = bus.proxy("/nothing")
+        assert not proxy.exists()
+
+    def test_unadvertise_via_server_handle(self):
+        bus = ServiceBus()
+        server = bus.advertise("/ping", lambda _: "pong")
+        server.shutdown()
+        assert not bus.has_service("/ping")
+
+    def test_call_counting_and_reset(self):
+        bus = ServiceBus()
+        bus.advertise("/ping", lambda _: "pong")
+        bus.call("/ping", None)
+        bus.call("/ping", None)
+        assert bus.call_count("/ping") == 2
+        bus.reset_statistics()
+        assert bus.call_count("/ping") == 0
+
+    def test_reregistering_replaces_handler(self):
+        bus = ServiceBus()
+        bus.advertise("/f", lambda x: 1)
+        bus.advertise("/f", lambda x: 2)
+        assert bus.call("/f", None) == 2
+
+    def test_services_listing(self):
+        bus = ServiceBus()
+        bus.advertise("/b", lambda x: x)
+        bus.advertise("/a", lambda x: x)
+        assert bus.services() == ["/a", "/b"]

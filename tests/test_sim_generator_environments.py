@@ -1,0 +1,113 @@
+"""Tests for the environment generator and the evaluation environments."""
+
+import numpy as np
+import pytest
+
+from repro.sim.environments import (
+    ENVIRONMENT_NAMES,
+    environment_spec,
+    make_environment,
+    make_training_environment,
+)
+from repro.sim.generator import EnvironmentGenerator, GeneratorConfig, corridor_walls
+
+
+class TestEnvironmentGenerator:
+    def test_deterministic_for_same_seed(self):
+        gen = EnvironmentGenerator(GeneratorConfig(obstacle_density=0.1, cuboid_side=6))
+        a = gen.generate(seed=3)
+        b = gen.generate(seed=3)
+        assert a.num_obstacles == b.num_obstacles
+        assert np.allclose(a.obstacles[0].center, b.obstacles[0].center)
+
+    def test_different_seeds_differ(self):
+        gen = EnvironmentGenerator(GeneratorConfig(obstacle_density=0.1, cuboid_side=6))
+        a = gen.generate(seed=1)
+        b = gen.generate(seed=2)
+        centers_a = np.array([o.center for o in a.obstacles])
+        centers_b = np.array([o.center for o in b.obstacles])
+        assert centers_a.shape != centers_b.shape or not np.allclose(centers_a, centers_b)
+
+    def test_density_scales_obstacle_count(self):
+        sparse = EnvironmentGenerator(
+            GeneratorConfig(obstacle_density=0.05, cuboid_side=6)
+        ).generate(seed=0)
+        dense = EnvironmentGenerator(
+            GeneratorConfig(obstacle_density=0.2, cuboid_side=6)
+        ).generate(seed=0)
+        assert dense.num_obstacles > sparse.num_obstacles
+
+    def test_start_and_goal_kept_clear(self):
+        gen = EnvironmentGenerator(GeneratorConfig(obstacle_density=0.2, cuboid_side=8))
+        world = gen.generate(seed=5, start=(0, 0, 1), goal=(55, 0, 2))
+        assert world.distance_to_nearest((0, 0, 1)) > 1.0
+        assert world.distance_to_nearest((55, 0, 2)) > 1.0
+
+    def test_obstacles_within_bounds(self):
+        gen = EnvironmentGenerator(GeneratorConfig(obstacle_density=0.15, cuboid_side=6))
+        world = gen.generate(seed=7)
+        lo = np.asarray(world.bounds_lo)
+        hi = np.asarray(world.bounds_hi)
+        for obstacle in world.obstacles:
+            assert np.all(np.asarray(obstacle.lo) >= lo - 1e-6)
+            assert np.all(np.asarray(obstacle.hi) <= hi + 1e-6)
+
+    def test_corridor_walls_leave_gap(self):
+        walls = corridor_walls((0, -20, 0), (60, 20, 10), [30.0], [0.0], gap_width=8.0)
+        assert len(walls) == 2
+        # The gap around y=0 must be free.
+        for wall in walls:
+            assert not wall.contains((30.0, 0.0, 3.0))
+
+
+class TestEvaluationEnvironments:
+    @pytest.mark.parametrize("name", ENVIRONMENT_NAMES)
+    def test_all_environments_build(self, name):
+        world = make_environment(name, seed=0)
+        assert world.name == name
+
+    def test_unknown_environment_rejected(self):
+        with pytest.raises(KeyError):
+            make_environment("mars")
+
+    def test_spec_lookup_case_insensitive(self):
+        assert environment_spec("Dense").name == "dense"
+
+    def test_dense_has_more_coverage_than_sparse(self):
+        dense = make_environment("dense", seed=0)
+        sparse = make_environment("sparse", seed=0)
+        dense_area = sum(o.size[0] * o.size[1] for o in dense.obstacles)
+        sparse_area = sum(o.size[0] * o.size[1] for o in sparse.obstacles)
+        assert dense_area > sparse_area
+
+    def test_farm_is_effectively_obstacle_free_on_the_corridor(self):
+        farm = make_environment("farm", seed=0)
+        # The straight start-goal corridor must be clear of hedges.
+        assert not farm.segment_collides((0, 0, 1.5), (55, 0, 2.0), inflation=1.0)
+
+    def test_factory_contains_walls(self):
+        factory = make_environment("factory", seed=0)
+        assert any("wall" in o.name for o in factory.obstacles)
+
+    def test_environment_deterministic_by_seed(self):
+        a = make_environment("dense", seed=4)
+        b = make_environment("dense", seed=4)
+        assert a.num_obstacles == b.num_obstacles
+
+    def test_training_environments_vary(self):
+        worlds = [make_training_environment(i) for i in range(4)]
+        counts = {w.num_obstacles for w in worlds}
+        assert len(counts) > 1
+
+    def test_training_environment_deterministic(self):
+        a = make_training_environment(5)
+        b = make_training_environment(5)
+        assert a.num_obstacles == b.num_obstacles
+
+    def test_some_training_environments_have_walls(self):
+        walled = [
+            w
+            for w in (make_training_environment(i) for i in range(6))
+            if any("wall" in o.name for o in w.obstacles)
+        ]
+        assert walled

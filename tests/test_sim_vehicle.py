@@ -1,0 +1,117 @@
+"""Tests for the quadrotor kinematics model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.vehicle import QuadrotorDynamics, QuadrotorParams, QuadrotorState
+
+
+class TestQuadrotorParams:
+    def test_defaults_valid(self):
+        params = QuadrotorParams()
+        assert params.max_speed > 0
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ValueError):
+            QuadrotorParams(max_speed=-1.0)
+        with pytest.raises(ValueError):
+            QuadrotorParams(velocity_time_constant=0.0)
+
+
+class TestDynamics:
+    def test_tracks_constant_command(self):
+        dyn = QuadrotorDynamics()
+        for _ in range(100):
+            dyn.step(np.array([2.0, 0.0, 0.0]), 0.0, 0.05)
+        assert dyn.state.velocity[0] == pytest.approx(2.0, abs=0.1)
+        assert dyn.state.position[0] > 5.0
+
+    def test_speed_limited(self):
+        dyn = QuadrotorDynamics(QuadrotorParams(max_speed=3.0))
+        for _ in range(200):
+            dyn.step(np.array([50.0, 0.0, 0.0]), 0.0, 0.05)
+        assert np.linalg.norm(dyn.state.velocity[:2]) <= 3.0 + 1e-6
+
+    def test_vertical_speed_limited(self):
+        dyn = QuadrotorDynamics(QuadrotorParams(max_vertical_speed=1.0))
+        for _ in range(100):
+            dyn.step(np.array([0.0, 0.0, 10.0]), 0.0, 0.05)
+        assert dyn.state.velocity[2] <= 1.0 + 1e-6
+
+    def test_acceleration_limited(self):
+        params = QuadrotorParams(max_acceleration=2.0)
+        dyn = QuadrotorDynamics(params)
+        previous = dyn.state.velocity.copy()
+        dyn.step(np.array([10.0, 0.0, 0.0]), 0.0, 0.1)
+        dv = np.linalg.norm(dyn.state.velocity - previous)
+        assert dv <= params.max_acceleration * 0.1 + 1e-9
+
+    def test_nan_command_treated_as_zero(self):
+        dyn = QuadrotorDynamics()
+        dyn.step(np.array([np.nan, np.inf, -np.inf]), np.nan, 0.1)
+        assert np.all(np.isfinite(dyn.state.velocity))
+        assert np.all(np.isfinite(dyn.state.position))
+
+    def test_huge_command_is_clipped_not_propagated(self):
+        dyn = QuadrotorDynamics()
+        dyn.step(np.array([1e300, -1e300, 1e300]), 0.0, 0.1)
+        assert np.all(np.isfinite(dyn.state.velocity))
+
+    def test_yaw_integrates_and_wraps(self):
+        dyn = QuadrotorDynamics(QuadrotorParams(max_yaw_rate=10.0))
+        for _ in range(100):
+            dyn.step(np.zeros(3), 1.0, 0.1)
+        assert -np.pi < dyn.state.yaw <= np.pi
+
+    def test_yaw_rate_clipped(self):
+        dyn = QuadrotorDynamics(QuadrotorParams(max_yaw_rate=0.5))
+        dyn.step(np.zeros(3), 100.0, 0.1)
+        assert dyn.state.yaw_rate == pytest.approx(0.5)
+
+    def test_energy_and_distance_accumulate(self):
+        dyn = QuadrotorDynamics()
+        for _ in range(50):
+            dyn.step(np.array([3.0, 0.0, 0.0]), 0.0, 0.1)
+        assert dyn.distance_travelled > 5.0
+        assert dyn.energy_used > 0.0
+
+    def test_power_grows_with_speed(self):
+        dyn = QuadrotorDynamics()
+        assert dyn.power(5.0) > dyn.power(0.0)
+
+    def test_reset(self):
+        dyn = QuadrotorDynamics()
+        dyn.step(np.array([1.0, 0, 0]), 0.0, 0.1)
+        dyn.reset(QuadrotorState(position=np.array([1.0, 2.0, 3.0])))
+        assert np.allclose(dyn.state.position, [1, 2, 3])
+        assert dyn.distance_travelled == 0.0
+        assert dyn.energy_used == 0.0
+
+    def test_invalid_dt_rejected(self):
+        dyn = QuadrotorDynamics()
+        with pytest.raises(ValueError):
+            dyn.step(np.zeros(3), 0.0, 0.0)
+
+    def test_state_copy_is_independent(self):
+        state = QuadrotorState(position=np.array([1.0, 2.0, 3.0]))
+        clone = state.copy()
+        clone.position[0] = 99.0
+        assert state.position[0] == 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        vx=st.floats(-20, 20),
+        vy=st.floats(-20, 20),
+        vz=st.floats(-20, 20),
+        steps=st.integers(1, 60),
+    )
+    def test_velocity_always_within_envelope(self, vx, vy, vz, steps):
+        """Property: whatever is commanded, the realised velocity stays bounded."""
+        params = QuadrotorParams()
+        dyn = QuadrotorDynamics(params)
+        for _ in range(steps):
+            dyn.step(np.array([vx, vy, vz]), 0.0, 0.05)
+        assert np.linalg.norm(dyn.state.velocity[:2]) <= params.max_speed + 1e-6
+        assert abs(dyn.state.velocity[2]) <= params.max_vertical_speed + 1e-6
+        assert np.all(np.isfinite(dyn.state.position))
