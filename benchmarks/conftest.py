@@ -6,8 +6,15 @@ four-environment campaign that is run once per benchmark session; the trained
 detectors are cached on disk under ``benchmarks/.cache`` so repeated benchmark
 runs do not retrain them.
 
-Run counts scale with the ``MAVFI_RUNS`` environment variable (1.0 by
-default); ``MAVFI_RUNS=8`` approaches the paper's 100-runs-per-cell campaigns.
+All campaigns dispatch through the campaign execution engine
+(:mod:`repro.core.executor`): set ``MAVFI_WORKERS=8`` (or ``0`` for one worker
+per CPU) to fan the missions out over worker processes.  Run counts scale with
+the ``MAVFI_RUNS`` environment variable (1.0 by default); ``MAVFI_RUNS=8``
+approaches the paper's 100-runs-per-cell campaigns.
+
+Each benchmark file additionally exposes one fast case marked ``smoke``;
+``pytest benchmarks -m smoke`` exercises every figure/table code path on a
+miniature campaign in minutes, which is what the CI smoke job runs.
 """
 
 from __future__ import annotations
@@ -16,7 +23,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.core.campaign import Campaign, CampaignConfig, RunSetting, scaled_count
+from repro.core.campaign import Campaign, CampaignConfig, RunSetting
+from repro.core.executor import get_executor
 from repro.detection.training import train_detectors
 from repro.sim.environments import ENVIRONMENT_NAMES
 
@@ -27,6 +35,18 @@ RESULTS_DIR = Path(__file__).parent / "results"
 BASE_GOLDEN_RUNS = 10
 BASE_INJECTIONS_PER_STAGE = 6
 TRAINING_ENVIRONMENTS = 4
+
+#: Miniature (smoke) campaign counts -- small enough for CI, large enough to
+#: exercise every setting and stage at least once.
+SMOKE_GOLDEN_RUNS = 2
+SMOKE_INJECTIONS_PER_STAGE = 1
+
+
+def pytest_configure(config):
+    """Register the ``smoke`` marker (also declared in ``pyproject.toml``)."""
+    config.addinivalue_line(
+        "markers", "smoke: fast benchmark subset exercised by the CI smoke job"
+    )
 
 
 def print_artifact(title: str, body: str) -> None:
@@ -46,6 +66,12 @@ def print_artifact(title: str, body: str) -> None:
 
 
 @pytest.fixture(scope="session")
+def campaign_executor():
+    """The session's campaign executor (serial unless ``MAVFI_WORKERS`` > 1)."""
+    return get_executor()
+
+
+@pytest.fixture(scope="session")
 def detectors():
     """Trained GAD and AAD detectors (cached on disk between sessions)."""
     CACHE_DIR.mkdir(exist_ok=True)
@@ -56,7 +82,7 @@ def detectors():
 
 
 @pytest.fixture(scope="session")
-def full_campaign(detectors):
+def full_campaign(detectors, campaign_executor):
     """The Table I / Fig. 6 / Table II campaign: all four environments.
 
     For each environment: golden runs plus single-bit injections per PPC stage
@@ -71,13 +97,15 @@ def full_campaign(detectors):
             training_environments=TRAINING_ENVIRONMENTS,
             detector_cache_dir=CACHE_DIR,
         )
-        campaign = Campaign(config, gad=detectors.gad, aad=detectors.aad)
+        campaign = Campaign(
+            config, gad=detectors.gad, aad=detectors.aad, executor=campaign_executor
+        )
         results[env] = campaign.full_evaluation()
     return results
 
 
 @pytest.fixture(scope="session")
-def sparse_campaign(detectors):
+def sparse_campaign(detectors, campaign_executor):
     """A campaign object bound to the Sparse environment (Fig. 3 / Fig. 4)."""
     config = CampaignConfig(
         environment="sparse",
@@ -86,7 +114,31 @@ def sparse_campaign(detectors):
         training_environments=TRAINING_ENVIRONMENTS,
         detector_cache_dir=CACHE_DIR,
     )
-    return Campaign(config, gad=detectors.gad, aad=detectors.aad)
+    return Campaign(
+        config, gad=detectors.gad, aad=detectors.aad, executor=campaign_executor
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke_campaign(detectors, campaign_executor):
+    """A miniature Campaign (Farm) shared by the ``smoke`` benchmark cases."""
+    config = CampaignConfig(
+        environment="farm",
+        num_golden=SMOKE_GOLDEN_RUNS,
+        num_injections_per_stage=SMOKE_INJECTIONS_PER_STAGE,
+        mission_time_limit=60.0,
+        training_environments=TRAINING_ENVIRONMENTS,
+        detector_cache_dir=CACHE_DIR,
+    )
+    return Campaign(
+        config, gad=detectors.gad, aad=detectors.aad, executor=campaign_executor
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke_evaluation(smoke_campaign):
+    """The miniature campaign's full golden + FI + D&R evaluation result."""
+    return smoke_campaign.full_evaluation()
 
 
 def campaign_settings():

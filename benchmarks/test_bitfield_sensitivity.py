@@ -7,6 +7,8 @@ This ablation injects single-bit faults restricted to each field into the
 planning stage and compares the resulting QoF degradation.
 """
 
+import pytest
+
 from repro.analysis.reporting import format_table
 from repro.core.campaign import Campaign, CampaignConfig
 from repro.core.fault import BitField
@@ -74,3 +76,21 @@ def test_bitfield_sensitivity(benchmark, detectors):
         summaries["sign"].worst_flight_time, summaries["exponent"].worst_flight_time
     )
     assert worst_signexp >= worst_mantissa * 0.9
+
+
+@pytest.mark.smoke
+def test_bitfield_smoke(smoke_campaign):
+    """Field-restricted injection path: one mantissa and one sign fault."""
+    by_field = {}
+    for bit_field in (BitField.MANTISSA, BitField.SIGN):
+        runs = smoke_campaign.run_stage_injections(
+            f"fi_{bit_field.value}",
+            stages=("planning",),
+            count_per_stage=1,
+            bit_field=bit_field,
+        )
+        assert len(runs) == 1
+        assert runs[0].fault_target == "planning"
+        by_field[bit_field.value] = runs
+    summary = summarize_runs(by_field["mantissa"])
+    assert summary.num_runs == 1

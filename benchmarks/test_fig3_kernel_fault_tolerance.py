@@ -11,8 +11,9 @@ indistinguishable from Golden, whereas the planners and PID show wider
 flight-time ranges and lower success rates.
 """
 
+import pytest
+
 from repro.analysis.reporting import format_distribution_table, format_table
-from repro.core.campaign import RunSetting
 from repro.core.qof import summarize_runs
 
 from conftest import print_artifact
@@ -60,3 +61,22 @@ def test_fig3_kernel_fault_tolerance(benchmark, sparse_campaign):
     for label in ("P.C. Gen.", "OctoMap"):
         kernel_summary = summarize_runs(by_kernel[label])
         assert kernel_summary.mean_flight_time <= golden_summary.mean_flight_time * 1.3
+
+
+@pytest.mark.smoke
+def test_fig3_smoke(smoke_campaign):
+    """Per-kernel characterisation path on one kernel of the smoke campaign."""
+    golden = smoke_campaign.run_golden()
+    by_kernel = smoke_campaign.run_kernel_injections(
+        [("OctoMap", "octomap_generation", "rrt_star")], count_per_kernel=1
+    )
+    assert list(by_kernel) == ["OctoMap"]
+    distributions = {
+        "Golden": [r.flight_time for r in golden if r.success],
+        "OctoMap": [r.flight_time for r in by_kernel["OctoMap"] if r.success],
+    }
+    body = format_distribution_table(
+        distributions, title="Fig. 3 (smoke): flight time per kernel (Farm)"
+    )
+    assert "OctoMap" in body
+    assert summarize_runs(golden).success_rate > 0

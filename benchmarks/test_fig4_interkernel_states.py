@@ -10,6 +10,8 @@ Expected shape: ``future_collision_seq`` is much more robust than
 the widest flight-time ranges.
 """
 
+import pytest
+
 from repro.analysis.reporting import format_distribution_table, format_table
 from repro.core.qof import summarize_runs
 from repro.pipeline.states import MONITORED_FEATURES
@@ -48,3 +50,21 @@ def test_fig4_interkernel_state_fault_tolerance(benchmark, sparse_campaign):
     # Every state was exercised and the golden baseline is healthy.
     assert set(by_state) == set(MONITORED_FEATURES)
     assert summarize_runs(golden).success_rate >= 0.8
+
+
+@pytest.mark.smoke
+def test_fig4_smoke(smoke_campaign):
+    """Per-state characterisation path on two states of the smoke campaign."""
+    states = list(MONITORED_FEATURES[:2])
+    by_state = smoke_campaign.run_state_injections(states, count_per_state=1)
+    assert set(by_state) == set(states)
+    distributions = {
+        state: [r.flight_time for r in runs if r.success]
+        for state, runs in by_state.items()
+    }
+    body = format_distribution_table(
+        distributions, title="Fig. 4 (smoke): corrupted inter-kernel states (Farm)"
+    )
+    for state in states:
+        assert state in body
+        assert all(r.fault_target == state for r in by_state[state])

@@ -7,6 +7,8 @@ case back towards the golden runs, with the autoencoder recovering at least as
 much as the Gaussian scheme.
 """
 
+import pytest
+
 from repro.analysis.reporting import format_distribution_table, format_table
 from repro.core.campaign import RunSetting
 from repro.core.qof import worst_case_recovery
@@ -70,3 +72,18 @@ def test_fig6_flight_time_distributions(benchmark, full_campaign):
         aad = result.summary(RunSetting.DR_AUTOENCODER)
         # With D&R the mean flight time stays close to golden.
         assert aad.mean_flight_time <= golden.mean_flight_time * 1.3
+
+
+@pytest.mark.smoke
+def test_fig6_smoke(smoke_evaluation):
+    """Flight-time distribution path on the miniature Farm campaign."""
+    distributions = {
+        label: smoke_evaluation.flight_times(setting)
+        for setting, label in campaign_settings().items()
+    }
+    body = format_distribution_table(
+        distributions, title="Fig. 6 (smoke): flight time of successful runs (Farm)"
+    )
+    for label in campaign_settings().values():
+        assert label in body
+    assert len(distributions["Golden Run"]) > 0

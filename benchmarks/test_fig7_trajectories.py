@@ -10,6 +10,8 @@ for the three settings and both injected stages.
 
 import copy
 
+import pytest
+
 from repro.analysis.reporting import format_table
 from repro.analysis.trajectory import analyze_trajectory, compare_trajectories
 from repro.core.injector import FaultPlan
@@ -84,3 +86,17 @@ def test_fig7_trajectory_analysis(benchmark, detectors):
 
     assert golden.success
     assert analyze_trajectory(golden.trajectory).detour_ratio < 2.0
+
+
+@pytest.mark.smoke
+def test_fig7_smoke(detectors):
+    """Trajectory analysis path on one injected stage instead of two."""
+    golden = _fly()
+    faulty = _fly(fault_plan=_plan_for("planning"))
+    recovered = _fly(detector=detectors.aad, fault_plan=_plan_for("planning"))
+    assert golden.success
+    for run in (golden, faulty, recovered):
+        metrics = analyze_trajectory(run.trajectory)
+        deviation = compare_trajectories(run.trajectory, golden.trajectory)
+        assert metrics.path_length > 0
+        assert deviation.max_deviation >= 0

@@ -9,6 +9,8 @@ TMR costs the most, the penalty is far larger on the small DJI-class vehicle
 scheme is essentially free.
 """
 
+import pytest
+
 from repro.analysis.reporting import format_table
 from repro.platforms.compute import get_platform
 from repro.platforms.redundancy import RedundancyScheme, apply_redundancy
@@ -54,6 +56,7 @@ def _run_fig8():
     return rows, ratios
 
 
+@pytest.mark.smoke
 def test_fig8_redundancy_comparison(benchmark):
     rows, ratios = benchmark.pedantic(_run_fig8, rounds=1, iterations=1)
 

@@ -9,6 +9,8 @@ a larger worst-case flight time under faults, the error trend is the same on
 both platforms, and both D&R schemes recover most of the degradation.
 """
 
+import pytest
+
 from repro.analysis.reporting import format_table
 from repro.core.campaign import Campaign, CampaignConfig, RunSetting
 from repro.core.qof import worst_case_recovery
@@ -85,3 +87,19 @@ def test_fig9_platform_comparison(benchmark, detectors):
     # The edge platform flies the same mission substantially more slowly.
     assert tx2_golden.mean_flight_time > i9_golden.mean_flight_time * 1.3
     assert tx2_golden.success_rate >= 0.5
+
+
+@pytest.mark.smoke
+def test_fig9_smoke(campaign_executor):
+    """Platform comparison path: one golden Farm flight per platform."""
+    flights = {}
+    for name in ("i9", "tx2"):
+        config = CampaignConfig(
+            environment="farm", platform=name, num_golden=1, mission_time_limit=120.0
+        )
+        campaign = Campaign(config, executor=campaign_executor)
+        flights[name] = campaign.run_golden()[0]
+    assert flights["i9"].success and flights["tx2"].success
+    # The edge platform flies the same mission more slowly.
+    assert flights["tx2"].flight_time > flights["i9"].flight_time
+    assert get_platform("tx2").compute_power_w < get_platform("i9").compute_power_w

@@ -7,6 +7,8 @@ rate (most in Dense), both D&R schemes recover most of the drop, and the
 autoencoder recovers at least as much as the Gaussian scheme.
 """
 
+import pytest
+
 from repro.analysis.reporting import format_success_rate_table, format_table
 from repro.core.campaign import RunSetting
 from repro.core.qof import failure_recovery_rate
@@ -66,3 +68,22 @@ def test_table1_success_rate(benchmark, full_campaign):
         assert result.success_rate(RunSetting.DR_AUTOENCODER) >= result.success_rate(
             RunSetting.INJECTION
         ) - 0.1
+
+
+@pytest.mark.smoke
+def test_table1_smoke(smoke_evaluation):
+    """Success-rate table path on the miniature Farm campaign."""
+    settings = campaign_settings()
+    rates = {
+        setting: {"farm": smoke_evaluation.success_rate(setting)}
+        for setting in settings
+    }
+    body = format_success_rate_table(
+        rates,
+        environments=["farm"],
+        settings=list(settings),
+        setting_labels=settings,
+        title="Table I (smoke): flight success rate (Farm)",
+    )
+    assert "farm" in body.lower()
+    assert smoke_evaluation.success_rate(RunSetting.GOLDEN) >= 0.5

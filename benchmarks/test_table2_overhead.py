@@ -9,6 +9,8 @@ magnitude smaller (well below 0.1%), because its recovery recomputes only the
 cheap control stage.
 """
 
+import pytest
+
 from repro.analysis.reporting import format_overhead_table
 from repro.core.campaign import RunSetting
 from repro.core.overhead import compute_overhead
@@ -55,3 +57,20 @@ def test_table2_detection_recovery_overhead(benchmark, full_campaign):
         assert gad_detection < 0.001
         if gad_recovery > 0:
             assert gad_recovery > gad_detection
+
+
+@pytest.mark.smoke
+def test_table2_smoke(smoke_evaluation):
+    """Overhead accounting path on the miniature Farm campaign."""
+    gaussian = compute_overhead(
+        smoke_evaluation.results(RunSetting.DR_GAUSSIAN), detector="gad", environment="farm"
+    )
+    autoencoder = compute_overhead(
+        smoke_evaluation.results(RunSetting.DR_AUTOENCODER), detector="aad", environment="farm"
+    )
+    body = format_overhead_table(
+        {"farm": gaussian}, title="Table II (smoke, Gaussian): DET / RECOV overhead"
+    )
+    assert "farm" in body
+    assert gaussian.total_overhead >= 0
+    assert autoencoder.total_overhead >= 0

@@ -19,7 +19,7 @@ import sys
 from repro.analysis.reporting import format_distribution_table, format_overhead_table, format_table
 from repro.core.campaign import Campaign, CampaignConfig, RunSetting
 from repro.core.overhead import compute_overhead
-from repro.core.qof import failure_recovery_rate, summarize_runs, worst_case_recovery
+from repro.core.qof import failure_recovery_rate, worst_case_recovery
 from repro.detection.training import train_detectors
 
 

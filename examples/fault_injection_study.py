@@ -7,15 +7,18 @@ fault per mission into each PPC stage (perception, planning, control) and into
 each monitored inter-kernel state, and reports the resulting quality-of-flight
 degradation.
 
-Run with::
+All missions dispatch through the campaign execution engine; set
+``MAVFI_WORKERS`` (or pass a third argument) to fan them out over worker
+processes.  Run with::
 
-    python examples/fault_injection_study.py [environment] [runs_per_target]
+    python examples/fault_injection_study.py [environment] [runs_per_target] [workers]
 """
 
 import sys
 
 from repro.analysis.reporting import format_distribution_table, format_table
 from repro.core.campaign import Campaign, CampaignConfig, RunSetting
+from repro.core.executor import get_executor
 from repro.core.qof import summarize_runs
 from repro.pipeline.states import MONITORED_FEATURES
 
@@ -23,13 +26,15 @@ from repro.pipeline.states import MONITORED_FEATURES
 def main() -> None:
     environment = sys.argv[1] if len(sys.argv) > 1 else "sparse"
     runs_per_target = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    workers = int(sys.argv[3]) if len(sys.argv) > 3 else None
 
     campaign = Campaign(
         CampaignConfig(
             environment=environment,
             num_golden=runs_per_target,
             num_injections_per_stage=runs_per_target,
-        )
+        ),
+        executor=get_executor(workers),
     )
 
     print(f"Golden runs in '{environment}'...")

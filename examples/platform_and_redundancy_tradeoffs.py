@@ -14,7 +14,7 @@ Run with::
 """
 
 from repro.analysis.reporting import format_table
-from repro.platforms.compute import PLATFORMS, get_platform
+from repro.platforms.compute import get_platform
 from repro.platforms.redundancy import RedundancyScheme, apply_redundancy
 from repro.platforms.visual_performance import UAV_SPECS, VisualPerformanceModel
 

@@ -1,0 +1,317 @@
+"""Command-line interface for the MAVFI reproduction (``python -m repro``).
+
+The CLI drives the campaign execution engine from the shell::
+
+    # 8-worker fault-injection campaign in the Sparse environment,
+    # streamed to (and resumable from) results.jsonl
+    python -m repro campaign --env sparse --workers 8 --out results.jsonl
+
+    # summarise a (possibly still growing) result file
+    python -m repro summarize --results results.jsonl
+
+Campaign run counts scale with ``MAVFI_RUNS`` (or ``--runs``); worker counts
+come from ``--workers`` or ``MAVFI_WORKERS`` (0 means one worker per CPU).
+Re-running a campaign with the same parameters and ``--out`` file skips every
+mission whose deterministic spec key is already in the file, so interrupted
+campaigns pick up where they left off.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.core.campaign import (
+    Campaign,
+    CampaignConfig,
+    RunSetting,
+)
+from repro.core.executor import (
+    DETECTOR_AUTOENCODER,
+    DETECTOR_GAUSSIAN,
+    RunSpec,
+    get_executor,
+)
+from repro.core.qof import summarize_runs
+from repro.core.results import JsonlResultStore, mission_result_from_dict
+from repro.sim.environments import ENVIRONMENT_NAMES
+from repro.version import __version__
+
+#: Settings the ``campaign`` subcommand can run, in canonical order.
+CAMPAIGN_SETTINGS = tuple(RunSetting.ALL)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MAVFI reproduction: fault-injection campaigns from the shell.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run golden / fault-injection / D&R missions for one environment",
+        description=(
+            "Generate the campaign's run specs and dispatch them through the "
+            "execution engine, optionally in parallel and/or streamed to a "
+            "resumable JSONL result file."
+        ),
+    )
+    campaign.add_argument(
+        "--env",
+        default="sparse",
+        help=f"evaluation environment ({', '.join(ENVIRONMENT_NAMES)}; default sparse)",
+    )
+    campaign.add_argument(
+        "--settings",
+        default=",".join(CAMPAIGN_SETTINGS),
+        help=(
+            "comma-separated subset of "
+            f"{','.join(CAMPAIGN_SETTINGS)} (default: all four)"
+        ),
+    )
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default MAVFI_WORKERS; 0 = one per CPU; 1 = serial)",
+    )
+    campaign.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="JSONL result file to stream to (enables resume on re-run)",
+    )
+    campaign.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="re-run every spec even if --out already contains it",
+    )
+    campaign.add_argument("--golden", type=int, default=None, help="golden-run count")
+    campaign.add_argument(
+        "--per-stage", type=int, default=None, help="injections per PPC stage"
+    )
+    campaign.add_argument("--seed", type=int, default=0, help="campaign base seed")
+    campaign.add_argument("--env-seed", type=int, default=0, help="environment seed")
+    campaign.add_argument("--planner", default="rrt_star", help="motion planner")
+    campaign.add_argument("--platform", default="i9", help="compute platform")
+    campaign.add_argument(
+        "--time-limit", type=float, default=120.0, help="mission time limit [s]"
+    )
+    campaign.add_argument(
+        "--runs",
+        default=None,
+        help="run-count scale factor (sets MAVFI_RUNS for this campaign)",
+    )
+    campaign.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="detector cache directory (shared by workers)",
+    )
+    campaign.add_argument(
+        "--training-envs",
+        type=int,
+        default=6,
+        help="number of detector-training environments",
+    )
+    campaign.add_argument(
+        "--quiet", action="store_true", help="suppress per-run progress output"
+    )
+
+    summarize = subparsers.add_parser(
+        "summarize",
+        help="summarise a JSONL result file produced by `repro campaign`",
+    )
+    summarize.add_argument(
+        "--results", type=Path, required=True, help="JSONL result file to summarise"
+    )
+
+    subparsers.add_parser("version", help="print the package version")
+    return parser
+
+
+def _settings_list(raw: str) -> List[str]:
+    settings = []
+    for setting in (s.strip() for s in raw.split(",") if s.strip()):
+        if setting not in CAMPAIGN_SETTINGS:
+            raise SystemExit(
+                f"unknown setting {setting!r}; expected a subset of "
+                f"{','.join(CAMPAIGN_SETTINGS)}"
+            )
+        if setting not in settings:
+            settings.append(setting)
+    return settings
+
+
+def _campaign_specs(campaign: Campaign, settings: Sequence[str]) -> List[RunSpec]:
+    specs: List[RunSpec] = []
+    for setting in settings:
+        if setting == RunSetting.GOLDEN:
+            specs += campaign.golden_specs()
+        elif setting == RunSetting.INJECTION:
+            specs += campaign.stage_injection_specs(RunSetting.INJECTION)
+        elif setting == RunSetting.DR_GAUSSIAN:
+            specs += campaign.stage_injection_specs(
+                RunSetting.DR_GAUSSIAN, detector=DETECTOR_GAUSSIAN
+            )
+        elif setting == RunSetting.DR_AUTOENCODER:
+            specs += campaign.stage_injection_specs(
+                RunSetting.DR_AUTOENCODER, detector=DETECTOR_AUTOENCODER
+            )
+    return specs
+
+
+def _summary_table(by_setting: Dict[str, List], title: str) -> str:
+    rows = []
+    for setting, records in by_setting.items():
+        summary = summarize_runs(records)
+        rows.append(
+            [
+                setting,
+                summary.num_runs,
+                f"{summary.success_rate * 100:.0f}%",
+                f"{summary.mean_flight_time:.1f}",
+                f"{summary.worst_flight_time:.1f}",
+                f"{summary.mean_energy / 1000:.1f}",
+            ]
+        )
+    return format_table(
+        [
+            "Setting",
+            "Runs",
+            "Success",
+            "Mean flight [s]",
+            "Worst flight [s]",
+            "Mean energy [kJ]",
+        ],
+        rows,
+        title=title,
+    )
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.runs is not None:
+        os.environ["MAVFI_RUNS"] = str(args.runs)
+    settings = _settings_list(args.settings)
+    config = CampaignConfig(
+        environment=args.env,
+        env_seed=args.env_seed,
+        planner_name=args.planner,
+        platform=args.platform,
+        seed=args.seed,
+        mission_time_limit=args.time_limit,
+        training_environments=args.training_envs,
+        detector_cache_dir=args.cache_dir,
+    )
+    if args.golden is not None:
+        config.num_golden = args.golden
+    if args.per_stage is not None:
+        config.num_injections_per_stage = args.per_stage
+    campaign = Campaign(config)
+    specs = _campaign_specs(campaign, settings)
+    executor = get_executor(args.workers)
+    store = JsonlResultStore(args.out) if args.out is not None else None
+
+    already = 0
+    if store is not None and not args.no_resume:
+        keys = {spec.key() for spec in specs}
+        already = len(keys & store.completed_keys())
+    print(
+        f"campaign: env={args.env} settings={','.join(settings)} "
+        f"specs={len(specs)} (resumed from store: {already}) "
+        f"executor={executor.name}"
+        + (f" workers={executor.workers}" if hasattr(executor, "workers") else "")
+    )
+
+    done = [0]
+    total_fresh = len(specs) - already
+
+    def progress(spec: RunSpec, record) -> None:
+        done[0] += 1
+        if not args.quiet:
+            flag = "ok" if record.success else "FAIL"
+            print(
+                f"  [{done[0]}/{total_fresh}] {spec.setting:<16s} seed={spec.seed:<4d} "
+                f"{flag} flight={record.flight_time:.1f}s",
+                flush=True,
+            )
+
+    start = time.perf_counter()
+    results = campaign.run_specs(
+        specs,
+        executor=executor,
+        store=store,
+        resume=not args.no_resume,
+        on_result=None if args.quiet else progress,
+    )
+    elapsed = time.perf_counter() - start
+
+    by_setting: Dict[str, List] = {}
+    for spec, record in zip(specs, results):
+        by_setting.setdefault(spec.setting, []).append(record)
+    print(
+        _summary_table(
+            by_setting,
+            title=f"Campaign summary ({args.env}, {elapsed:.1f}s wall clock)",
+        )
+    )
+    if store is not None:
+        print(f"results: {store.path} ({len(store.load_results())} missions)")
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    store = JsonlResultStore(args.results)
+    # The key-deduplicated view (last write wins), matching resume semantics:
+    # a --no-resume re-run appends a second record per key but each mission
+    # still counts once.
+    results = store.load_results()
+    if not results:
+        print(f"no intact records in {args.results}")
+        return 1
+    by_setting: Dict[str, List] = {}
+    for result in results.values():
+        by_setting.setdefault(result.setting, []).append(result)
+    print(_summary_table(by_setting, title=f"Summary of {args.results}"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "version":
+            print(__version__)
+            return 0
+        if args.command == "campaign":
+            return _cmd_campaign(args)
+        if args.command == "summarize":
+            return _cmd_summarize(args)
+    except (ValueError, KeyError) as error:
+        # Invalid worker counts, MAVFI_RUNS values, environment names etc.
+        # raise with descriptive messages; surface them as one clean line
+        # instead of a traceback.
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `repro campaign | head`) closed the pipe;
+        # redirect stdout to devnull so the interpreter shutdown doesn't
+        # print a second traceback, and exit quietly.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -12,10 +12,14 @@ analysis framework for ROS-based autonomous systems.  The package contains
   (flight time, success rate, mission energy),
 * :mod:`repro.core.campaign` -- campaign management: golden runs, fault
   injection runs and detection-and-recovery runs across environments,
+* :mod:`repro.core.executor` -- the campaign execution engine: picklable
+  :class:`RunSpec` mission descriptions dispatched through serial or
+  process-pool executors with streaming JSONL persistence and resume,
 * :mod:`repro.core.overhead` -- detection/recovery compute-overhead
   accounting (Table II),
-* :mod:`repro.core.results` -- aggregation and distribution statistics used
-  by the benchmark harnesses.
+* :mod:`repro.core.results` -- distribution statistics plus the JSONL
+  mission-result serialisation used by the execution engine and the
+  benchmark harnesses.
 """
 
 from repro.core.campaign import (
@@ -24,6 +28,14 @@ from repro.core.campaign import (
     CampaignResult,
     RunRecord,
     RunSetting,
+)
+from repro.core.executor import (
+    ParallelExecutor,
+    RunSpec,
+    SerialExecutor,
+    execute_spec,
+    execute_specs,
+    get_executor,
 )
 from repro.core.fault import (
     BitField,
@@ -37,9 +49,27 @@ from repro.core.fault import (
 from repro.core.injector import FaultInjectorNode, FaultPlan
 from repro.core.overhead import OverheadReport, compute_overhead
 from repro.core.qof import QofMetrics, QofSummary, summarize_runs
-from repro.core.results import DistributionStats, distribution_stats, recovery_percentage
+from repro.core.results import (
+    DistributionStats,
+    JsonlResultStore,
+    distribution_stats,
+    mission_result_from_dict,
+    mission_result_to_dict,
+    mission_results_equal,
+    recovery_percentage,
+)
 
 __all__ = [
+    "RunSpec",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "execute_spec",
+    "execute_specs",
+    "get_executor",
+    "JsonlResultStore",
+    "mission_result_to_dict",
+    "mission_result_from_dict",
+    "mission_results_equal",
     "BitField",
     "FaultSpec",
     "flip_float_bit",

@@ -12,22 +12,31 @@ campaigns.
 
 from __future__ import annotations
 
-import copy
+import math
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import topics
+from repro.core.executor import (
+    DETECTOR_AUTOENCODER,
+    DETECTOR_CUSTOM,
+    DETECTOR_GAUSSIAN,
+    RunSpec,
+    SerialExecutor,
+    execute_spec,
+    execute_specs,
+)
 from repro.core.fault import BitField
-from repro.core.injector import FaultInjectorNode, FaultPlan
+from repro.core.injector import FaultPlan
 from repro.core.qof import QofSummary, summarize_runs
-from repro.detection.node import attach_detection
+from repro.core.results import JsonlResultStore
 from repro.detection.training import train_detectors
-from repro.pipeline.builder import PipelineConfig, build_pipeline
-from repro.pipeline.runner import MissionResult, MissionRunner
+from repro.pipeline.builder import PipelineConfig
+from repro.pipeline.runner import MissionResult
+from repro import topics
 
 
 class RunSetting:
@@ -45,17 +54,44 @@ class RunSetting:
 RunRecord = MissionResult
 
 
+#: Cache of the last parsed ``MAVFI_RUNS`` value, keyed by the raw string, so
+#: every call site sees one consistent parse per environment value instead of
+#: re-parsing (and potentially re-erroring) on each of the thousands of
+#: ``scaled_count`` calls of a large campaign.
+_RUNS_SCALE_CACHE: List[Optional[Tuple[Optional[str], float]]] = [None]
+
+
+def _parse_runs_scale(raw: str) -> float:
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"MAVFI_RUNS must be a number (campaign run-count scale), got {raw!r}"
+        )
+    if math.isnan(value) or math.isinf(value):
+        raise ValueError(f"MAVFI_RUNS must be finite, got {raw!r}")
+    if value < 0:
+        raise ValueError(f"MAVFI_RUNS must be non-negative, got {raw!r}")
+    return max(value, 0.01)
+
+
 def runs_scale() -> float:
     """Global scale factor for campaign run counts (``MAVFI_RUNS`` env var).
 
     Setting ``MAVFI_RUNS=1.0`` reproduces the default counts; larger values
     approach the paper's 100-runs-per-cell campaigns at proportionally larger
-    runtime.
+    runtime.  Non-numeric, negative, NaN or infinite values are rejected with
+    a :class:`ValueError` (they used to be silently clamped or defaulted);
+    values below the 0.01 floor are raised to it so a tiny scale still yields
+    at least one run per cell.
     """
-    try:
-        return max(float(os.environ.get("MAVFI_RUNS", "1.0")), 0.01)
-    except ValueError:
-        return 1.0
+    raw = os.environ.get("MAVFI_RUNS")
+    cached = _RUNS_SCALE_CACHE[0]
+    if cached is not None and cached[0] == raw:
+        return cached[1]
+    value = 1.0 if raw is None else _parse_runs_scale(raw)
+    _RUNS_SCALE_CACHE[0] = (raw, value)
+    return value
 
 
 def scaled_count(base: int) -> int:
@@ -130,10 +166,14 @@ class Campaign:
         config: Optional[CampaignConfig] = None,
         gad=None,
         aad=None,
+        executor=None,
     ) -> None:
         self.config = config if config is not None else CampaignConfig()
         self.gad = gad
         self.aad = aad
+        #: Default executor for every campaign method; ``None`` means serial.
+        #: Per-call ``executor=`` arguments override it.
+        self.executor = executor
 
     # ---------------------------------------------------------------- set-up
     def ensure_detectors(self) -> None:
@@ -191,22 +231,117 @@ class Campaign:
         platform: Optional[str] = None,
     ) -> RunRecord:
         """Run one mission with the given fault plan and detector."""
-        handles = build_pipeline(self._pipeline_config(seed, planner_name, platform))
-        if detector is not None:
-            attach_detection(handles, copy.deepcopy(detector))
-        injector = None
-        if fault_plan is not None:
-            injector = FaultInjectorNode(fault_plan, handles.kernels)
-            handles.graph.add_node(injector)
-        runner = MissionRunner(handles, time_step=self.config.time_step)
-        result = runner.run(
+        tag, custom = self._detector_tag(detector)
+        spec = RunSpec(
+            config=self.config,
             setting=setting,
             seed=seed,
-            fault_target=fault_plan.target if fault_plan else "",
+            fault_plan=fault_plan,
+            detector=tag,
+            planner_name=planner_name,
+            platform=platform,
         )
-        if injector is not None:
-            result.fault_description = injector.description
-        return result
+        return execute_spec(spec, self.detector_objects(custom))
+
+    # ----------------------------------------------------- engine integration
+    def _detector_tag(self, detector) -> Tuple[Optional[str], Optional[Dict[str, object]]]:
+        """Map a detector argument (``None``, tag string or live object) to a
+        :class:`RunSpec` detector tag plus any extra tag->object mapping."""
+        if detector is None:
+            return None, None
+        if isinstance(detector, str):
+            if detector not in (DETECTOR_GAUSSIAN, DETECTOR_AUTOENCODER):
+                raise ValueError(
+                    f"unknown detector tag {detector!r}; expected "
+                    f"{DETECTOR_GAUSSIAN!r} or {DETECTOR_AUTOENCODER!r}"
+                )
+            return detector, None
+        if detector is self.gad:
+            return DETECTOR_GAUSSIAN, None
+        if detector is self.aad:
+            return DETECTOR_AUTOENCODER, None
+        return DETECTOR_CUSTOM, {DETECTOR_CUSTOM: detector}
+
+    def detector_objects(
+        self, extra: Optional[Mapping[str, object]] = None
+    ) -> Dict[str, object]:
+        """In-memory tag->detector mapping for serial spec execution."""
+        mapping: Dict[str, object] = {}
+        if self.gad is not None:
+            mapping[DETECTOR_GAUSSIAN] = self.gad
+        if self.aad is not None:
+            mapping[DETECTOR_AUTOENCODER] = self.aad
+        if extra:
+            mapping.update(extra)
+        return mapping
+
+    def run_specs(
+        self,
+        specs: Sequence[RunSpec],
+        executor=None,
+        store: Optional[JsonlResultStore] = None,
+        resume: bool = True,
+        extra_detectors: Optional[Mapping[str, object]] = None,
+        on_result=None,
+    ) -> List[RunRecord]:
+        """Dispatch a batch of run specs through the execution engine.
+
+        ``executor`` defaults to a :class:`SerialExecutor`; pass a
+        :class:`~repro.core.executor.ParallelExecutor` (or anything honouring
+        the executor protocol) to fan the batch out.  With a ``store``,
+        results stream to JSONL as they complete and already-completed specs
+        are skipped (resume).
+
+        Distributed executors reconstruct ``gaussian``/``autoencoder``
+        detectors from this campaign's configuration instead of shipping the
+        in-memory objects; custom detector objects are rejected up front, and
+        dispatching with in-memory ``gad``/``aad`` objects but no
+        ``detector_cache_dir`` to pin them raises, because the workers'
+        reconstruction could silently diverge from the serial result.
+        """
+        specs = list(specs)
+        if executor is None:
+            executor = self.executor if self.executor is not None else SerialExecutor()
+        # Load the store once: the known-result map drives both the detector
+        # decision (resuming an already-completed D&R campaign must not
+        # retrain) and the resume filtering in execute_specs.
+        known = None
+        if store is not None and resume:
+            known = store.load_results()
+            pending = [spec for spec in specs if spec.key() not in known]
+        else:
+            pending = specs
+        tags = {spec.detector for spec in pending if spec.detector is not None}
+        if tags & {DETECTOR_GAUSSIAN, DETECTOR_AUTOENCODER}:
+            if not getattr(executor, "distributed", False):
+                # Serial executors need the live detector objects.
+                self.ensure_detectors()
+            elif self.gad is not None or self.aad is not None:
+                # Workers reconstruct detectors from self.config; in-memory
+                # detectors of unknown provenance would silently diverge from
+                # the serial result unless a shared cache pins them.
+                if self.config.detector_cache_dir is None:
+                    raise ValueError(
+                        "campaign holds in-memory detectors but no "
+                        "detector_cache_dir; a distributed executor would "
+                        "reconstruct detectors from the campaign config, "
+                        "which may not match them -- set detector_cache_dir "
+                        "(shared with the workers) or use a serial executor"
+                    )
+                self.ensure_detectors()
+            elif self.config.detector_cache_dir is not None:
+                # Train once here so every worker loads the same cached
+                # detectors instead of re-training.
+                self.ensure_detectors()
+        return execute_specs(
+            specs,
+            executor=executor,
+            store=store,
+            detectors=self.detector_objects(extra_detectors),
+            resume=resume,
+            on_result=on_result,
+            known_results=known,
+        )
 
     def _fault_plan(
         self,
@@ -228,16 +363,139 @@ class Campaign:
             seed=fault_seed + 1,
         )
 
-    # -------------------------------------------------------------- campaigns
-    def run_golden(self, count: Optional[int] = None) -> List[RunRecord]:
-        """Error-free baseline runs."""
+    # --------------------------------------------------------- spec generation
+    def golden_specs(self, count: Optional[int] = None) -> List[RunSpec]:
+        """Specs of the error-free baseline runs."""
         if count is not None:
             seeds = [self.config.seed + i for i in range(scaled_count(count))]
         else:
             seeds = self._mission_seed_pool()
         return [
-            self.run_one(seed=seed, setting=RunSetting.GOLDEN) for seed in seeds
+            RunSpec(config=self.config, setting=RunSetting.GOLDEN, seed=seed, index=i)
+            for i, seed in enumerate(seeds)
         ]
+
+    def stage_injection_specs(
+        self,
+        setting: str,
+        detector: Optional[str] = None,
+        count_per_stage: Optional[int] = None,
+        stages: Sequence[str] = topics.PPC_STAGES,
+        bit_field: Optional[BitField] = None,
+    ) -> List[RunSpec]:
+        """Specs of single-bit injections split evenly over the PPC stages.
+
+        ``detector`` is a spec detector *tag* (``"gaussian"``,
+        ``"autoencoder"``, ``"custom"`` or ``None``), not a live object.
+        """
+        count = scaled_count(
+            count_per_stage
+            if count_per_stage is not None
+            else self.config.num_injections_per_stage
+        )
+        seeds = self._mission_seed_pool()
+        specs: List[RunSpec] = []
+        run_index = 0
+        for stage in stages:
+            for _ in range(count):
+                plan = self._fault_plan("stage", stage, run_index, bit_field)
+                specs.append(
+                    RunSpec(
+                        config=self.config,
+                        setting=setting,
+                        seed=seeds[run_index % len(seeds)],
+                        index=run_index,
+                        fault_plan=plan,
+                        detector=detector,
+                    )
+                )
+                run_index += 1
+        return specs
+
+    def kernel_injection_specs(
+        self,
+        kernel_specs: Sequence[Tuple[str, str, str]],
+        count_per_kernel: Optional[int] = None,
+        bit_field: Optional[BitField] = None,
+    ) -> List[RunSpec]:
+        """Specs of the per-kernel characterisation runs (Fig. 3).
+
+        ``kernel_specs`` is a sequence of ``(label, kernel_node_name,
+        planner_name)`` triples; the resulting specs carry the setting
+        ``"kernel:<label>"``.
+        """
+        count = scaled_count(
+            count_per_kernel
+            if count_per_kernel is not None
+            else self.config.num_injections_per_stage
+        )
+        seeds = self._mission_seed_pool()
+        specs: List[RunSpec] = []
+        run_index = 0
+        for label, kernel_name, planner_name in kernel_specs:
+            for i in range(count):
+                plan = self._fault_plan("kernel", kernel_name, run_index, bit_field)
+                specs.append(
+                    RunSpec(
+                        config=self.config,
+                        setting=f"kernel:{label}",
+                        seed=seeds[i % len(seeds)],
+                        index=run_index,
+                        fault_plan=plan,
+                        planner_name=planner_name,
+                    )
+                )
+                run_index += 1
+        return specs
+
+    def state_injection_specs(
+        self,
+        state_names: Sequence[str],
+        count_per_state: Optional[int] = None,
+        bit_field: Optional[BitField] = None,
+    ) -> List[RunSpec]:
+        """Specs of the per-inter-kernel-state characterisation runs (Fig. 4)."""
+        count = scaled_count(
+            count_per_state
+            if count_per_state is not None
+            else self.config.num_injections_per_stage
+        )
+        seeds = self._mission_seed_pool()
+        specs: List[RunSpec] = []
+        run_index = 0
+        for state_name in state_names:
+            for i in range(count):
+                plan = self._fault_plan("state", state_name, run_index, bit_field)
+                specs.append(
+                    RunSpec(
+                        config=self.config,
+                        setting=f"state:{state_name}",
+                        seed=seeds[i % len(seeds)],
+                        index=run_index,
+                        fault_plan=plan,
+                    )
+                )
+                run_index += 1
+        return specs
+
+    def evaluation_specs(self) -> List[RunSpec]:
+        """All specs of the Table I / Fig. 6 / Table II campaign, in order."""
+        specs = self.golden_specs()
+        specs += self.stage_injection_specs(RunSetting.INJECTION)
+        specs += self.stage_injection_specs(
+            RunSetting.DR_GAUSSIAN, detector=DETECTOR_GAUSSIAN
+        )
+        specs += self.stage_injection_specs(
+            RunSetting.DR_AUTOENCODER, detector=DETECTOR_AUTOENCODER
+        )
+        return specs
+
+    # -------------------------------------------------------------- campaigns
+    def run_golden(
+        self, count: Optional[int] = None, executor=None
+    ) -> List[RunRecord]:
+        """Error-free baseline runs."""
+        return self.run_specs(self.golden_specs(count), executor=executor)
 
     def run_stage_injections(
         self,
@@ -246,65 +504,44 @@ class Campaign:
         count_per_stage: Optional[int] = None,
         stages: Sequence[str] = topics.PPC_STAGES,
         bit_field: Optional[BitField] = None,
+        executor=None,
     ) -> List[RunRecord]:
-        """Single-bit injections split evenly over the PPC stages."""
-        count = scaled_count(
-            count_per_stage
-            if count_per_stage is not None
-            else self.config.num_injections_per_stage
+        """Single-bit injections split evenly over the PPC stages.
+
+        ``detector`` accepts a live detector object (as before) or a spec
+        detector tag; either way the runs go through the execution engine.
+        """
+        tag, extra = self._detector_tag(detector)
+        specs = self.stage_injection_specs(
+            setting,
+            detector=tag,
+            count_per_stage=count_per_stage,
+            stages=stages,
+            bit_field=bit_field,
         )
-        seeds = self._mission_seed_pool()
-        results: List[RunRecord] = []
-        run_index = 0
-        for stage in stages:
-            for i in range(count):
-                plan = self._fault_plan("stage", stage, run_index, bit_field)
-                results.append(
-                    self.run_one(
-                        seed=seeds[run_index % len(seeds)],
-                        setting=setting,
-                        fault_plan=plan,
-                        detector=detector,
-                    )
-                )
-                run_index += 1
-        return results
+        return self.run_specs(specs, executor=executor, extra_detectors=extra)
 
     def run_kernel_injections(
         self,
         kernel_specs: Sequence[Tuple[str, str, str]],
         count_per_kernel: Optional[int] = None,
         bit_field: Optional[BitField] = None,
+        executor=None,
     ) -> Dict[str, List[RunRecord]]:
-        """Per-kernel characterisation (Fig. 3).
+        """Per-kernel characterisation (Fig. 3), grouped by kernel label.
 
         ``kernel_specs`` is a sequence of ``(label, kernel_node_name,
         planner_name)`` triples; the planner variants (RRT, RRTConnect, RRT*)
         are expressed by running the pipeline with that planner and targeting
         the motion planner kernel.
         """
-        count = scaled_count(
-            count_per_kernel
-            if count_per_kernel is not None
-            else self.config.num_injections_per_stage
+        specs = self.kernel_injection_specs(
+            kernel_specs, count_per_kernel=count_per_kernel, bit_field=bit_field
         )
-        seeds = self._mission_seed_pool()
+        results = self.run_specs(specs, executor=executor)
         by_kernel: Dict[str, List[RunRecord]] = {}
-        run_index = 0
-        for label, kernel_name, planner_name in kernel_specs:
-            records: List[RunRecord] = []
-            for i in range(count):
-                plan = self._fault_plan("kernel", kernel_name, run_index, bit_field)
-                records.append(
-                    self.run_one(
-                        seed=seeds[i % len(seeds)],
-                        setting=f"kernel:{label}",
-                        fault_plan=plan,
-                        planner_name=planner_name,
-                    )
-                )
-                run_index += 1
-            by_kernel[label] = records
+        for spec, record in zip(specs, results):
+            by_kernel.setdefault(spec.setting.split(":", 1)[1], []).append(record)
         return by_kernel
 
     def run_state_injections(
@@ -312,46 +549,43 @@ class Campaign:
         state_names: Sequence[str],
         count_per_state: Optional[int] = None,
         bit_field: Optional[BitField] = None,
+        executor=None,
     ) -> Dict[str, List[RunRecord]]:
-        """Per-inter-kernel-state characterisation (Fig. 4)."""
-        count = scaled_count(
-            count_per_state
-            if count_per_state is not None
-            else self.config.num_injections_per_stage
+        """Per-inter-kernel-state characterisation (Fig. 4), grouped by state."""
+        specs = self.state_injection_specs(
+            state_names, count_per_state=count_per_state, bit_field=bit_field
         )
-        seeds = self._mission_seed_pool()
+        results = self.run_specs(specs, executor=executor)
         by_state: Dict[str, List[RunRecord]] = {}
-        run_index = 0
-        for state_name in state_names:
-            records: List[RunRecord] = []
-            for i in range(count):
-                plan = self._fault_plan("state", state_name, run_index, bit_field)
-                records.append(
-                    self.run_one(
-                        seed=seeds[i % len(seeds)],
-                        setting=f"state:{state_name}",
-                        fault_plan=plan,
-                    )
-                )
-                run_index += 1
-            by_state[state_name] = records
+        for spec, record in zip(specs, results):
+            by_state.setdefault(spec.setting.split(":", 1)[1], []).append(record)
         return by_state
 
-    def full_evaluation(self) -> CampaignResult:
+    def full_evaluation(
+        self,
+        executor=None,
+        store: Optional[JsonlResultStore] = None,
+        resume: bool = True,
+    ) -> CampaignResult:
         """Golden + FI + D&R(Gaussian) + D&R(Autoencoder) for one environment.
 
-        This is the campaign behind Table I, Fig. 6 and Table II.
+        This is the campaign behind Table I, Fig. 6 and Table II.  Pass a
+        parallel executor to fan the campaign out over worker processes and a
+        :class:`~repro.core.results.JsonlResultStore` to stream results to
+        disk and resume a partially-completed campaign.
         """
-        self.ensure_detectors()
-        result = CampaignResult(config=self.config)
-        result.extend(RunSetting.GOLDEN, self.run_golden())
-        result.extend(RunSetting.INJECTION, self.run_stage_injections(RunSetting.INJECTION))
-        result.extend(
-            RunSetting.DR_GAUSSIAN,
-            self.run_stage_injections(RunSetting.DR_GAUSSIAN, detector=self.gad),
-        )
-        result.extend(
-            RunSetting.DR_AUTOENCODER,
-            self.run_stage_injections(RunSetting.DR_AUTOENCODER, detector=self.aad),
-        )
-        return result
+        specs = self.evaluation_specs()
+        results = self.run_specs(specs, executor=executor, store=store, resume=resume)
+        outcome = CampaignResult(config=self.config)
+        for spec, record in zip(specs, results):
+            outcome.add(spec.setting, record)
+        return outcome
+
+    def run_all(
+        self,
+        executor=None,
+        store: Optional[JsonlResultStore] = None,
+        resume: bool = True,
+    ) -> CampaignResult:
+        """Alias of :meth:`full_evaluation` (the whole campaign, one call)."""
+        return self.full_evaluation(executor=executor, store=store, resume=resume)

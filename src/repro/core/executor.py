@@ -1,0 +1,428 @@
+"""Campaign execution engine: picklable run specs and pluggable executors.
+
+The paper's evaluation campaigns run hundreds of independent missions per
+environment.  Each mission is described here by a :class:`RunSpec` -- a small,
+picklable record of *what* to fly (environment, seeds, planner, platform),
+*which* fault to inject (an optional :class:`~repro.core.injector.FaultPlan`)
+and *which* detection scheme to attach (a detector tag, not a live object, so
+that specs can cross process boundaries).  Executors turn lists of specs into
+:class:`~repro.pipeline.runner.MissionResult` streams:
+
+* :class:`SerialExecutor` -- runs specs in order in the calling process; the
+  default and the reference for determinism.
+* :class:`ParallelExecutor` -- fans specs out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`; worker count comes from
+  the ``MAVFI_WORKERS`` environment variable (or the constructor), specs are
+  submitted in chunks, and detectors are reconstructed once per worker process
+  from the spec's campaign configuration, so nothing unpicklable is ever
+  shipped to a worker.
+
+Because every mission is fully seeded, the two executors produce bit-identical
+result streams for the same spec list; :func:`execute_specs` additionally
+persists results to a JSONL store as they arrive and skips specs whose
+deterministic key is already present (resume-from-partial-campaign).
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.injector import FaultInjectorNode, FaultPlan
+from repro.pipeline.builder import PipelineConfig, build_pipeline
+from repro.pipeline.runner import MissionResult, MissionRunner
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.core.campaign import CampaignConfig
+    from repro.core.results import JsonlResultStore
+
+#: Detector tags a :class:`RunSpec` may carry.  ``gaussian`` and
+#: ``autoencoder`` are reconstructible in worker processes from the campaign
+#: configuration (training-environment count, cache directory, planner and
+#: platform); ``custom`` refers to an in-memory detector object supplied by
+#: the caller and therefore only works with the serial executor.
+DETECTOR_GAUSSIAN = "gaussian"
+DETECTOR_AUTOENCODER = "autoencoder"
+DETECTOR_CUSTOM = "custom"
+RECONSTRUCTIBLE_DETECTORS = (DETECTOR_GAUSSIAN, DETECTOR_AUTOENCODER)
+
+#: Streaming callback type: invoked once per completed spec (possibly out of
+#: submission order under the parallel executor).
+ResultCallback = Callable[["RunSpec", MissionResult], None]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Picklable description of one campaign mission.
+
+    ``config`` is the owning campaign's :class:`CampaignConfig`; ``seed`` is
+    the mission seed, ``index`` the spec's position within its generated batch
+    (kept for ordering and reporting; it does not enter the spec key).
+    ``planner_name`` and ``platform`` override the campaign defaults for
+    per-kernel characterisation runs.
+    """
+
+    config: "CampaignConfig"
+    setting: str
+    seed: int
+    index: int = 0
+    fault_plan: Optional[FaultPlan] = None
+    detector: Optional[str] = None
+    planner_name: Optional[str] = None
+    platform: Optional[str] = None
+
+    def key(self) -> str:
+        """Deterministic identity of this spec (stable across processes).
+
+        Two specs with the same key describe the same fully-seeded mission
+        and therefore the same :class:`MissionResult`; the JSONL resume logic
+        relies on this to skip already-completed runs.
+        """
+        return hashlib.sha1(repr(self._canonical()).encode("utf-8")).hexdigest()[:16]
+
+    def _canonical(self) -> Tuple:
+        cfg = self.config
+        environment = getattr(cfg.environment, "name", cfg.environment)
+        platform = getattr(cfg.platform, "name", cfg.platform)
+        plan = self.fault_plan
+        plan_fields: Tuple = ()
+        if plan is not None:
+            plan_fields = (
+                plan.target_type,
+                plan.target,
+                round(float(plan.injection_time), 9),
+                plan.bit,
+                plan.bit_field.value,
+                plan.seed,
+            )
+        return (
+            "runspec-v1",
+            self.setting,
+            int(self.seed),
+            self.detector or "",
+            # A detector-bearing spec's result depends on how the detector is
+            # trained; detector-free runs deliberately ignore these so golden
+            # results resume across detector-configuration changes.
+            int(cfg.training_environments) if self.detector else 0,
+            self.planner_name or "",
+            self.platform or "",
+            str(environment),
+            int(cfg.env_seed),
+            cfg.planner_name,
+            str(platform),
+            round(float(cfg.mission_time_limit), 9),
+            round(float(cfg.time_step), 9),
+            plan_fields,
+        )
+
+
+# --------------------------------------------------------------- spec running
+#: Per-process cache of reconstructed detectors, keyed by the training
+#: parameters that determine them.  Worker processes fill this lazily on the
+#: first spec that needs a detector and reuse it for the rest of the campaign.
+_PROCESS_DETECTORS: Dict[Tuple, object] = {}
+
+
+def _reconstruct_detector(spec: RunSpec) -> object:
+    """Train (or load cached) the detector named by ``spec.detector``.
+
+    Training is fully seeded, so independently reconstructing a detector in
+    every worker yields the same detector the parent process would train; when
+    the campaign configuration names a ``detector_cache_dir`` the workers load
+    the cached detectors instead of retraining.
+    """
+    from repro.detection.training import train_detectors
+
+    cfg = spec.config
+    base_key = (
+        int(cfg.training_environments),
+        str(cfg.detector_cache_dir) if cfg.detector_cache_dir else "",
+        cfg.planner_name,
+        str(getattr(cfg.platform, "name", cfg.platform)),
+    )
+    cache_key = (spec.detector,) + base_key
+    if cache_key not in _PROCESS_DETECTORS:
+        training = train_detectors(
+            num_environments=cfg.training_environments,
+            cache_dir=cfg.detector_cache_dir,
+            planner_name=cfg.planner_name,
+            platform=cfg.platform,
+        )
+        # One training session yields both detectors; cache both so a mixed
+        # D&R campaign trains at most once per worker process.
+        _PROCESS_DETECTORS[(DETECTOR_GAUSSIAN,) + base_key] = training.gad
+        _PROCESS_DETECTORS[(DETECTOR_AUTOENCODER,) + base_key] = training.aad
+    return _PROCESS_DETECTORS[cache_key]
+
+
+def _resolve_detector(
+    spec: RunSpec, detectors: Optional[Mapping[str, object]]
+) -> Optional[object]:
+    if spec.detector is None:
+        return None
+    if detectors is not None and detectors.get(spec.detector) is not None:
+        return detectors[spec.detector]
+    if spec.detector in RECONSTRUCTIBLE_DETECTORS:
+        return _reconstruct_detector(spec)
+    raise ValueError(
+        f"detector tag {spec.detector!r} cannot be reconstructed in a worker "
+        f"process; pass the detector object via the serial executor instead"
+    )
+
+
+def execute_spec(
+    spec: RunSpec, detectors: Optional[Mapping[str, object]] = None
+) -> MissionResult:
+    """Fly the mission described by ``spec`` and return its result.
+
+    ``detectors`` optionally maps detector tags to live detector objects (the
+    serial path); without it, reconstructible tags are trained or loaded in
+    this process.  The detector is deep-copied per run so that one run's
+    detector state never leaks into the next.
+    """
+    from repro.detection.node import attach_detection
+
+    cfg = spec.config
+    pipeline_config = PipelineConfig(
+        environment=cfg.environment,
+        env_seed=cfg.env_seed,
+        planner_name=spec.planner_name or cfg.planner_name,
+        platform=spec.platform or cfg.platform,
+        seed=spec.seed,
+        mission_time_limit=cfg.mission_time_limit,
+    )
+    handles = build_pipeline(pipeline_config)
+    detector = _resolve_detector(spec, detectors)
+    if detector is not None:
+        attach_detection(handles, copy.deepcopy(detector))
+    injector = None
+    if spec.fault_plan is not None:
+        injector = FaultInjectorNode(spec.fault_plan, handles.kernels)
+        handles.graph.add_node(injector)
+    runner = MissionRunner(handles, time_step=cfg.time_step)
+    result = runner.run(
+        setting=spec.setting,
+        seed=spec.seed,
+        fault_target=spec.fault_plan.target if spec.fault_plan else "",
+    )
+    if injector is not None:
+        result.fault_description = injector.description
+    return result
+
+
+def _execute_chunk(
+    indexed_specs: Sequence[Tuple[int, RunSpec]]
+) -> List[Tuple[int, MissionResult]]:
+    """Worker entry point: run one chunk of (position, spec) pairs."""
+    return [(pos, execute_spec(spec)) for pos, spec in indexed_specs]
+
+
+# ------------------------------------------------------------- worker counts
+def env_worker_count() -> int:
+    """Worker count requested via the ``MAVFI_WORKERS`` environment variable.
+
+    Unset or empty means 1 (serial); ``0`` means "one worker per CPU";
+    anything non-numeric or negative is rejected explicitly.
+    """
+    raw = os.environ.get("MAVFI_WORKERS", "").strip()
+    if not raw:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"MAVFI_WORKERS must be a non-negative integer, got {raw!r}")
+    return resolve_worker_count(value)
+
+
+def resolve_worker_count(workers: Optional[int]) -> int:
+    """Normalise a worker count: ``None``/1 -> 1, 0 -> CPU count, <0 -> error."""
+    if workers is None:
+        return 1
+    workers = int(workers)
+    if workers < 0:
+        raise ValueError(f"worker count must be non-negative, got {workers}")
+    if workers == 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+# ------------------------------------------------------------------ executors
+class SerialExecutor:
+    """Runs specs one after another in the calling process (the default)."""
+
+    name = "serial"
+    distributed = False
+
+    def map(
+        self,
+        specs: Iterable[RunSpec],
+        on_result: Optional[ResultCallback] = None,
+        detectors: Optional[Mapping[str, object]] = None,
+    ) -> List[MissionResult]:
+        """Execute ``specs`` in order; returns results in the same order."""
+        results: List[MissionResult] = []
+        for spec in specs:
+            result = execute_spec(spec, detectors)
+            if on_result is not None:
+                on_result(spec, result)
+            results.append(result)
+        return results
+
+
+class ParallelExecutor:
+    """Fans specs out over a process pool; falls back to serial for <=1 worker.
+
+    ``workers`` follows :func:`resolve_worker_count` semantics (``None`` reads
+    ``MAVFI_WORKERS``); ``chunk_size`` controls how many specs ride in one
+    pool task (default: enough chunks for ~4 rounds per worker, so stragglers
+    rebalance without drowning the queue in tiny tasks).  In-memory detector
+    mappings are deliberately **not** shipped to workers -- each worker
+    reconstructs the detectors its specs name from the campaign configuration,
+    so only plain data crosses the process boundary.
+    """
+
+    name = "parallel"
+    distributed = True
+
+    def __init__(
+        self, workers: Optional[int] = None, chunk_size: Optional[int] = None
+    ) -> None:
+        self.workers = env_worker_count() if workers is None else resolve_worker_count(workers)
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.chunk_size = chunk_size
+
+    def _chunks(
+        self, specs: Sequence[RunSpec], workers: int
+    ) -> List[List[Tuple[int, RunSpec]]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, len(specs) // (workers * 4))
+        indexed = list(enumerate(specs))
+        return [indexed[i : i + size] for i in range(0, len(indexed), size)]
+
+    def map(
+        self,
+        specs: Iterable[RunSpec],
+        on_result: Optional[ResultCallback] = None,
+        detectors: Optional[Mapping[str, object]] = None,
+    ) -> List[MissionResult]:
+        """Execute ``specs`` across the pool; returns results in spec order.
+
+        ``on_result`` fires as results arrive (completion order); the returned
+        list is always in submission order, bit-identical to the serial path.
+        """
+        specs = list(specs)
+        unshippable = {
+            spec.detector
+            for spec in specs
+            if spec.detector is not None
+            and spec.detector not in RECONSTRUCTIBLE_DETECTORS
+        }
+        if unshippable:
+            # Fail before any mission flies: in-memory detector objects are
+            # never shipped to workers, so these specs would crash mid-pool.
+            raise ValueError(
+                f"detector tags {sorted(unshippable)} reference in-memory "
+                f"objects that cannot be reconstructed in worker processes; "
+                f"use the serial executor for custom detectors"
+            )
+        workers = min(self.workers, max(1, len(specs)))
+        if workers <= 1 or len(specs) <= 1:
+            return SerialExecutor().map(specs, on_result=on_result, detectors=detectors)
+        results: List[Optional[MissionResult]] = [None] * len(specs)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_execute_chunk, chunk)
+                for chunk in self._chunks(specs, workers)
+            ]
+            for future in as_completed(futures):
+                for pos, result in future.result():
+                    results[pos] = result
+                    if on_result is not None:
+                        on_result(specs[pos], result)
+        return list(results)  # type: ignore[arg-type]
+
+
+def get_executor(workers: Optional[int] = None):
+    """Executor for ``workers`` (``None`` reads ``MAVFI_WORKERS``; <=1 serial)."""
+    count = env_worker_count() if workers is None else resolve_worker_count(workers)
+    if count <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(workers=count)
+
+
+# ------------------------------------------------------- store-aware dispatch
+def execute_specs(
+    specs: Iterable[RunSpec],
+    executor=None,
+    store: Optional["JsonlResultStore"] = None,
+    detectors: Optional[Mapping[str, object]] = None,
+    resume: bool = True,
+    on_result: Optional[ResultCallback] = None,
+    known_results: Optional[Dict[str, MissionResult]] = None,
+) -> List[MissionResult]:
+    """Run ``specs`` through ``executor`` with optional JSONL persistence.
+
+    When ``store`` is given, every completed run is appended to it as soon as
+    it arrives, and (with ``resume=True``) specs whose key is already in the
+    store are served from disk instead of being re-flown.  The returned list
+    is always in ``specs`` order, mixing loaded and freshly-run results.
+    ``known_results`` lets a caller that already parsed the store (e.g.
+    :meth:`Campaign.run_specs`) pass the key->result map in instead of having
+    it re-read from disk.
+    """
+    specs = list(specs)
+    if executor is None:
+        executor = SerialExecutor()
+    known: Dict[str, MissionResult] = {}
+    if known_results is not None:
+        known = dict(known_results)
+    elif store is not None and resume:
+        known = store.load_results()
+    pending: List[RunSpec] = []
+    pending_keys = set()
+    for spec in specs:
+        spec_key = spec.key()
+        if spec_key not in known and spec_key not in pending_keys:
+            pending.append(spec)
+            pending_keys.add(spec_key)
+
+    def record(spec: RunSpec, result: MissionResult) -> None:
+        if store is not None:
+            store.append(
+                spec.key(),
+                result,
+                meta={"setting": spec.setting, "seed": spec.seed, "index": spec.index},
+            )
+        if on_result is not None:
+            on_result(spec, result)
+
+    fresh = executor.map(pending, on_result=record, detectors=detectors)
+    for spec, result in zip(pending, fresh):
+        known[spec.key()] = result
+    # Duplicate keys (same mission requested twice) are flown once but must
+    # yield independent records, so callers mutating one entry don't silently
+    # mutate its twin.
+    emitted = set()
+    ordered: List[MissionResult] = []
+    for spec in specs:
+        spec_key = spec.key()
+        result = known[spec_key]
+        ordered.append(copy.deepcopy(result) if spec_key in emitted else result)
+        emitted.add(spec_key)
+    return ordered

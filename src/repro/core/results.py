@@ -1,17 +1,26 @@
-"""Distribution statistics and recovery-percentage helpers.
+"""Distribution statistics, JSONL result persistence and recovery helpers.
 
 The evaluation figures of the paper are box plots of flight-time
 distributions; this module provides the five-number summaries used to render
 them as text tables, plus the relative-recovery computations quoted in the
-text.
+text.  It also owns the streaming result persistence used by the campaign
+execution engine: :class:`MissionResult` records are serialised to one JSON
+object per line (JSONL), appended as missions complete, and read back to
+resume a partially-completed campaign.
 """
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
+
+from repro.pipeline.runner import MissionResult
+from repro.sim.airsim import FlightOutcome
 
 
 @dataclass(frozen=True)
@@ -66,3 +75,198 @@ def iqr_outlier_count(values: Sequence[float]) -> int:
     iqr = q3 - q1
     lo, hi = q1 - 1.5 * iqr, q3 + 1.5 * iqr
     return int(((data < lo) | (data > hi)).sum())
+
+
+# --------------------------------------------------------- result serialisation
+def _trajectory_to_lists(trajectory) -> List[List[float]]:
+    return [[float(v) for v in point] for point in np.asarray(trajectory).reshape(-1, 3)]
+
+
+def _finite_or_str(value: float):
+    """Non-finite floats as strings so every JSONL line is RFC-valid JSON.
+
+    ``json.dumps`` would otherwise emit the non-standard ``Infinity``/``NaN``
+    tokens (e.g. for ``FlightOutcome.final_distance_to_goal``'s ``inf``
+    default), which strict parsers like ``jq`` reject.
+    """
+    value = float(value)
+    return value if math.isfinite(value) else str(value)
+
+
+def flight_outcome_to_dict(outcome: FlightOutcome) -> Dict:
+    """JSON-serialisable form of a :class:`FlightOutcome` (exact floats)."""
+    return {
+        "success": bool(outcome.success),
+        "collision": bool(outcome.collision),
+        "timeout": bool(outcome.timeout),
+        "out_of_bounds": bool(outcome.out_of_bounds),
+        "flight_time": float(outcome.flight_time),
+        "flight_energy": float(outcome.flight_energy),
+        "distance_travelled": float(outcome.distance_travelled),
+        "final_distance_to_goal": _finite_or_str(outcome.final_distance_to_goal),
+        "trajectory": [_trajectory_to_lists(p)[0] for p in outcome.trajectory]
+        if outcome.trajectory
+        else [],
+        "reason": outcome.reason,
+    }
+
+
+def flight_outcome_from_dict(data: Dict) -> FlightOutcome:
+    """Inverse of :func:`flight_outcome_to_dict`."""
+    return FlightOutcome(
+        success=bool(data["success"]),
+        collision=bool(data["collision"]),
+        timeout=bool(data["timeout"]),
+        out_of_bounds=bool(data["out_of_bounds"]),
+        flight_time=float(data["flight_time"]),
+        flight_energy=float(data["flight_energy"]),
+        distance_travelled=float(data["distance_travelled"]),
+        final_distance_to_goal=float(data["final_distance_to_goal"]),
+        trajectory=[np.asarray(p, dtype=float) for p in data.get("trajectory", [])],
+        reason=data.get("reason", "incomplete"),
+    )
+
+
+def mission_result_to_dict(result: MissionResult) -> Dict:
+    """Full-fidelity JSON-serialisable form of a :class:`MissionResult`.
+
+    Floats round-trip exactly through :mod:`json` (``repr`` based), so the
+    dict form doubles as the bit-identity comparison used by the serial-vs-
+    parallel equivalence checks.
+    """
+    return {
+        "success": bool(result.success),
+        "flight_time": float(result.flight_time),
+        "mission_energy": float(result.mission_energy),
+        "flight_energy": float(result.flight_energy),
+        "compute_energy": float(result.compute_energy),
+        "distance_travelled": float(result.distance_travelled),
+        "outcome": flight_outcome_to_dict(result.outcome),
+        "environment": result.environment,
+        "platform": result.platform,
+        "planner": result.planner,
+        "setting": result.setting,
+        "seed": int(result.seed),
+        "fault_description": result.fault_description,
+        "fault_target": result.fault_target,
+        "compute_time": {k: float(v) for k, v in result.compute_time.items()},
+        "compute_categories": {
+            k: float(v) for k, v in result.compute_categories.items()
+        },
+        "categories_by_node": {
+            node: {k: float(v) for k, v in cats.items()}
+            for node, cats in result.categories_by_node.items()
+        },
+        "detection_alarms": int(result.detection_alarms),
+        "detection_alarms_by_stage": {
+            k: int(v) for k, v in result.detection_alarms_by_stage.items()
+        },
+        "detection_checked_samples": int(result.detection_checked_samples),
+        "recoveries_by_stage": {
+            k: int(v) for k, v in result.recoveries_by_stage.items()
+        },
+        "replan_count": int(result.replan_count),
+        "trajectory": _trajectory_to_lists(result.trajectory),
+    }
+
+
+def mission_result_from_dict(data: Dict) -> MissionResult:
+    """Inverse of :func:`mission_result_to_dict`."""
+    trajectory = np.asarray(data.get("trajectory", []), dtype=float)
+    if trajectory.size == 0:
+        trajectory = np.zeros((0, 3))
+    return MissionResult(
+        success=bool(data["success"]),
+        flight_time=float(data["flight_time"]),
+        mission_energy=float(data["mission_energy"]),
+        flight_energy=float(data["flight_energy"]),
+        compute_energy=float(data["compute_energy"]),
+        distance_travelled=float(data["distance_travelled"]),
+        outcome=flight_outcome_from_dict(data["outcome"]),
+        environment=data["environment"],
+        platform=data["platform"],
+        planner=data["planner"],
+        setting=data["setting"],
+        seed=int(data["seed"]),
+        fault_description=data.get("fault_description", ""),
+        fault_target=data.get("fault_target", ""),
+        compute_time=dict(data.get("compute_time", {})),
+        compute_categories=dict(data.get("compute_categories", {})),
+        categories_by_node={
+            node: dict(cats) for node, cats in data.get("categories_by_node", {}).items()
+        },
+        detection_alarms=int(data.get("detection_alarms", 0)),
+        detection_alarms_by_stage=dict(data.get("detection_alarms_by_stage", {})),
+        detection_checked_samples=int(data.get("detection_checked_samples", 0)),
+        recoveries_by_stage=dict(data.get("recoveries_by_stage", {})),
+        replan_count=int(data.get("replan_count", 0)),
+        trajectory=trajectory.reshape(-1, 3),
+    )
+
+
+def mission_results_equal(a: MissionResult, b: MissionResult) -> bool:
+    """Whether two results are bit-identical (via their exact dict forms)."""
+    return mission_result_to_dict(a) == mission_result_to_dict(b)
+
+
+# ----------------------------------------------------------------- JSONL store
+class JsonlResultStore:
+    """Append-only JSONL persistence of keyed mission results.
+
+    Each line is one JSON object ``{"key": ..., "meta": {...}, "result":
+    {...}}``; results are appended (and flushed) as missions complete, so a
+    killed campaign leaves a valid prefix behind.  A torn final line -- the
+    one failure mode of append-only JSONL -- is tolerated and skipped on
+    read, and re-running the campaign fills in exactly the missing specs.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JsonlResultStore({str(self.path)!r})"
+
+    def _iter_records(self) -> Iterable[Dict]:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn tail of an interrupted campaign; the spec will
+                    # simply be re-run.
+                    continue
+                if isinstance(record, dict) and "key" in record and "result" in record:
+                    yield record
+
+    def completed_keys(self) -> set:
+        """Keys of every intact record in the store."""
+        return {record["key"] for record in self._iter_records()}
+
+    def load_results(self) -> Dict[str, MissionResult]:
+        """All intact records as ``key -> MissionResult`` (last write wins)."""
+        return {
+            record["key"]: mission_result_from_dict(record["result"])
+            for record in self._iter_records()
+        }
+
+    def load_records(self) -> List[Dict]:
+        """All intact raw records, in file order (``meta`` preserved)."""
+        return list(self._iter_records())
+
+    def append(
+        self, key: str, result: MissionResult, meta: Optional[Dict] = None
+    ) -> None:
+        """Append one keyed result (flushed immediately)."""
+        record = {"key": key, "meta": meta or {}, "result": mission_result_to_dict(result)}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+            handle.flush()
+
+    def __len__(self) -> int:
+        return len(self.load_records())

@@ -17,7 +17,7 @@ honest: one forward pass is a handful of tiny matrix multiplies.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 

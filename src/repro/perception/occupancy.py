@@ -16,7 +16,7 @@ from typing import Dict, Iterable, Optional, Tuple
 import numpy as np
 
 from repro import topics
-from repro.pipeline.kernel import KernelNode, PendingFault
+from repro.pipeline.kernel import KernelNode
 from repro.rosmw.message import OccupancyMapMsg, PointCloudMsg
 
 VoxelKey = Tuple[int, int, int]

@@ -1,6 +1,5 @@
 """Tests for trajectory analysis and report formatting."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.reporting import (

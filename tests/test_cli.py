@@ -1,0 +1,84 @@
+"""Tests for the ``python -m repro`` command line interface."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.core.results import JsonlResultStore
+from repro.version import __version__
+
+
+def _campaign_args(tmp_path, *extra):
+    return [
+        "campaign",
+        "--env",
+        "farm",
+        "--settings",
+        "golden",
+        "--golden",
+        "2",
+        "--time-limit",
+        "60",
+        "--out",
+        str(tmp_path / "results.jsonl"),
+        "--quiet",
+        *extra,
+    ]
+
+
+def test_version_command(capsys):
+    assert main(["version"]) == 0
+    assert capsys.readouterr().out.strip() == __version__
+
+
+def test_campaign_writes_jsonl_and_summarises(tmp_path, capsys):
+    assert main(_campaign_args(tmp_path)) == 0
+    out = capsys.readouterr().out
+    assert "Campaign summary" in out
+    assert "golden" in out
+    store = JsonlResultStore(tmp_path / "results.jsonl")
+    assert len(store) == 2
+
+    assert main(["summarize", "--results", str(tmp_path / "results.jsonl")]) == 0
+    assert "golden" in capsys.readouterr().out
+
+
+def test_campaign_resumes_from_store(tmp_path, capsys):
+    assert main(_campaign_args(tmp_path)) == 0
+    capsys.readouterr()
+    assert main(_campaign_args(tmp_path)) == 0
+    out = capsys.readouterr().out
+    assert "resumed from store: 2" in out
+    # No duplicate records were appended on the resumed run.
+    assert len(JsonlResultStore(tmp_path / "results.jsonl")) == 2
+
+
+def test_summarize_deduplicates_rewritten_records(tmp_path, capsys):
+    assert main(_campaign_args(tmp_path)) == 0
+    assert main(_campaign_args(tmp_path, "--no-resume")) == 0
+    # Two campaign passes -> 4 raw records, but each mission counts once.
+    assert len(JsonlResultStore(tmp_path / "results.jsonl")) == 4
+    capsys.readouterr()
+    assert main(["summarize", "--results", str(tmp_path / "results.jsonl")]) == 0
+    out = capsys.readouterr().out
+    assert re.search(r"golden\s+2\s", out)
+
+
+def test_campaign_parallel_workers(tmp_path, capsys):
+    assert main(_campaign_args(tmp_path, "--workers", "2")) == 0
+    out = capsys.readouterr().out
+    assert "executor=parallel workers=2" in out
+    assert len(JsonlResultStore(tmp_path / "results.jsonl")) == 2
+
+
+def test_campaign_rejects_unknown_setting(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["campaign", "--settings", "bogus"])
+
+
+def test_summarize_missing_file_fails(tmp_path, capsys):
+    assert main(["summarize", "--results", str(tmp_path / "none.jsonl")]) == 1
+    assert "no intact records" in capsys.readouterr().out

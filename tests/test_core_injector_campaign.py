@@ -1,9 +1,7 @@
 """Tests for the fault injector node, QoF metrics and campaign management."""
 
-import numpy as np
 import pytest
 
-from repro import topics
 from repro.core.campaign import (
     Campaign,
     CampaignConfig,
@@ -23,7 +21,6 @@ from repro.core.qof import (
 )
 from repro.core.results import distribution_stats, iqr_outlier_count, recovery_percentage
 from repro.pipeline.builder import PipelineConfig, build_pipeline
-from repro.pipeline.runner import MissionRunner
 
 
 class TestFaultPlan:
@@ -89,8 +86,6 @@ class TestFaultInjectorNode:
         assert "command_vx" in injector.description
 
     def test_state_injection_arms_tap_when_no_message_yet(self, graph):
-        from repro.pipeline.kernel import KernelNode
-
         injector = FaultInjectorNode(
             FaultPlan(target_type="state", target="waypoint_x", injection_time=1.0, bit=63),
             {},
@@ -194,9 +189,27 @@ class TestCampaign:
         monkeypatch.setenv("MAVFI_RUNS", "2.0")
         assert runs_scale() == 2.0
         assert scaled_count(10) == 20
-        monkeypatch.setenv("MAVFI_RUNS", "garbage")
-        assert runs_scale() == 1.0
         monkeypatch.delenv("MAVFI_RUNS")
+        assert runs_scale() == 1.0
+
+    def test_runs_scale_rejects_invalid_values(self, monkeypatch):
+        for bad in ("garbage", "-1", "-0.5", "nan", "inf", "-inf"):
+            monkeypatch.setenv("MAVFI_RUNS", bad)
+            with pytest.raises(ValueError):
+                runs_scale()
+        # Tiny positive values are floored, not rejected.
+        monkeypatch.setenv("MAVFI_RUNS", "0")
+        assert runs_scale() == 0.01
+        monkeypatch.setenv("MAVFI_RUNS", "0.001")
+        assert runs_scale() == 0.01
+
+    def test_runs_scale_caches_parsed_value(self, monkeypatch):
+        monkeypatch.setenv("MAVFI_RUNS", "3.0")
+        assert runs_scale() == 3.0
+        # Same raw value: served from the cache (same parse, same result).
+        assert runs_scale() == 3.0
+        monkeypatch.setenv("MAVFI_RUNS", "4.0")
+        assert runs_scale() == 4.0
 
     def test_campaign_result_bookkeeping(self):
         result = CampaignResult(config=CampaignConfig())

@@ -2,7 +2,6 @@
 
 import copy
 
-import numpy as np
 import pytest
 
 from repro import topics
@@ -10,7 +9,6 @@ from repro.detection.node import AnomalyDetectionNode, DetectionPolicy, attach_d
 from repro.detection.recovery import RecoveryCoordinatorNode
 from repro.pipeline.builder import PipelineConfig, build_pipeline
 from repro.pipeline.runner import MissionRunner
-from repro.rosmw.graph import NodeGraph
 from repro.rosmw.message import (
     FlightCommandMsg,
     MultiDOFTrajectoryMsg,

@@ -8,7 +8,6 @@ recovery node, and check the system-level behaviour.
 
 import copy
 
-import numpy as np
 import pytest
 
 from repro import topics

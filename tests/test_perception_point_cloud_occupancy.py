@@ -11,7 +11,7 @@ from repro.rosmw.graph import NodeGraph
 from repro.rosmw.message import DepthImageMsg, PointCloudMsg
 from repro.sim.sensors import CameraConfig, DepthCamera
 from repro.sim.vehicle import QuadrotorState
-from repro.sim.world import Cuboid, World
+from repro.sim.world import World
 
 
 def _depth_msg_from_world(world, position=(0.0, 0.0, 3.0), yaw=0.0):

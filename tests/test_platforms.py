@@ -1,9 +1,8 @@
 """Tests for the compute platform, redundancy, visual-performance and energy models."""
 
-import numpy as np
 import pytest
 
-from repro.core.overhead import KERNEL_STAGES, OverheadReport, compute_overhead
+from repro.core.overhead import KERNEL_STAGES, compute_overhead
 from repro.platforms.compute import (
     DETECTION_BASE_LATENCIES,
     KERNEL_BASE_LATENCIES,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.rosmw.clock import SimClock
 from repro.rosmw.exceptions import ClockError
-from repro.rosmw.graph import NodeGraph
 from repro.rosmw.node import Node
 
 
