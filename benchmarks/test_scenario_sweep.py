@@ -1,0 +1,106 @@
+"""Scenario-sweep workload: QoF across the flight-scenario catalog.
+
+The paper evaluates four still-air environments with one fixed mission; the
+scenario subsystem multiplies that workload space with wind, sensor
+degradation, multi-waypoint missions and two extra environment families.
+This benchmark sweeps the preset catalog and reports the per-scenario QoF,
+plus (in the smoke case) re-verifies the engine's serial-vs-parallel
+bit-identity contract under the most hostile scenario axes.
+"""
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.executor import ParallelExecutor, SerialExecutor
+from repro.core.qof import summarize_runs
+from repro.core.results import mission_result_to_dict
+from repro.scenarios import get_scenario, scenario_names
+
+from conftest import print_artifact
+from repro.analysis.reporting import format_table
+
+#: Scenarios exercised by the CI smoke job: one per axis (waypoints, wind +
+#: degradation + waypoints, heavy sensor degradation), all on fast Farm maps.
+SMOKE_SCENARIOS = ("patrol-farm", "blind-farm")
+
+
+def _campaign(num_golden, scenario=None):
+    config = CampaignConfig(
+        environment="farm",
+        scenario=scenario,
+        num_golden=num_golden,
+        mission_time_limit=90.0,
+    )
+    return Campaign(config)
+
+
+@pytest.mark.smoke
+def test_smoke_scenario_sweep_bit_identical():
+    """A 2-worker scenario sweep matches the serial sweep bit for bit."""
+    campaign = _campaign(num_golden=2)
+    specs = campaign.scenario_sweep_specs(SMOKE_SCENARIOS)
+    serial = campaign.run_specs(specs, executor=SerialExecutor())
+    parallel = campaign.run_specs(specs, executor=ParallelExecutor(workers=2))
+    assert len(serial) == len(parallel) == len(specs)
+    for left, right in zip(serial, parallel):
+        assert mission_result_to_dict(left) == mission_result_to_dict(right)
+    rows = []
+    for name in SMOKE_SCENARIOS:
+        records = [r for r in serial if r.scenario == name]
+        summary = summarize_runs(records)
+        rows.append(
+            [
+                name,
+                summary.num_runs,
+                f"{summary.success_rate * 100:.0f}%",
+                f"{summary.mean_flight_time:.1f}",
+            ]
+        )
+    print_artifact(
+        "Scenario sweep smoke: serial == 2-worker parallel",
+        format_table(["Scenario", "Runs", "Success", "Mean flight [s]"], rows),
+    )
+
+
+def test_full_scenario_catalog_sweep(campaign_executor):
+    """Sweep every registered scenario and report the QoF per scenario."""
+    campaign = _campaign(num_golden=4)
+    by_scenario = campaign.run_scenario_sweep(
+        scenario_names(), executor=campaign_executor
+    )
+    rows = []
+    any_fallback = False
+    for name in sorted(by_scenario):
+        scenario = get_scenario(name)
+        summary = summarize_runs(by_scenario[name])
+        # Mark rows whose statistics describe failed runs (no success).
+        mark = "*" if summary.fell_back_to_failures else ""
+        any_fallback = any_fallback or summary.fell_back_to_failures
+        rows.append(
+            [
+                name,
+                scenario.environment,
+                summary.num_runs,
+                f"{summary.success_rate * 100:.0f}%",
+                f"{summary.mean_flight_time:.1f}{mark}",
+                f"{summary.mean_energy / 1000:.1f}{mark}",
+            ]
+        )
+    body = format_table(
+        [
+            "Scenario",
+            "Environment",
+            "Runs",
+            "Success",
+            "Mean flight [s]",
+            "Mean energy [kJ]",
+        ],
+        rows,
+    )
+    if any_fallback:
+        body += "\n(* statistics over failed runs: no mission of that scenario succeeded)"
+    print_artifact("Scenario catalog sweep: QoF per preset", body)
+    # The calm baseline scenario must stay reliable; hostile scenarios are
+    # allowed to fail missions but must all have produced records.
+    assert summarize_runs(by_scenario["calm-sparse"]).success_rate >= 0.75
+    assert set(by_scenario) == set(scenario_names())

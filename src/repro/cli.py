@@ -22,6 +22,7 @@ import argparse
 import os
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -39,7 +40,8 @@ from repro.core.executor import (
 )
 from repro.core.qof import summarize_runs
 from repro.core.results import JsonlResultStore, mission_result_from_dict
-from repro.sim.environments import ENVIRONMENT_NAMES
+from repro.scenarios import get_scenario, iter_scenarios
+from repro.sim.environments import EXTENDED_ENVIRONMENT_NAMES
 from repro.version import __version__
 
 #: Settings the ``campaign`` subcommand can run, in canonical order.
@@ -68,7 +70,23 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--env",
         default="sparse",
-        help=f"evaluation environment ({', '.join(ENVIRONMENT_NAMES)}; default sparse)",
+        help=(
+            "evaluation environment "
+            f"({', '.join(EXTENDED_ENVIRONMENT_NAMES)}; default sparse)"
+        ),
+    )
+    campaign.add_argument(
+        "--scenario",
+        default=None,
+        help=(
+            "flight scenario name, or a comma-separated list to sweep "
+            "(see --list-scenarios); overrides --env"
+        ),
+    )
+    campaign.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print the scenario catalog and exit",
     )
     campaign.add_argument(
         "--settings",
@@ -139,6 +157,29 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _scenario_catalog() -> str:
+    """The scenario catalog as a text table."""
+    rows = []
+    for scenario in iter_scenarios():
+        axes = []
+        if scenario.wind.enabled:
+            axes.append("wind")
+        if scenario.sensors.enabled:
+            axes.append("sensors")
+        if scenario.mission.waypoints:
+            axes.append(f"{len(scenario.mission.waypoints)}wp")
+        rows.append(
+            [
+                scenario.name,
+                scenario.environment,
+                "+".join(axes) or "-",
+                scenario.description,
+            ]
+        )
+    return format_table(["Scenario", "Environment", "Axes", "Description"], rows,
+                        title="Scenario catalog")
+
+
 def _settings_list(raw: str) -> List[str]:
     settings = []
     for setting in (s.strip() for s in raw.split(",") if s.strip()):
@@ -172,19 +213,25 @@ def _campaign_specs(campaign: Campaign, settings: Sequence[str]) -> List[RunSpec
 
 def _summary_table(by_setting: Dict[str, List], title: str) -> str:
     rows = []
+    any_fallback = False
     for setting, records in by_setting.items():
         summary = summarize_runs(records)
+        # Flag flight-time/energy statistics that describe *failed* runs
+        # (no mission of the row succeeded) -- they are not comparable to
+        # the successful-run statistics of the other rows.
+        mark = "*" if summary.fell_back_to_failures else ""
+        any_fallback = any_fallback or summary.fell_back_to_failures
         rows.append(
             [
                 setting,
                 summary.num_runs,
                 f"{summary.success_rate * 100:.0f}%",
-                f"{summary.mean_flight_time:.1f}",
-                f"{summary.worst_flight_time:.1f}",
-                f"{summary.mean_energy / 1000:.1f}",
+                f"{summary.mean_flight_time:.1f}{mark}",
+                f"{summary.worst_flight_time:.1f}{mark}",
+                f"{summary.mean_energy / 1000:.1f}{mark}",
             ]
         )
-    return format_table(
+    table = format_table(
         [
             "Setting",
             "Runs",
@@ -196,15 +243,37 @@ def _summary_table(by_setting: Dict[str, List], title: str) -> str:
         rows,
         title=title,
     )
+    if any_fallback:
+        table += "\n(* statistics over failed runs: no mission of that row succeeded)"
+    return table
+
+
+def _scenario_label(setting: str, scenario_name: str) -> str:
+    """Summary-table row label: the setting, scenario-qualified when present."""
+    if scenario_name and not setting.startswith("scenario:"):
+        return f"{scenario_name}:{setting}"
+    return setting
+
+
+def _spec_label(spec: RunSpec) -> str:
+    scenario = spec.effective_scenario()
+    return _scenario_label(spec.setting, scenario.name if scenario else "")
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.list_scenarios:
+        print(_scenario_catalog())
+        return 0
     if args.runs is not None:
         os.environ["MAVFI_RUNS"] = str(args.runs)
     settings = _settings_list(args.settings)
+    scenarios = [s.strip() for s in (args.scenario or "").split(",") if s.strip()]
+    for name in scenarios:
+        get_scenario(name)  # Fail fast on a typo, before anything flies.
     config = CampaignConfig(
         environment=args.env,
         env_seed=args.env_seed,
+        scenario=scenarios[0] if len(scenarios) == 1 else None,
         planner_name=args.planner,
         platform=args.platform,
         seed=args.seed,
@@ -217,7 +286,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.per_stage is not None:
         config.num_injections_per_stage = args.per_stage
     campaign = Campaign(config)
-    specs = _campaign_specs(campaign, settings)
+    if len(scenarios) > 1:
+        # Scenario sweep: every requested setting, once per scenario.
+        specs = []
+        for name in scenarios:
+            specs += _campaign_specs(
+                Campaign(replace(config, scenario=name)), settings
+            )
+    else:
+        specs = _campaign_specs(campaign, settings)
     executor = get_executor(args.workers)
     store = JsonlResultStore(args.out) if args.out is not None else None
 
@@ -226,7 +303,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         keys = {spec.key() for spec in specs}
         already = len(keys & store.completed_keys())
     print(
-        f"campaign: env={args.env} settings={','.join(settings)} "
+        f"campaign: env={args.env} "
+        + (f"scenarios={','.join(scenarios)} " if scenarios else "")
+        + f"settings={','.join(settings)} "
         f"specs={len(specs)} (resumed from store: {already}) "
         f"executor={executor.name}"
         + (f" workers={executor.workers}" if hasattr(executor, "workers") else "")
@@ -257,11 +336,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     by_setting: Dict[str, List] = {}
     for spec, record in zip(specs, results):
-        by_setting.setdefault(spec.setting, []).append(record)
+        by_setting.setdefault(_spec_label(spec), []).append(record)
+    scope = ",".join(scenarios) if scenarios else args.env
     print(
         _summary_table(
             by_setting,
-            title=f"Campaign summary ({args.env}, {elapsed:.1f}s wall clock)",
+            title=f"Campaign summary ({scope}, {elapsed:.1f}s wall clock)",
         )
     )
     if store is not None:
@@ -280,7 +360,8 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
         return 1
     by_setting: Dict[str, List] = {}
     for result in results.values():
-        by_setting.setdefault(result.setting, []).append(result)
+        label = _scenario_label(result.setting, result.scenario)
+        by_setting.setdefault(label, []).append(result)
     print(_summary_table(by_setting, title=f"Summary of {args.results}"))
     return 0
 

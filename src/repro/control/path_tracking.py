@@ -293,11 +293,14 @@ class ControlNode(KernelNode):
             # a fault inside the control node must not rewrite other nodes'
             # memory.
             self._latest_trajectory = self._latest_trajectory.copy()
-            path = corrupt_message_field(self._latest_trajectory, rng, bit=bit)
-            return f"{self.name}: tracked trajectory corrupted at {path} (bit {bit})"
+            corruption = corrupt_message_field(self._latest_trajectory, rng, bit=bit)
+            return f"{self.name}: tracked trajectory corrupted at {corruption}"
 
         def corrupt(msg, fault_rng):
-            corrupt_message_field(msg, fault_rng, bit=bit)
+            corruption = corrupt_message_field(msg, fault_rng, bit=bit)
+            if corruption is None:
+                return None
+            return f"{self.name}: corrupted command field {corruption}"
 
         self.arm_output_fault(PendingFault(corrupt=corrupt, rng=rng, description="command"))
         return f"{self.name}: pending command corruption (bit {bit})"

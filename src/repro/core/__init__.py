@@ -39,6 +39,7 @@ from repro.core.executor import (
 )
 from repro.core.fault import (
     BitField,
+    Corruption,
     FaultSpec,
     corrupt_array_element,
     corrupt_message_field,
@@ -71,6 +72,7 @@ __all__ = [
     "mission_result_from_dict",
     "mission_results_equal",
     "BitField",
+    "Corruption",
     "FaultSpec",
     "flip_float_bit",
     "flip_int_bit",

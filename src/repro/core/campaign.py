@@ -16,7 +16,7 @@ import math
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -34,7 +34,7 @@ from repro.core.injector import FaultPlan
 from repro.core.qof import QofSummary, summarize_runs
 from repro.core.results import JsonlResultStore
 from repro.detection.training import train_detectors
-from repro.pipeline.builder import PipelineConfig
+from repro.scenarios import Scenario, resolve_scenario
 from repro.pipeline.runner import MissionResult
 from repro import topics
 
@@ -105,6 +105,10 @@ class CampaignConfig:
 
     environment: str = "sparse"
     env_seed: int = 0
+    #: Optional flight scenario every run of the campaign flies under (a
+    #: registered scenario name or a :class:`~repro.scenarios.Scenario`);
+    #: per-spec scenarios (scenario sweeps) override it.
+    scenario: Optional[Union[str, Scenario]] = None
     planner_name: str = "rrt_star"
     platform: str = "i9"
     num_golden: int = 15
@@ -190,22 +194,6 @@ class Campaign:
             self.gad = training.gad
         if self.aad is None:
             self.aad = training.aad
-
-    def _pipeline_config(
-        self,
-        seed: int,
-        planner_name: Optional[str] = None,
-        platform: Optional[str] = None,
-    ) -> PipelineConfig:
-        cfg = self.config
-        return PipelineConfig(
-            environment=cfg.environment,
-            env_seed=cfg.env_seed,
-            planner_name=planner_name or cfg.planner_name,
-            platform=platform or cfg.platform,
-            seed=seed,
-            mission_time_limit=cfg.mission_time_limit,
-        )
 
     def _mission_seed_pool(self) -> List[int]:
         """Pool of mission seeds shared by every setting of the campaign.
@@ -478,8 +466,47 @@ class Campaign:
                 run_index += 1
         return specs
 
-    def evaluation_specs(self) -> List[RunSpec]:
-        """All specs of the Table I / Fig. 6 / Table II campaign, in order."""
+    def scenario_sweep_specs(
+        self,
+        scenarios: Sequence[Union[str, Scenario]],
+        count: Optional[int] = None,
+    ) -> List[RunSpec]:
+        """Specs of error-free runs across a list of scenarios.
+
+        Each scenario contributes ``count`` (default: the golden-run count)
+        missions under the setting ``"scenario:<name>"``, drawing mission
+        seeds from the shared pool so scenario-to-scenario differences
+        reflect the scenario rather than sampling noise.
+        """
+        if count is not None:
+            seeds = [self.config.seed + i for i in range(scaled_count(count))]
+        else:
+            seeds = self._mission_seed_pool()
+        specs: List[RunSpec] = []
+        for scenario in scenarios:
+            resolved = resolve_scenario(scenario)
+            if resolved is None:
+                raise ValueError("scenario sweeps require non-None scenarios")
+            for i, seed in enumerate(seeds):
+                specs.append(
+                    RunSpec(
+                        config=self.config,
+                        setting=f"scenario:{resolved.name}",
+                        seed=seed,
+                        index=i,
+                        scenario=resolved,
+                    )
+                )
+        return specs
+
+    def evaluation_specs(
+        self, scenarios: Optional[Sequence[Union[str, Scenario]]] = None
+    ) -> List[RunSpec]:
+        """All specs of the Table I / Fig. 6 / Table II campaign, in order.
+
+        ``scenarios`` optionally appends an error-free scenario sweep (one
+        batch of golden-style runs per scenario) to the paper campaign.
+        """
         specs = self.golden_specs()
         specs += self.stage_injection_specs(RunSetting.INJECTION)
         specs += self.stage_injection_specs(
@@ -488,6 +515,8 @@ class Campaign:
         specs += self.stage_injection_specs(
             RunSetting.DR_AUTOENCODER, detector=DETECTOR_AUTOENCODER
         )
+        if scenarios:
+            specs += self.scenario_sweep_specs(scenarios)
         return specs
 
     # -------------------------------------------------------------- campaigns
@@ -561,20 +590,39 @@ class Campaign:
             by_state.setdefault(spec.setting.split(":", 1)[1], []).append(record)
         return by_state
 
+    def run_scenario_sweep(
+        self,
+        scenarios: Sequence[Union[str, Scenario]],
+        count: Optional[int] = None,
+        executor=None,
+        store: Optional[JsonlResultStore] = None,
+        resume: bool = True,
+    ) -> Dict[str, List[RunRecord]]:
+        """Error-free runs across a list of scenarios, grouped by scenario name."""
+        specs = self.scenario_sweep_specs(scenarios, count=count)
+        results = self.run_specs(specs, executor=executor, store=store, resume=resume)
+        by_scenario: Dict[str, List[RunRecord]] = {}
+        for spec, record in zip(specs, results):
+            by_scenario.setdefault(spec.setting.split(":", 1)[1], []).append(record)
+        return by_scenario
+
     def full_evaluation(
         self,
         executor=None,
         store: Optional[JsonlResultStore] = None,
         resume: bool = True,
+        scenarios: Optional[Sequence[Union[str, Scenario]]] = None,
     ) -> CampaignResult:
         """Golden + FI + D&R(Gaussian) + D&R(Autoencoder) for one environment.
 
         This is the campaign behind Table I, Fig. 6 and Table II.  Pass a
         parallel executor to fan the campaign out over worker processes and a
         :class:`~repro.core.results.JsonlResultStore` to stream results to
-        disk and resume a partially-completed campaign.
+        disk and resume a partially-completed campaign.  ``scenarios``
+        additionally sweeps the named scenarios (one error-free batch per
+        scenario, recorded under ``scenario:<name>``).
         """
-        specs = self.evaluation_specs()
+        specs = self.evaluation_specs(scenarios=scenarios)
         results = self.run_specs(specs, executor=executor, store=store, resume=resume)
         outcome = CampaignResult(config=self.config)
         for spec, record in zip(specs, results):
@@ -586,6 +634,9 @@ class Campaign:
         executor=None,
         store: Optional[JsonlResultStore] = None,
         resume: bool = True,
+        scenarios: Optional[Sequence[Union[str, Scenario]]] = None,
     ) -> CampaignResult:
         """Alias of :meth:`full_evaluation` (the whole campaign, one call)."""
-        return self.full_evaluation(executor=executor, store=store, resume=resume)
+        return self.full_evaluation(
+            executor=executor, store=store, resume=resume, scenarios=scenarios
+        )

@@ -29,7 +29,7 @@ import copy
 import hashlib
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -40,11 +40,13 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 from repro.core.injector import FaultInjectorNode, FaultPlan
 from repro.pipeline.builder import PipelineConfig, build_pipeline
 from repro.pipeline.runner import MissionResult, MissionRunner
+from repro.scenarios import Scenario, resolve_scenario
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.core.campaign import CampaignConfig
@@ -73,7 +75,9 @@ class RunSpec:
     the mission seed, ``index`` the spec's position within its generated batch
     (kept for ordering and reporting; it does not enter the spec key).
     ``planner_name`` and ``platform`` override the campaign defaults for
-    per-kernel characterisation runs.
+    per-kernel characterisation runs; ``scenario`` (a registered name or a
+    :class:`~repro.scenarios.Scenario`) overrides the campaign's scenario for
+    scenario-sweep runs.
     """
 
     config: "CampaignConfig"
@@ -84,6 +88,14 @@ class RunSpec:
     detector: Optional[str] = None
     planner_name: Optional[str] = None
     platform: Optional[str] = None
+    scenario: Optional[Union[str, Scenario]] = None
+
+    def effective_scenario(self) -> Optional[Scenario]:
+        """The scenario this spec flies under (spec override, else campaign)."""
+        scenario = self.scenario
+        if scenario is None:
+            scenario = getattr(self.config, "scenario", None)
+        return resolve_scenario(scenario)
 
     def key(self) -> str:
         """Deterministic identity of this spec (stable across processes).
@@ -109,9 +121,11 @@ class RunSpec:
                 plan.bit_field.value,
                 plan.seed,
             )
+        scenario = self.effective_scenario()
         return (
-            "runspec-v1",
+            "runspec-v2",
             self.setting,
+            scenario.canonical() if scenario is not None else (),
             int(self.seed),
             self.detector or "",
             # A detector-bearing spec's result depends on how the detector is
@@ -200,6 +214,7 @@ def execute_spec(
     pipeline_config = PipelineConfig(
         environment=cfg.environment,
         env_seed=cfg.env_seed,
+        scenario=spec.effective_scenario(),
         planner_name=spec.planner_name or cfg.planner_name,
         platform=spec.platform or cfg.platform,
         seed=spec.seed,
@@ -229,6 +244,21 @@ def _execute_chunk(
 ) -> List[Tuple[int, MissionResult]]:
     """Worker entry point: run one chunk of (position, spec) pairs."""
     return [(pos, execute_spec(spec)) for pos, spec in indexed_specs]
+
+
+def materialize_scenario(spec: RunSpec) -> RunSpec:
+    """Pin the spec's effective scenario as a :class:`Scenario` object.
+
+    Scenario *names* resolve through the process-local registry; a custom
+    scenario registered only in the parent would be unknown to spawned
+    workers.  Shipping the resolved (picklable) object instead makes the spec
+    self-contained.  The spec key is unchanged -- it already hashes the
+    resolved scenario's content.
+    """
+    resolved = spec.effective_scenario()
+    if resolved is None or spec.scenario is resolved:
+        return spec
+    return replace(spec, scenario=resolved)
 
 
 # ------------------------------------------------------------- worker counts
@@ -344,6 +374,9 @@ class ParallelExecutor:
         workers = min(self.workers, max(1, len(specs)))
         if workers <= 1 or len(specs) <= 1:
             return SerialExecutor().map(specs, on_result=on_result, detectors=detectors)
+        # Scenario names resolve through the parent's registry; workers may
+        # not have custom registrations, so ship resolved Scenario objects.
+        specs = [materialize_scenario(spec) for spec in specs]
         results: List[Optional[MissionResult]] = [None] * len(specs)
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [

@@ -152,8 +152,25 @@ def numeric_leaf_fields(message: Any, prefix: str = "", skip_header: bool = True
     return leaves
 
 
+@dataclass(frozen=True)
+class Corruption:
+    """Record of one applied bit flip: the leaf path and the bit actually
+    flipped.
+
+    ``bit`` is the **effective** bit index -- for integer leaves it always
+    lies inside the integer's 32-bit representation, which may differ from
+    the float64 bit the caller requested (see :func:`corrupt_message_field`).
+    """
+
+    path: str
+    bit: int
+
+    def __str__(self) -> str:
+        return f"{self.path} (bit {self.bit})"
+
+
 def _flip_leaf(owner: Any, key: Any, bit: int) -> None:
-    """Flip a bit of one numeric leaf in place."""
+    """Flip ``bit`` of one numeric leaf in place (``bit`` must fit the leaf)."""
     if isinstance(owner, np.ndarray):
         flat = owner.reshape(-1)
         flat[key] = flip_float_bit(float(flat[key]), bit)
@@ -162,7 +179,7 @@ def _flip_leaf(owner: Any, key: Any, bit: int) -> None:
     if isinstance(value, float):
         setattr(owner, key, flip_float_bit(value, bit))
     elif isinstance(value, int):
-        setattr(owner, key, flip_int_bit(value, min(bit, 31), width=32))
+        setattr(owner, key, flip_int_bit(value, bit, width=32))
     else:  # pragma: no cover - numeric_leaf_fields only yields ints/floats
         raise TypeError(f"cannot flip bit of {type(value).__name__}")
 
@@ -172,14 +189,20 @@ def corrupt_message_field(
     rng: np.random.Generator,
     bit: int,
     field_name: Optional[str] = None,
-) -> Optional[str]:
+) -> Optional[Corruption]:
     """Flip one bit of one numeric field of ``message`` in place.
 
     When ``field_name`` is given, only leaves whose dotted path ends with that
     suffix are eligible (e.g. ``".yaw"`` targets way-point yaw values but not
     ``.y``); otherwise the leaf is drawn uniformly at random.  Returns the
-    dotted path of the corrupted leaf, or ``None`` if the message holds no
-    matching numeric data.
+    :class:`Corruption` record of the flipped leaf, or ``None`` if the message
+    holds no matching numeric data.
+
+    ``bit`` indexes a float64; when the drawn leaf turns out to be a 32-bit
+    integer and ``bit`` falls outside its representation, an effective bit is
+    drawn uniformly from the integer's 32 bits instead.  The returned record
+    always carries the bit that was actually flipped -- clamping it silently
+    (the old behaviour) made the recorded fault metadata misreport int flips.
     """
     leaves = numeric_leaf_fields(message)
     if field_name is not None:
@@ -187,5 +210,11 @@ def corrupt_message_field(
     if not leaves:
         return None
     owner, key, path = leaves[int(rng.integers(len(leaves)))]
+    if (
+        not isinstance(owner, np.ndarray)
+        and isinstance(getattr(owner, key), int)
+        and bit > 31
+    ):
+        bit = int(rng.integers(32))
     _flip_leaf(owner, key, bit)
-    return path
+    return Corruption(path=path, bit=bit)

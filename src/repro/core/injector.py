@@ -58,11 +58,29 @@ class FaultInjectorNode(Node):
         self.plan = plan
         self.kernels = dict(kernels)
         self.injected = False
-        self.description = ""
+        self._description = ""
         self._rng = np.random.default_rng(plan.seed)
         self._timer = None
         self._state_tap = None
         self._state_topic: Optional[str] = None
+        self._armed_kernel: Optional[KernelNode] = None
+
+    @property
+    def description(self) -> str:
+        """Human-readable record of the injected fault.
+
+        For kernel faults armed on the next published output, the kernel
+        refines the description when the corruption actually applies (which
+        leaf, which effective bit) -- that refined form wins over the
+        "pending" placeholder, so campaign metadata reports the bit that was
+        really flipped.
+        """
+        applied = getattr(self._armed_kernel, "applied_fault_description", "")
+        return applied or self._description
+
+    @description.setter
+    def description(self, value: str) -> None:
+        self._description = value
 
     # --------------------------------------------------------------- topology
     def on_start(self) -> None:
@@ -97,6 +115,11 @@ class FaultInjectorNode(Node):
                 self.description = f"no kernel available for target '{plan.target}'"
             else:
                 self.description = kernel.corrupt_internal(self._rng, bit)
+                if kernel.has_pending_fault:
+                    # Output corruption armed but not yet applied: track the
+                    # kernel so the post-application description (actual leaf
+                    # and effective bit) reaches the campaign metadata.
+                    self._armed_kernel = kernel
         self.injected = True
         return self.description
 
@@ -120,25 +143,25 @@ class FaultInjectorNode(Node):
         last = self.graph.topic_bus.last_message(state.topic)
         if last is not None:
             corrupted = last.copy()
-            path = corrupt_message_field(
+            corruption = corrupt_message_field(
                 corrupted, self._rng, bit=bit, field_name=state.inject_field
             )
-            if path is not None:
+            if corruption is not None:
                 self.graph.topic_bus.publish(state.topic, corrupted)
-                return f"state {state_name}: corrupted live field {path} (bit {bit})"
+                return f"state {state_name}: corrupted live field {corruption}"
 
         corrupted_path = {"value": ""}
 
         def tap(topic: str, message: Message) -> Message:
             # Only the first message after arming is corrupted.
             if not corrupted_path["value"]:
-                path = corrupt_message_field(
+                corruption = corrupt_message_field(
                     message, self._rng, bit=bit, field_name=state.inject_field
                 )
-                if path is not None:
-                    corrupted_path["value"] = path
+                if corruption is not None:
+                    corrupted_path["value"] = corruption.path
                     self.description = (
-                        f"state {state_name}: corrupted field {path} (bit {bit})"
+                        f"state {state_name}: corrupted field {corruption}"
                     )
             return message
 

@@ -35,7 +35,13 @@ class QofMetrics:
 
 @dataclass(frozen=True)
 class QofSummary:
-    """Aggregated QoF metrics over a set of runs."""
+    """Aggregated QoF metrics over a set of runs.
+
+    ``fell_back_to_failures`` records that flight-time/energy statistics were
+    requested over successful runs only, none succeeded, and the statistics
+    therefore describe **failed** runs -- a condition that used to be silent
+    and is easy to misread as "the missions flew fine".
+    """
 
     num_runs: int
     num_success: int
@@ -45,6 +51,7 @@ class QofSummary:
     best_flight_time: float
     mean_energy: float
     worst_energy: float
+    fell_back_to_failures: bool = False
 
     @property
     def num_failures(self) -> int:
@@ -52,18 +59,38 @@ class QofSummary:
         return self.num_runs - self.num_success
 
 
-def summarize_runs(results: Sequence, successful_only: bool = True) -> QofSummary:
+def summarize_runs(
+    results: Sequence,
+    successful_only: bool = True,
+    on_no_success: str = "fallback",
+) -> QofSummary:
     """Aggregate QoF metrics over mission results.
 
     Flight time and energy statistics are computed over successful runs only
     (matching Fig. 6: "the flight time of all successful cases"), unless
     ``successful_only`` is False.
+
+    ``on_no_success`` selects what happens when ``successful_only`` is True
+    but no run succeeded: ``"fallback"`` averages the failed runs and flags
+    the summary via :attr:`QofSummary.fell_back_to_failures`; ``"nan"``
+    reports NaN statistics so downstream aggregation cannot silently mix
+    failed-run flight times into success-only comparisons.
     """
+    if on_no_success not in ("fallback", "nan"):
+        raise ValueError(
+            f"on_no_success must be 'fallback' or 'nan', got {on_no_success!r}"
+        )
     results = list(results)
     num_runs = len(results)
     successes = [r for r in results if r.success]
     num_success = len(successes)
-    pool = successes if successful_only and successes else results
+    fell_back = bool(successful_only and not successes and results)
+    if fell_back and on_no_success == "nan":
+        pool = []
+        empty_value = float("nan")
+    else:
+        pool = successes if successful_only and successes else results
+        empty_value = 0.0
     if pool:
         times = np.array([r.flight_time for r in pool], dtype=float)
         energies = np.array([r.mission_energy for r in pool], dtype=float)
@@ -73,8 +100,8 @@ def summarize_runs(results: Sequence, successful_only: bool = True) -> QofSummar
         mean_energy = float(energies.mean())
         worst_energy = float(energies.max())
     else:
-        mean_time = worst_time = best_time = 0.0
-        mean_energy = worst_energy = 0.0
+        mean_time = worst_time = best_time = empty_value
+        mean_energy = worst_energy = empty_value
     return QofSummary(
         num_runs=num_runs,
         num_success=num_success,
@@ -84,6 +111,7 @@ def summarize_runs(results: Sequence, successful_only: bool = True) -> QofSummar
         best_flight_time=best_time,
         mean_energy=mean_energy,
         worst_energy=worst_energy,
+        fell_back_to_failures=bool(fell_back and on_no_success == "fallback"),
     )
 
 

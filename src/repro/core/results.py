@@ -147,6 +147,7 @@ def mission_result_to_dict(result: MissionResult) -> Dict:
         "planner": result.planner,
         "setting": result.setting,
         "seed": int(result.seed),
+        "scenario": result.scenario,
         "fault_description": result.fault_description,
         "fault_target": result.fault_target,
         "compute_time": {k: float(v) for k, v in result.compute_time.items()},
@@ -188,6 +189,7 @@ def mission_result_from_dict(data: Dict) -> MissionResult:
         planner=data["planner"],
         setting=data["setting"],
         seed=int(data["seed"]),
+        scenario=data.get("scenario", ""),
         fault_description=data.get("fault_description", ""),
         fault_target=data.get("fault_target", ""),
         compute_time=dict(data.get("compute_time", {})),

@@ -29,11 +29,20 @@ from repro.planning.motion_planner import MotionPlannerNode, PlannerConfig
 from repro.planning.smoothing import SmootherConfig
 from repro.platforms.compute import PlatformModel, get_platform
 from repro.rosmw.graph import NodeGraph
+from repro.scenarios import Scenario, resolve_scenario
 from repro.sim.airsim import AirSimInterfaceNode, MissionConfig
+from repro.sim.degradation import SensorDegradation
 from repro.sim.environments import environment_spec, make_environment
 from repro.sim.sensors import CameraConfig
 from repro.sim.vehicle import QuadrotorParams
+from repro.sim.wind import WindModel
 from repro.sim.world import World
+
+#: Seed offsets deriving the per-mission wind and sensor-degradation streams
+#: from the mission seed (disjoint from the start-jitter offset below and the
+#: sensor seeds, so enabling one scenario axis never perturbs another).
+_WIND_SEED_OFFSET = 2_000_000
+_DEGRADATION_SEED_OFFSET = 3_000_000
 
 
 @dataclass
@@ -42,6 +51,11 @@ class PipelineConfig:
 
     environment: Union[str, World] = "sparse"
     env_seed: int = 0
+    #: Optional flight scenario (a registered name or a
+    #: :class:`~repro.scenarios.Scenario`).  A scenario overrides the
+    #: environment family/seed, adds wind and sensor degradation, and may turn
+    #: the mission into a multi-waypoint route.
+    scenario: Optional[Union[str, "Scenario"]] = None
     planner_name: str = "rrt_star"
     platform: Union[str, PlatformModel] = "i9"
     seed: int = 0
@@ -73,6 +87,10 @@ class PipelineConfig:
             return self.platform
         return get_platform(self.platform)
 
+    def resolved_scenario(self) -> Optional[Scenario]:
+        """The :class:`~repro.scenarios.Scenario` for this configuration."""
+        return resolve_scenario(self.scenario)
+
 
 @dataclass
 class PipelineHandles:
@@ -95,10 +113,45 @@ class PipelineHandles:
         return [k for k in self.kernels.values() if k.stage == stage]
 
 
-def _resolve_world(config: PipelineConfig) -> World:
-    if isinstance(config.environment, World):
+def _resolve_world(config: PipelineConfig, scenario: Optional[Scenario]) -> World:
+    if isinstance(config.environment, World) and scenario is None:
         return config.environment
+    if scenario is not None:
+        return make_environment(
+            scenario.environment, seed=_effective_env_seed(config, scenario)
+        )
     return make_environment(config.environment, seed=config.env_seed)
+
+
+def _effective_env_seed(config: PipelineConfig, scenario: Optional[Scenario]) -> int:
+    if scenario is not None and scenario.env_seed is not None:
+        return scenario.env_seed
+    return config.env_seed
+
+
+def _free_waypoint(
+    world: World, point, clearance: float = 2.5, max_radius: float = 14.0
+) -> np.ndarray:
+    """Deterministically nudge a waypoint out of (or away from) obstacles.
+
+    Scenario waypoints are authored against an environment *family*; a
+    particular seed may drop an obstacle right on one, which would make the
+    mission unflyable (the vehicle must come within the goal tolerance of the
+    waypoint).  The nudge searches outward ring by ring for the nearest
+    position with enough clearance -- a pure function of the world, so every
+    mission of a campaign (serial or parallel) sees the same route.
+    """
+    p = np.asarray(point, dtype=float)
+    if world.distance_to_nearest(p) >= clearance:
+        return p
+    for radius in np.arange(1.0, max_radius + 0.5, 1.0):
+        for angle in np.linspace(0.0, 2.0 * np.pi, 16, endpoint=False):
+            candidate = p + radius * np.array([np.cos(angle), np.sin(angle), 0.0])
+            if not world.in_bounds(candidate, margin=1.0):
+                continue
+            if world.distance_to_nearest(candidate) >= clearance:
+                return candidate
+    return p
 
 
 def build_pipeline(config: Optional[PipelineConfig] = None) -> PipelineHandles:
@@ -109,20 +162,47 @@ def build_pipeline(config: Optional[PipelineConfig] = None) -> PipelineHandles:
     """
     config = config if config is not None else PipelineConfig()
     platform = config.resolved_platform()
-    world = _resolve_world(config)
+    scenario = config.resolved_scenario()
+    world = _resolve_world(config, scenario)
 
-    if isinstance(config.environment, World):
+    if scenario is not None:
+        spec = environment_spec(scenario.environment)
+        start = np.asarray(spec.start, dtype=float)
+        goal = np.asarray(spec.goal, dtype=float)
+    elif isinstance(config.environment, World):
         start = np.array([0.0, 0.0, 1.5])
         goal = np.array([55.0, 0.0, 2.0])
     else:
         spec = environment_spec(config.environment)
         start = np.asarray(spec.start, dtype=float)
         goal = np.asarray(spec.goal, dtype=float)
+    waypoints: tuple = ()
+    if scenario is not None:
+        mission_plan = scenario.mission
+        # Overridden endpoints get the same free-space nudge as waypoints:
+        # the generator's keep-out only protects the environment's default
+        # endpoints, so a custom start/goal could land inside an obstacle.
+        if mission_plan.start is not None:
+            start = _free_waypoint(world, mission_plan.start)
+        if mission_plan.goal is not None:
+            goal = _free_waypoint(world, mission_plan.goal)
+        waypoints = tuple(
+            tuple(_free_waypoint(world, p)) for p in mission_plan.waypoints
+        )
     if config.start_jitter_std > 0:
         jitter_rng = np.random.default_rng(1_000_000 + config.seed)
         jitter = jitter_rng.normal(0.0, config.start_jitter_std, size=3)
         jitter[2] *= 0.3
         start = start + jitter
+
+    wind_model = None
+    degradation = None
+    if scenario is not None and scenario.wind.enabled:
+        wind_model = WindModel(scenario.wind, seed=_WIND_SEED_OFFSET + config.seed)
+    if scenario is not None and scenario.sensors.enabled:
+        degradation = SensorDegradation(
+            scenario.sensors, seed=_DEGRADATION_SEED_OFFSET + config.seed
+        )
 
     velocity_factor = platform.velocity_factor
     cruise_speed = config.cruise_speed * velocity_factor
@@ -137,6 +217,7 @@ def build_pipeline(config: Optional[PipelineConfig] = None) -> PipelineHandles:
             goal=goal,
             goal_tolerance=config.goal_tolerance,
             time_limit=config.mission_time_limit,
+            waypoints=waypoints,
         ),
         vehicle_params=QuadrotorParams(max_speed=max_speed),
         camera_config=CameraConfig(width=config.camera_width, height=config.camera_height),
@@ -144,6 +225,8 @@ def build_pipeline(config: Optional[PipelineConfig] = None) -> PipelineHandles:
         camera_rate=platform.scaled_rate(config.camera_rate),
         odometry_rate=config.physics_rate,
         seed=config.seed,
+        wind_model=wind_model,
+        degradation=degradation,
     )
 
     point_cloud = PointCloudNode(latency=platform.kernel_latency("point_cloud_generation"))
@@ -160,6 +243,7 @@ def build_pipeline(config: Optional[PipelineConfig] = None) -> PipelineHandles:
         goal=goal,
         goal_tolerance=config.goal_tolerance,
         latency=platform.kernel_latency("mission_planner"),
+        waypoints=waypoints,
     )
     bounds_margin = 0.5
     motion_planner = MotionPlannerNode(
@@ -170,7 +254,7 @@ def build_pipeline(config: Optional[PipelineConfig] = None) -> PipelineHandles:
             # that error-free runs of the same environment fly near-identical
             # missions (the paper's golden baseline) and per-run differences
             # reflect the injected faults.
-            planner_seed=config.env_seed,
+            planner_seed=_effective_env_seed(config, scenario),
             bounds_lo=(
                 world.bounds_lo[0] + bounds_margin,
                 world.bounds_lo[1] + bounds_margin,
@@ -208,7 +292,7 @@ def build_pipeline(config: Optional[PipelineConfig] = None) -> PipelineHandles:
     for kernel in kernels.values():
         graph.add_node(kernel)
 
-    return PipelineHandles(
+    handles = PipelineHandles(
         graph=graph,
         world=world,
         airsim=airsim,
@@ -216,3 +300,6 @@ def build_pipeline(config: Optional[PipelineConfig] = None) -> PipelineHandles:
         platform=platform,
         config=config,
     )
+    if scenario is not None:
+        handles.extras["scenario"] = scenario
+    return handles

@@ -31,10 +31,12 @@ class PendingFault:
     """A one-shot corruption armed on a kernel's next published output.
 
     ``corrupt`` receives the outgoing message and a random generator and
-    mutates the message in place (typically flipping one bit of one field).
+    mutates the message in place (typically flipping one bit of one field);
+    it may return a description of what was actually corrupted (leaf path and
+    effective bit), which the kernel records for fault-metadata reporting.
     """
 
-    corrupt: Callable[[Message, np.random.Generator], None]
+    corrupt: Callable[[Message, np.random.Generator], Optional[str]]
     rng: np.random.Generator
     description: str = "bit flip"
     applied: bool = False
@@ -51,6 +53,9 @@ class KernelNode(Node):
         self.latency = float(latency)
         self.invocation_count = 0
         self.recompute_count = 0
+        #: Description of the last applied output fault (leaf path and the
+        #: bit actually flipped); "" until an armed fault applies.
+        self.applied_fault_description = ""
         self._pending_fault: Optional[PendingFault] = None
         self._last_inputs: Dict[str, Any] = {}
         self._output_publisher: Optional[Publisher] = None
@@ -77,8 +82,11 @@ class KernelNode(Node):
         """
         from repro.core.fault import corrupt_message_field
 
-        def corrupt(msg: Message, fault_rng: np.random.Generator) -> None:
-            corrupt_message_field(msg, fault_rng, bit=bit)
+        def corrupt(msg: Message, fault_rng: np.random.Generator) -> Optional[str]:
+            corruption = corrupt_message_field(msg, fault_rng, bit=bit)
+            if corruption is None:
+                return None
+            return f"{self.name}: corrupted output field {corruption}"
 
         self.arm_output_fault(PendingFault(corrupt=corrupt, rng=rng, description="output"))
         return f"{self.name}: pending output corruption (bit {bit})"
@@ -92,8 +100,10 @@ class KernelNode(Node):
     def publish_output(self, publisher: Publisher, message: Message) -> Message:
         """Publish a kernel output, applying any armed one-shot fault first."""
         if self._pending_fault is not None and not self._pending_fault.applied:
-            self._pending_fault.corrupt(message, self._pending_fault.rng)
+            detail = self._pending_fault.corrupt(message, self._pending_fault.rng)
             self._pending_fault.applied = True
+            if detail:
+                self.applied_fault_description = detail
         self._output_publisher = publisher
         delivered = publisher.publish(message)
         return message if delivered is None else delivered
@@ -129,5 +139,6 @@ class KernelNode(Node):
         """Clear caches, counters and pending faults (between missions)."""
         self.invocation_count = 0
         self.recompute_count = 0
+        self.applied_fault_description = ""
         self._pending_fault = None
         self._last_inputs.clear()

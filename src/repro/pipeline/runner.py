@@ -35,6 +35,8 @@ class MissionResult:
     planner: str
     setting: str = "golden"
     seed: int = 0
+    #: Name of the flight scenario the mission flew under ("" = none).
+    scenario: str = ""
     fault_description: str = ""
     fault_target: str = ""
     compute_time: Dict[str, float] = field(default_factory=dict)
@@ -85,7 +87,7 @@ class MissionRunner:
             t += self.time_step
             graph.spin_until(t)
         if not airsim.mission_done:
-            airsim._finish(success=False, reason="runner time limit", timeout=True)
+            airsim.abort(reason="runner time limit", timeout=True)
 
         return self.collect(
             setting=setting,
@@ -137,6 +139,9 @@ class MissionRunner:
             else np.zeros((0, 3))
         )
 
+        scenario = handles.extras.get("scenario")
+        scenario_name = getattr(scenario, "name", "") if scenario is not None else ""
+
         return MissionResult(
             success=outcome.success,
             flight_time=outcome.flight_time,
@@ -150,6 +155,7 @@ class MissionRunner:
             planner=handles.config.planner_name,
             setting=setting,
             seed=seed,
+            scenario=scenario_name,
             fault_description=fault_description,
             fault_target=fault_target,
             compute_time=compute_time,

@@ -276,9 +276,9 @@ class MotionPlannerNode(KernelNode):
             # see the corruption through the re-published message (the Fig. 2
             # propagation path), which the detection tap can intercept.
             self._current_trajectory = self._current_trajectory.copy()
-            path = corrupt_message_field(self._current_trajectory, rng, bit=bit)
+            corruption = corrupt_message_field(self._current_trajectory, rng, bit=bit)
             self.publish_output(self._traj_pub, self._current_trajectory)
-            return f"{self.name}: corrupted live trajectory field {path} (bit {bit})"
+            return f"{self.name}: corrupted live trajectory field {corruption}"
         return super().corrupt_internal(rng, bit)
 
     def reset_kernel(self) -> None:

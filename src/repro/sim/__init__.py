@@ -13,13 +13,19 @@ This package provides the equivalent substrate:
 * :mod:`repro.sim.vehicle` -- quadrotor state and velocity-command kinematics
   with acceleration and speed limits.
 * :mod:`repro.sim.sensors` -- the ray-cast RGB-D depth camera and the IMU.
+* :mod:`repro.sim.wind` -- constant wind plus Dryden-style gusts applied to
+  the vehicle dynamics (scenario subsystem).
+* :mod:`repro.sim.degradation` -- declarative sensor degradation (depth
+  dropout/fog/quantization, IMU/odometry noise; scenario subsystem).
 * :mod:`repro.sim.airsim` -- the AirSim-interface node that publishes sensor
   topics, consumes flight commands and integrates the vehicle dynamics.
 """
 
 from repro.sim.airsim import AirSimInterfaceNode, FlightOutcome
+from repro.sim.degradation import SensorDegradation, SensorDegradationConfig
 from repro.sim.environments import (
     ENVIRONMENT_NAMES,
+    EXTENDED_ENVIRONMENT_NAMES,
     EnvironmentSpec,
     make_environment,
     make_training_environment,
@@ -27,6 +33,7 @@ from repro.sim.environments import (
 from repro.sim.generator import EnvironmentGenerator
 from repro.sim.sensors import DepthCamera, Imu, OdometrySensor
 from repro.sim.vehicle import QuadrotorDynamics, QuadrotorParams, QuadrotorState
+from repro.sim.wind import WindConfig, WindModel
 from repro.sim.world import Cuboid, World
 
 __all__ = [
@@ -35,8 +42,13 @@ __all__ = [
     "EnvironmentGenerator",
     "EnvironmentSpec",
     "ENVIRONMENT_NAMES",
+    "EXTENDED_ENVIRONMENT_NAMES",
     "make_environment",
     "make_training_environment",
+    "WindConfig",
+    "WindModel",
+    "SensorDegradation",
+    "SensorDegradationConfig",
     "QuadrotorDynamics",
     "QuadrotorParams",
     "QuadrotorState",

@@ -19,13 +19,14 @@ runner once the flight terminates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro import topics
 from repro.rosmw.message import DepthImageMsg, FlightCommandMsg, ImuMsg, OdometryMsg
 from repro.rosmw.node import Node
+from repro.sim.degradation import SensorDegradation
 from repro.sim.sensors import CameraConfig, DepthCamera, Imu, OdometrySensor
 from repro.sim.vehicle import QuadrotorDynamics, QuadrotorParams, QuadrotorState
 from repro.sim.world import World
@@ -54,12 +55,27 @@ class FlightOutcome:
 
 @dataclass
 class MissionConfig:
-    """Mission end-points and limits."""
+    """Mission end-points, optional intermediate waypoints and limits."""
 
     start: np.ndarray = field(default_factory=lambda: np.array([0.0, 0.0, 1.5]))
     goal: np.ndarray = field(default_factory=lambda: np.array([55.0, 0.0, 2.0]))
     goal_tolerance: float = 2.0
     time_limit: float = 120.0
+    #: Intermediate waypoints visited in order before ``goal``; the mission
+    #: only succeeds once every waypoint and then the goal has been reached.
+    waypoints: Tuple[Tuple[float, float, float], ...] = ()
+    #: Capture-radius multiplier for *intermediate* waypoints (fly-by
+    #: tolerance).  Deliberately looser than the goal tolerance: the mission
+    #: planner advances its route on noisy odometry, so ground-truth credit
+    #: here must not be stricter than the guidance that steers the approach,
+    #: or the two could diverge and make the mission unwinnable.
+    waypoint_capture_factor: float = 1.5
+
+    def route(self) -> Sequence[np.ndarray]:
+        """Full target sequence: intermediate waypoints, then the final goal."""
+        return [np.asarray(p, dtype=float) for p in self.waypoints] + [
+            np.asarray(self.goal, dtype=float)
+        ]
 
 
 class AirSimInterfaceNode(Node):
@@ -75,6 +91,8 @@ class AirSimInterfaceNode(Node):
         camera_rate: float = 5.0,
         odometry_rate: float = 20.0,
         seed: int = 0,
+        wind_model=None,
+        degradation: Optional[SensorDegradation] = None,
     ) -> None:
         super().__init__("airsim_interface")
         self.world = world
@@ -82,10 +100,14 @@ class AirSimInterfaceNode(Node):
         self.vehicle = QuadrotorDynamics(
             params=vehicle_params,
             initial_state=QuadrotorState(position=np.asarray(self.mission.start, float)),
+            wind_model=wind_model,
         )
         self.camera = DepthCamera(world, camera_config)
-        self.imu = Imu(seed=seed)
-        self.odometry = OdometrySensor(seed=seed)
+        self.degradation = degradation
+        imu_config = degradation.imu_config() if degradation is not None else None
+        odom_config = degradation.odometry_config() if degradation is not None else None
+        self.imu = Imu(config=imu_config, seed=seed)
+        self.odometry = OdometrySensor(config=odom_config, seed=seed)
         self.physics_rate = physics_rate
         self.camera_rate = camera_rate
         self.odometry_rate = odometry_rate
@@ -94,6 +116,8 @@ class AirSimInterfaceNode(Node):
         self._latest_command = FlightCommandMsg()
         self._trajectory_stride = max(1, int(physics_rate / 5))
         self._physics_steps = 0
+        self._route = self.mission.route()
+        self._route_index = 0
 
     # --------------------------------------------------------------- topology
     def on_start(self) -> None:
@@ -114,7 +138,10 @@ class AirSimInterfaceNode(Node):
     def _publish_camera(self) -> None:
         if self.mission_done:
             return
-        self._depth_pub.publish(self.camera.capture(self.vehicle.state))
+        image = self.camera.capture(self.vehicle.state)
+        if self.degradation is not None:
+            image = self.degradation.degrade_depth(image)
+        self._depth_pub.publish(image)
 
     def _publish_odometry(self) -> None:
         if self.mission_done:
@@ -136,13 +163,24 @@ class AirSimInterfaceNode(Node):
         if self._physics_steps % self._trajectory_stride == 0:
             self.outcome.trajectory.append(state.position.copy())
 
-        goal = np.asarray(self.mission.goal, dtype=float)
-        distance_to_goal = float(np.linalg.norm(state.position - goal))
-        self.outcome.final_distance_to_goal = distance_to_goal
+        goal = self._route[-1]
+        self.outcome.final_distance_to_goal = float(
+            np.linalg.norm(state.position - goal)
+        )
+        target = self._route[self._route_index]
+        distance_to_target = float(np.linalg.norm(state.position - target))
+        at_final = self._route_index == len(self._route) - 1
+        capture = self.mission.goal_tolerance * (
+            1.0 if at_final else self.mission.waypoint_capture_factor
+        )
 
-        if distance_to_goal <= self.mission.goal_tolerance:
-            self._finish(success=True, reason="goal reached")
-        elif self.world.sphere_collides(state.position, self.vehicle.params.collision_radius):
+        if distance_to_target <= capture:
+            if at_final:
+                self._finish(success=True, reason="goal reached")
+                return
+            # Intermediate waypoint reached; continue to the next target.
+            self._route_index += 1
+        if self.world.sphere_collides(state.position, self.vehicle.params.collision_radius):
             self._finish(success=False, reason="collision", collision=True)
         elif state.position[2] < self.world.bounds_lo[2] - 0.5:
             self._finish(success=False, reason="ground impact", collision=True)
@@ -169,8 +207,37 @@ class AirSimInterfaceNode(Node):
         self.outcome.flight_energy = float(self.vehicle.energy_used)
         self.outcome.distance_travelled = float(self.vehicle.distance_travelled)
 
+    def abort(
+        self,
+        reason: str = "aborted",
+        timeout: bool = False,
+        out_of_bounds: bool = False,
+    ) -> None:
+        """Terminate the mission unsuccessfully from outside the physics loop.
+
+        Public API for supervisors (e.g. the mission runner's hard time
+        limit): marks the mission as failed with the given ``reason``.  A
+        mission that already terminated is left untouched, so a late abort
+        never overwrites a real outcome.
+        """
+        if self.mission_done:
+            return
+        self._finish(
+            success=False, reason=reason, timeout=timeout, out_of_bounds=out_of_bounds
+        )
+
     # ------------------------------------------------------------- inspection
     @property
     def state(self) -> QuadrotorState:
         """Current ground-truth vehicle state."""
         return self.vehicle.state
+
+    @property
+    def current_target(self) -> np.ndarray:
+        """The waypoint (or final goal) the mission is currently heading to."""
+        return self._route[self._route_index].copy()
+
+    @property
+    def waypoints_reached(self) -> int:
+        """How many intermediate waypoints have been reached so far."""
+        return self._route_index

@@ -37,6 +37,9 @@ class GeneratorConfig:
     height_fraction: float = 0.85
     protected_radius: float = 5.0
     max_obstacles: int = 400
+    #: Resolution (metres) of the coverage grid used to measure the achieved
+    #: footprint density; overlapping footprints are counted once.
+    coverage_resolution: float = 0.5
 
 
 class EnvironmentGenerator:
@@ -44,6 +47,10 @@ class EnvironmentGenerator:
 
     def __init__(self, config: Optional[GeneratorConfig] = None) -> None:
         self.config = config if config is not None else GeneratorConfig()
+        #: Footprint density actually achieved by the last :meth:`generate`
+        #: call (union area over footprint area, measured on the coverage
+        #: grid) -- the honest counterpart of ``config.obstacle_density``.
+        self.achieved_density = 0.0
 
     def generate(
         self,
@@ -76,6 +83,15 @@ class EnvironmentGenerator:
         start = np.asarray(start, dtype=float)
         goal = np.asarray(goal, dtype=float)
 
+        # Coverage grid over the footprint: overlapping cuboid footprints must
+        # count toward the density target only once, so the achieved density
+        # is measured as the union of the footprints rather than their sum.
+        res = cfg.coverage_resolution
+        grid_nx = max(1, int(round((hi[0] - lo[0]) / res)))
+        grid_ny = max(1, int(round((hi[1] - lo[1]) / res)))
+        covered = np.zeros((grid_nx, grid_ny), dtype=bool)
+        cell_area = res * res
+
         placed_area = 0.0
         obstacles = []
         attempts = 0
@@ -92,18 +108,33 @@ class EnvironmentGenerator:
             cx = rng.uniform(lo[0] + side_x / 2, hi[0] - side_x / 2)
             cy = rng.uniform(lo[1] + side_y / 2, hi[1] - side_y / 2)
             center = np.array([cx, cy, lo[2] + height / 2])
-            if (
-                np.linalg.norm(center[:2] - start[:2]) < cfg.protected_radius + side_x
-                or np.linalg.norm(center[:2] - goal[:2]) < cfg.protected_radius + side_x
-            ):
+            # Keep-out test against the footprint rectangle with its own
+            # per-axis extents: the closest point of the rectangle must stay
+            # a protected radius away from both mission endpoints.
+            half = np.array([side_x / 2, side_y / 2])
+            too_close = False
+            for endpoint in (start, goal):
+                gap = np.maximum(np.abs(center[:2] - endpoint[:2]) - half, 0.0)
+                if float(np.linalg.norm(gap)) < cfg.protected_radius:
+                    too_close = True
+                    break
+            if too_close:
                 continue
             obstacle = Cuboid.from_center(
                 center, (side_x, side_y, height), name=f"cuboid_{len(obstacles)}"
             )
             obstacles.append(obstacle)
-            placed_area += side_x * side_y
+            # Credit only newly covered footprint cells toward the target.
+            ix0 = int(np.clip((cx - side_x / 2 - lo[0]) / res, 0, grid_nx))
+            ix1 = int(np.clip(np.ceil((cx + side_x / 2 - lo[0]) / res), 0, grid_nx))
+            iy0 = int(np.clip((cy - side_y / 2 - lo[1]) / res, 0, grid_ny))
+            iy1 = int(np.clip(np.ceil((cy + side_y / 2 - lo[1]) / res), 0, grid_ny))
+            cells = covered[ix0:ix1, iy0:iy1]
+            placed_area += float((~cells).sum()) * cell_area
+            cells[:] = True
 
         world.add_obstacles(obstacles)
+        self.achieved_density = placed_area / footprint_area if footprint_area else 0.0
         return world
 
 

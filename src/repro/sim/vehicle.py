@@ -82,9 +82,13 @@ class QuadrotorDynamics:
         self,
         params: Optional[QuadrotorParams] = None,
         initial_state: Optional[QuadrotorState] = None,
+        wind_model=None,
     ) -> None:
         self.params = params if params is not None else QuadrotorParams()
         self.state = initial_state.copy() if initial_state is not None else QuadrotorState()
+        #: Optional :class:`~repro.sim.wind.WindModel`; when set, the sampled
+        #: wind carries the vehicle with the air mass each step.
+        self.wind_model = wind_model
         self.distance_travelled = 0.0
         self.energy_used = 0.0
 
@@ -145,6 +149,12 @@ class QuadrotorDynamics:
         )
 
         displacement = (self.state.velocity + new_velocity) / 2.0 * dt
+        if self.wind_model is not None:
+            # The air mass carries the vehicle: wind adds a drift on top of
+            # the air-relative velocity the controller commands.  The control
+            # loop only sees the resulting position error through odometry and
+            # compensates by feedback, as a real velocity controller would.
+            displacement = displacement + self.wind_model.sample(dt) * dt
         new_position = self.state.position + displacement
 
         if not np.isfinite(commanded_yaw_rate):

@@ -8,6 +8,7 @@ import pytest
 
 from repro.cli import main
 from repro.core.results import JsonlResultStore
+from repro.scenarios import scenario_names
 from repro.version import __version__
 
 
@@ -82,3 +83,40 @@ def test_campaign_rejects_unknown_setting(tmp_path):
 def test_summarize_missing_file_fails(tmp_path, capsys):
     assert main(["summarize", "--results", str(tmp_path / "none.jsonl")]) == 1
     assert "no intact records" in capsys.readouterr().out
+
+
+def test_list_scenarios(capsys):
+    assert main(["campaign", "--list-scenarios"]) == 0
+    out = capsys.readouterr().out
+    assert "Scenario catalog" in out
+    for name in scenario_names():
+        assert name in out
+
+
+def test_campaign_with_scenario(tmp_path, capsys):
+    assert main(_campaign_args(tmp_path, "--scenario", "patrol-farm")) == 0
+    out = capsys.readouterr().out
+    assert "scenarios=patrol-farm" in out
+    assert "patrol-farm:golden" in out
+    results = JsonlResultStore(tmp_path / "results.jsonl").load_results()
+    assert len(results) == 2
+    assert all(r.scenario == "patrol-farm" for r in results.values())
+    # Summaries group scenario-tagged records under their scenario.
+    capsys.readouterr()
+    assert main(["summarize", "--results", str(tmp_path / "results.jsonl")]) == 0
+    assert "patrol-farm:golden" in capsys.readouterr().out
+
+
+def test_campaign_scenario_sweep(tmp_path, capsys):
+    assert main(
+        _campaign_args(tmp_path, "--scenario", "patrol-farm,blind-farm", "--golden", "1")
+    ) == 0
+    out = capsys.readouterr().out
+    assert "patrol-farm:golden" in out
+    assert "blind-farm:golden" in out
+    assert len(JsonlResultStore(tmp_path / "results.jsonl")) == 2
+
+
+def test_campaign_rejects_unknown_scenario(tmp_path, capsys):
+    assert main(_campaign_args(tmp_path, "--scenario", "bogus")) == 2
+    assert "unknown scenario" in capsys.readouterr().err

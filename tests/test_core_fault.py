@@ -121,18 +121,19 @@ class TestArrayAndMessageCorruption:
     def test_corrupt_message_field_changes_exactly_one_value(self):
         msg = FlightCommandMsg(vx=1.0, vy=2.0, vz=3.0, yaw_rate=4.0)
         rng = np.random.default_rng(3)
-        path = corrupt_message_field(msg, rng, bit=63)
+        corruption = corrupt_message_field(msg, rng, bit=63)
         values = [msg.vx, msg.vy, msg.vz, msg.yaw_rate]
         originals = [1.0, 2.0, 3.0, 4.0]
         changed = [v for v, o in zip(values, originals) if v != o]
         assert len(changed) == 1
-        assert path in ("vx", "vy", "vz", "yaw_rate")
+        assert corruption.path in ("vx", "vy", "vz", "yaw_rate")
+        assert corruption.bit == 63
 
     def test_corrupt_message_field_with_suffix_targeting(self):
         msg = MultiDOFTrajectoryMsg(waypoints=[Waypoint(x=5.0, y=1.0, yaw=0.5)])
         rng = np.random.default_rng(0)
-        path = corrupt_message_field(msg, rng, bit=63, field_name=".y")
-        assert path.endswith(".y")
+        corruption = corrupt_message_field(msg, rng, bit=63, field_name=".y")
+        assert corruption.path.endswith(".y")
         assert msg.waypoints[0].y == -1.0
         assert msg.waypoints[0].yaw == 0.5  # .yaw must not match the .y suffix
 
@@ -143,6 +144,46 @@ class TestArrayAndMessageCorruption:
     def test_corrupt_integer_field(self):
         msg = CollisionCheckMsg(future_collision_seq=2)
         rng = np.random.default_rng(1)
-        path = corrupt_message_field(msg, rng, bit=4, field_name="future_collision_seq")
-        assert path == "future_collision_seq"
+        corruption = corrupt_message_field(
+            msg, rng, bit=4, field_name="future_collision_seq"
+        )
+        assert corruption.path == "future_collision_seq"
+        assert corruption.bit == 4
         assert msg.future_collision_seq != 2
+
+    def test_corrupt_integer_field_records_effective_bit(self):
+        # Regression: a float64 bit index (> 31) landing on a 32-bit integer
+        # leaf used to be silently clamped to 31 while the metadata kept
+        # reporting the requested bit.  The effective bit is now drawn inside
+        # the integer's representation and recorded.
+        from repro.core.fault import flip_int_bit
+
+        for seed in range(8):
+            msg = CollisionCheckMsg(future_collision_seq=2)
+            rng = np.random.default_rng(seed)
+            corruption = corrupt_message_field(
+                msg, rng, bit=63, field_name="future_collision_seq"
+            )
+            assert 0 <= corruption.bit <= 31
+            # The recorded bit is the one that was actually flipped.
+            assert msg.future_collision_seq == flip_int_bit(2, corruption.bit)
+        # Different seeds must be able to draw different effective bits
+        # (a constant clamp to 31 would fail this).
+        bits = set()
+        for seed in range(16):
+            msg = CollisionCheckMsg(future_collision_seq=2)
+            corruption = corrupt_message_field(
+                msg,
+                np.random.default_rng(seed),
+                bit=63,
+                field_name="future_collision_seq",
+            )
+            bits.add(corruption.bit)
+        assert len(bits) > 1
+
+    def test_corruption_str_embeds_path_and_bit(self):
+        msg = FlightCommandMsg(vx=1.0)
+        corruption = corrupt_message_field(
+            msg, np.random.default_rng(0), bit=62, field_name="vx"
+        )
+        assert str(corruption) == "vx (bit 62)"

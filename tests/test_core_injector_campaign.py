@@ -138,6 +138,43 @@ class TestQofMetrics:
         summary = summarize_runs([])
         assert summary.num_runs == 0
         assert summary.success_rate == 0.0
+        assert not summary.fell_back_to_failures
+
+    def test_all_failed_fallback_is_flagged(self):
+        # Regression: with successful_only=True and zero successes the
+        # statistics silently averaged *failed* runs; the summary must now
+        # announce that fallback explicitly.
+        results = self._fake_results([40, 60], [False, False])
+        summary = summarize_runs(results)
+        assert summary.num_success == 0
+        assert summary.fell_back_to_failures
+        assert summary.mean_flight_time == pytest.approx(50.0)
+
+    def test_all_failed_nan_policy(self):
+        import math
+
+        results = self._fake_results([40, 60], [False, False])
+        summary = summarize_runs(results, on_no_success="nan")
+        assert not summary.fell_back_to_failures
+        assert math.isnan(summary.mean_flight_time)
+        assert math.isnan(summary.worst_flight_time)
+        assert math.isnan(summary.mean_energy)
+        assert summary.num_runs == 2
+
+    def test_no_fallback_flag_when_successes_exist(self):
+        results = self._fake_results([10, 50], [True, False])
+        assert not summarize_runs(results).fell_back_to_failures
+        # successful_only=False never falls back either: the failed runs are
+        # included by request, not silently.
+        all_runs = summarize_runs(
+            self._fake_results([40, 60], [False, False]), successful_only=False
+        )
+        assert not all_runs.fell_back_to_failures
+        assert all_runs.worst_flight_time == 60
+
+    def test_invalid_no_success_policy_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_runs([], on_no_success="explode")
 
     def test_worst_case_increase_and_recovery(self):
         golden = summarize_runs(self._fake_results([10, 11], [True, True]))

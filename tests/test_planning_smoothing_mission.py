@@ -137,3 +137,67 @@ class TestMissionPlannerNode:
         graph.spin_until(1.0)
         node.reset_kernel()
         assert not node.completed
+
+    def test_final_completion_is_conservative_against_noise(self):
+        # A noise-optimistic odometry sample at exactly the tolerance must
+        # NOT latch completion (which halts the control stage): the final
+        # goal only completes inside completion_factor * tolerance, so the
+        # ground-truth success check in the simulator always fires first.
+        graph, node = self._graph_with_mission(goal=(10.0, 0.0, 2.0))
+        at_tolerance = np.array([10.0 - node.goal_tolerance + 0.05, 0.0, 2.0])
+        graph.topic_bus.publish(topics.ODOMETRY, OdometryMsg(position=at_tolerance))
+        graph.spin_until(1.0)
+        assert not node.completed
+        inside = np.array([10.0 - node.goal_tolerance * 0.7, 0.0, 2.0])
+        graph.topic_bus.publish(topics.ODOMETRY, OdometryMsg(position=inside))
+        graph.spin_until(2.0)
+        assert node.completed
+
+    def _graph_with_route(self):
+        graph = NodeGraph()
+        node = MissionPlannerNode(
+            goal=np.array([20.0, 0.0, 2.0]),
+            update_rate=2.0,
+            waypoints=((5.0, 5.0, 2.0), (12.0, -5.0, 2.0)),
+        )
+        graph.add_node(node)
+        graph.start_all()
+        return graph, node
+
+    def test_route_publishes_first_waypoint_as_goal(self):
+        graph, node = self._graph_with_route()
+        graph.topic_bus.publish(topics.ODOMETRY, OdometryMsg(position=np.array([0.0, 0.0, 2.0])))
+        graph.spin_until(1.0)
+        status = graph.topic_bus.last_message(topics.MISSION_STATUS)
+        assert np.allclose(status.goal, [5.0, 5.0, 2.0])
+        assert not status.completed
+
+    def test_route_advances_through_waypoints(self):
+        graph, node = self._graph_with_route()
+        graph.topic_bus.publish(topics.ODOMETRY, OdometryMsg(position=np.array([5.0, 5.0, 2.0])))
+        graph.spin_until(1.0)
+        status = graph.topic_bus.last_message(topics.MISSION_STATUS)
+        assert np.allclose(status.goal, [12.0, -5.0, 2.0])
+        assert node.route_index == 1
+        graph.topic_bus.publish(topics.ODOMETRY, OdometryMsg(position=np.array([12.0, -5.0, 2.0])))
+        graph.spin_until(2.0)
+        status = graph.topic_bus.last_message(topics.MISSION_STATUS)
+        assert np.allclose(status.goal, [20.0, 0.0, 2.0])
+        assert not node.completed
+
+    def test_route_completes_only_at_final_goal(self):
+        graph, node = self._graph_with_route()
+        for t, position in ((1.0, [5.0, 5.0, 2.0]), (2.0, [12.0, -5.0, 2.0]), (3.0, [20.0, 0.0, 2.0])):
+            graph.topic_bus.publish(topics.ODOMETRY, OdometryMsg(position=np.array(position)))
+            graph.spin_until(t)
+        assert node.completed
+        assert graph.topic_bus.last_message(topics.MISSION_STATUS).completed
+
+    def test_route_reset_restarts_from_first_waypoint(self):
+        graph, node = self._graph_with_route()
+        graph.topic_bus.publish(topics.ODOMETRY, OdometryMsg(position=np.array([5.0, 5.0, 2.0])))
+        graph.spin_until(1.0)
+        assert node.route_index == 1
+        node.reset_kernel()
+        assert node.route_index == 0
+        assert np.allclose(node.current_target, [5.0, 5.0, 2.0])

@@ -129,6 +129,70 @@ class TestAirSimInterface:
         graph.spin_until(10.0)
         assert len(node.outcome.trajectory) > 3
 
+    def test_abort_marks_failure(self):
+        graph, node = _make_airsim(goal=(50.0, 0.0, 1.5))
+        graph.spin_until(1.0)
+        node.abort(reason="runner time limit", timeout=True)
+        assert node.mission_done
+        assert not node.outcome.success
+        assert node.outcome.timeout
+        assert node.outcome.reason == "runner time limit"
+        assert node.outcome.flight_time > 0.0
+
+    def test_abort_never_overwrites_a_real_outcome(self):
+        graph, node = _make_airsim(goal=(3.0, 0.0, 1.5))
+        graph.topic_bus.publish(topics.FLIGHT_COMMAND, FlightCommandMsg(vx=3.0))
+        graph.spin_until(10.0)
+        assert node.outcome.success
+        node.abort(reason="late abort", timeout=True)
+        assert node.outcome.success
+        assert node.outcome.reason == "goal reached"
+        assert not node.outcome.timeout
+
+    def _waypoint_airsim(self, waypoint):
+        graph = NodeGraph()
+        node = AirSimInterfaceNode(
+            world=World(name="open"),
+            mission=MissionConfig(
+                start=np.array([0.0, 0.0, 1.5]),
+                goal=np.array([10.0, 0.0, 1.5]),
+                waypoints=(waypoint,),
+                time_limit=60.0,
+            ),
+        )
+        graph.add_node(node)
+        graph.start_all()
+        return graph, node
+
+    def test_waypoint_on_route_then_goal_succeeds(self):
+        graph, node = self._waypoint_airsim((6.0, 0.0, 1.5))
+        graph.topic_bus.publish(topics.FLIGHT_COMMAND, FlightCommandMsg(vx=3.0))
+        graph.spin_until(15.0)
+        assert node.waypoints_reached == 1
+        assert node.mission_done
+        assert node.outcome.success
+
+    def test_intermediate_waypoints_use_flyby_capture_radius(self):
+        # 2.5 m off the flight line: outside the 2.0 m goal tolerance but
+        # inside the 1.5x fly-by capture radius.  The looser ground-truth
+        # credit keeps airsim's route index from diverging from the mission
+        # planner's odometry-based advancement under sensor noise.
+        graph, node = self._waypoint_airsim((6.0, 2.5, 1.5))
+        graph.topic_bus.publish(topics.FLIGHT_COMMAND, FlightCommandMsg(vx=3.0))
+        graph.spin_until(15.0)
+        assert node.waypoints_reached == 1
+        assert node.outcome.success
+
+    def test_missed_waypoint_blocks_success(self):
+        # Fly straight through the final goal: the mission must NOT succeed,
+        # because the off-route intermediate waypoint was never visited.
+        graph, node = self._waypoint_airsim((5.0, 8.0, 1.5))
+        graph.topic_bus.publish(topics.FLIGHT_COMMAND, FlightCommandMsg(vx=3.0))
+        graph.spin_until(10.0)
+        assert node.waypoints_reached == 0
+        assert not node.mission_done
+        assert np.allclose(node.current_target, [5.0, 8.0, 1.5])
+
     def test_sensors_stop_after_mission_done(self):
         graph, node = _make_airsim(goal=(3.0, 0.0, 1.5))
         graph.topic_bus.publish(topics.FLIGHT_COMMAND, FlightCommandMsg(vx=3.0))
