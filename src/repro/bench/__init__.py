@@ -1,0 +1,32 @@
+"""Benchmark/profiling subsystem: ``python -m repro bench``.
+
+Times the vectorized hot-path kernels against their scalar references on a
+fixed seeded workload, profiles a real mission with the kernel profiler, and
+writes the ``BENCH_hotpath.json`` perf-trajectory artifact.  See
+``docs/BENCHMARKS.md`` for the schema and workflow.
+"""
+
+from repro.bench.harness import (
+    BENCH_SCHEMA,
+    DEFAULT_REPORT_NAME,
+    TimingStats,
+    time_callable,
+    validate_report,
+    validate_report_file,
+    write_report,
+)
+from repro.bench.hotpath import format_bench_table, run_bench
+from repro.bench.workloads import build_workload
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "DEFAULT_REPORT_NAME",
+    "TimingStats",
+    "build_workload",
+    "format_bench_table",
+    "run_bench",
+    "time_callable",
+    "validate_report",
+    "validate_report_file",
+    "write_report",
+]

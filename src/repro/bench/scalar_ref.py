@@ -1,0 +1,174 @@
+"""Scalar (point-by-point) reference implementations of the hot-path kernels.
+
+Every function here computes the same result as its vectorized counterpart in
+``repro.perception`` / ``repro.detection``, but one element at a time -- the
+shape the code had before the hot paths were vectorized.  They exist for two
+reasons:
+
+* the benchmark harness (``python -m repro bench``) measures the vectorized
+  kernels *against* them, so ``BENCH_hotpath.json`` records honest speedups;
+* the equivalence tests assert that vectorization did not change behaviour
+  (identical occupancy keys and log-odds, identical collision verdicts,
+  identical detector scores on seeded workloads).
+
+The occupancy-map scalar reference is :class:`ScalarOccupancyMap` (re-exported
+here), which can also drive whole campaigns via ``REPRO_SCALAR_KERNELS=1``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.detection.autoencoder import AadDetector
+from repro.detection.gaussian import GaussianDetector
+from repro.detection.preprocess import sign_exponent_int16
+from repro.perception.collision_check import CollisionCheckConfig
+from repro.perception.occupancy import ScalarOccupancyMap  # noqa: F401  (re-export)
+from repro.rosmw.message import DepthImageMsg
+
+
+def scalar_point_cloud(
+    depth_msg: DepthImageMsg, stride: int = 1, max_points: int = 4096
+) -> np.ndarray:
+    """Per-pixel reference of :class:`~repro.perception.point_cloud.PointCloudGenerator`.
+
+    Walks the depth image pixel by pixel, reconstructing and rotating one ray
+    direction at a time.  Point order matches the vectorized kernel
+    (row-major over the strided image); values agree to float round-off (the
+    vectorized kernel batches the rotation into one matmul).
+    """
+    depth = np.asarray(depth_msg.depth, dtype=float)
+    if depth.ndim != 2 or depth.size == 0:
+        return np.zeros((0, 3))
+    height, width = depth.shape
+    az = np.deg2rad(np.linspace(-depth_msg.fov_h / 2, depth_msg.fov_h / 2, width))
+    el = np.deg2rad(np.linspace(-depth_msg.fov_v / 2, depth_msg.fov_v / 2, height))
+    yaw = float(depth_msg.camera_yaw)
+    cos_yaw, sin_yaw = np.cos(yaw), np.sin(yaw)
+    points: List[List[float]] = []
+    for i in range(0, height, stride):
+        for j in range(0, width, stride):
+            r = depth[i, j]
+            if not np.isfinite(r) or r <= 0 or r > depth_msg.max_range:
+                continue
+            x = np.cos(el[i]) * np.cos(az[j])
+            y = np.cos(el[i]) * np.sin(az[j])
+            z = np.sin(el[i])
+            wx = cos_yaw * x - sin_yaw * y
+            wy = sin_yaw * x + cos_yaw * y
+            points.append(
+                [
+                    depth_msg.camera_position[0] + wx * r,
+                    depth_msg.camera_position[1] + wy * r,
+                    depth_msg.camera_position[2] + z * r,
+                ]
+            )
+            if len(points) >= max_points:
+                return np.asarray(points, dtype=float)
+    if not points:
+        return np.zeros((0, 3))
+    return np.asarray(points, dtype=float)
+
+
+class ScalarCollisionChecker:
+    """Point-by-point reference of :class:`~repro.perception.collision_check.CollisionChecker`.
+
+    No KD-tree and no batched queries: every lookahead sample and every
+    trajectory way-point is checked with its own distance computation over
+    the occupied voxel centres.
+    """
+
+    def __init__(self, config: Optional[CollisionCheckConfig] = None) -> None:
+        self.config = config if config is not None else CollisionCheckConfig()
+        self._centers = np.zeros((0, 3))
+        self._map_resolution = 1.0
+
+    def update_map(self, occupied_centers: np.ndarray, resolution: float) -> None:
+        """Remember the occupied voxel centres (no acceleration structure)."""
+        self._centers = np.asarray(occupied_centers, dtype=float).reshape(-1, 3)
+        self._map_resolution = float(resolution)
+
+    def _nearest(self, point: np.ndarray) -> float:
+        if self._centers.size == 0:
+            return float("inf")
+        best = float("inf")
+        for center in self._centers:
+            d = float(np.sqrt(((center - point) ** 2).sum()))
+            if d < best:
+                best = d
+        return best
+
+    def distance_to_nearest(self, position: np.ndarray) -> float:
+        """Distance from ``position`` to the nearest occupied voxel surface."""
+        dist = self._nearest(np.asarray(position, dtype=float))
+        return float(max(dist - self._map_resolution / 2.0, 0.0))
+
+    def time_to_collision(self, position: np.ndarray, velocity: np.ndarray) -> float:
+        """Sample-by-sample lookahead along the velocity vector."""
+        cfg = self.config
+        speed = float(np.linalg.norm(velocity))
+        if self._centers.size == 0 or speed < cfg.min_speed:
+            return float("inf")
+        direction = np.asarray(velocity, dtype=float) / speed
+        position = np.asarray(position, dtype=float)
+        distances = np.arange(
+            cfg.lookahead_step, speed * cfg.lookahead_time, cfg.lookahead_step
+        )
+        for travelled in distances:
+            sample = position + travelled * direction
+            if self._nearest(sample) <= cfg.collision_clearance:
+                return float(travelled) / speed
+        return float("inf")
+
+    def trajectory_collides(self, waypoints: Sequence, from_position: np.ndarray) -> bool:
+        """Way-point-by-way-point check of the remaining trajectory."""
+        if self._centers.size == 0 or not waypoints:
+            return False
+        points = np.array([[w.x, w.y, w.z] for w in waypoints], dtype=float)
+        dists = np.linalg.norm(points - np.asarray(from_position)[None, :], axis=1)
+        start_idx = int(np.argmin(dists))
+        for point in points[start_idx:]:
+            if self._nearest(point) <= self.config.collision_clearance:
+                return True
+        return False
+
+
+def scalar_gad_scores(
+    detector: GaussianDetector, matrix: np.ndarray, features: Optional[Sequence[str]] = None
+) -> np.ndarray:
+    """Cell-by-cell reference of :meth:`GaussianDetector.score_batch`.
+
+    Replicates the frozen arithmetic of :meth:`~repro.detection.gaussian.CGad.check`
+    (no online update) one sample and one feature at a time; returns the
+    boolean anomaly matrix of shape ``(N, F)``.
+    """
+    features = list(features) if features is not None else list(detector.detectors)
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
+    out = np.zeros(matrix.shape, dtype=bool)
+    for row in range(matrix.shape[0]):
+        for col, feature in enumerate(features):
+            cgad = detector.detectors[feature]
+            cfg = cgad.config  # per-cGAD config, exactly like CGad.check
+            std = max(cgad.model.std, cfg.min_std)
+            deviation = abs(float(matrix[row, col]) - cgad.model.mean)
+            armed = cgad.model.count >= cfg.min_samples
+            out[row, col] = bool(armed and deviation > cfg.n_sigma * std)
+    return out
+
+
+def scalar_aad_errors(detector: AadDetector, vectors: np.ndarray) -> np.ndarray:
+    """Row-by-row reference of :meth:`AadDetector.score_batch`."""
+    vectors = np.atleast_2d(np.asarray(vectors, dtype=float))
+    errors = np.zeros(vectors.shape[0])
+    for row in range(vectors.shape[0]):
+        normalized = (vectors[row] - detector.feature_mean) / detector.feature_std
+        errors[row] = float(detector.autoencoder.reconstruction_error(normalized)[0])
+    return errors
+
+
+def scalar_sign_exponent(values: np.ndarray) -> np.ndarray:
+    """Value-by-value reference of :func:`~repro.detection.preprocess.sign_exponent_transform`."""
+    flat = np.asarray(values, dtype=float).reshape(-1)
+    return np.array([sign_exponent_int16(v) for v in flat], dtype=np.int64)

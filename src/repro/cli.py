@@ -153,6 +153,41 @@ def _build_parser() -> argparse.ArgumentParser:
         "--results", type=Path, required=True, help="JSONL result file to summarise"
     )
 
+    bench = subparsers.add_parser(
+        "bench",
+        help="benchmark the vectorized hot-path kernels and write BENCH_hotpath.json",
+        description=(
+            "Time the vectorized hot-path kernels against their scalar "
+            "references on a fixed seeded workload, profile one real mission "
+            "with the kernel profiler, and write the perf-trajectory artifact "
+            "(schema repro-bench-v1)."
+        ),
+    )
+    bench.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_hotpath.json"),
+        help="report file to write (default BENCH_hotpath.json)",
+    )
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workload + short profiled mission (the CI bench job)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timed repeats per kernel (default 7, or 3 with --smoke)",
+    )
+    bench.add_argument(
+        "--validate",
+        type=Path,
+        default=None,
+        metavar="REPORT",
+        help="validate an existing report file and exit (no benchmarking)",
+    )
+
     subparsers.add_parser("version", help="print the package version")
     return parser
 
@@ -366,6 +401,27 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import format_bench_table, run_bench, validate_report_file
+
+    if args.validate is not None:
+        report = validate_report_file(args.validate)
+        print(f"{args.validate}: valid {report['schema']} report "
+              f"({len(report['kernels'])} kernels)")
+        return 0
+    start = time.perf_counter()
+    report = run_bench(smoke=args.smoke, repeats=args.repeats, out=args.out)
+    elapsed = time.perf_counter() - start
+    print(format_bench_table(report))
+    occupancy = report["kernels"]["occupancy_integration"]
+    print(
+        f"occupancy-integration speedup vs scalar reference: "
+        f"{occupancy['speedup']:.1f}x"
+    )
+    print(f"report: {args.out} ({elapsed:.1f}s wall clock)")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -377,6 +433,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_campaign(args)
         if args.command == "summarize":
             return _cmd_summarize(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
     except (ValueError, KeyError) as error:
         # Invalid worker counts, MAVFI_RUNS values, environment names etc.
         # raise with descriptive messages; surface them as one clean line

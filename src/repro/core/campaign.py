@@ -163,7 +163,22 @@ class CampaignResult:
 
 
 class Campaign:
-    """Drives golden, fault-injection and D&R runs for one environment."""
+    """Drives golden, fault-injection and D&R runs for one environment.
+
+    A campaign turns its :class:`CampaignConfig` into lists of picklable
+    :class:`~repro.core.executor.RunSpec`\\ s (``golden_specs``,
+    ``stage_injection_specs``, ``kernel_injection_specs``,
+    ``state_injection_specs``) and dispatches them through the execution
+    engine -- serially or across worker processes, optionally streamed to a
+    resumable :class:`~repro.core.results.JsonlResultStore`.  The high-level
+    entry point is :meth:`full_evaluation`; the raw spec lists plus
+    :meth:`run_specs` support custom orchestration.
+
+    Detectors (``gad``/``aad``) may be passed in pre-trained; otherwise
+    :meth:`ensure_detectors` trains or loads them from
+    ``config.detector_cache_dir`` on first use.  Live detector objects never
+    cross process boundaries -- workers reconstruct them from the config.
+    """
 
     def __init__(
         self,
@@ -615,12 +630,34 @@ class Campaign:
     ) -> CampaignResult:
         """Golden + FI + D&R(Gaussian) + D&R(Autoencoder) for one environment.
 
-        This is the campaign behind Table I, Fig. 6 and Table II.  Pass a
-        parallel executor to fan the campaign out over worker processes and a
-        :class:`~repro.core.results.JsonlResultStore` to stream results to
-        disk and resume a partially-completed campaign.  ``scenarios``
-        additionally sweeps the named scenarios (one error-free batch per
-        scenario, recorded under ``scenario:<name>``).
+        This is the campaign behind Table I, Fig. 6 and Table II: the
+        error-free baseline, single-bit injections split over the three PPC
+        stages, and the same injections under Gaussian- and autoencoder-based
+        detection & recovery.
+
+        Parameters
+        ----------
+        executor:
+            Execution engine override (default: the campaign's engine, or
+            serial).  Pass a :class:`~repro.core.executor.ParallelExecutor`
+            to fan missions out over worker processes; results are
+            bit-identical to a serial run.
+        store:
+            :class:`~repro.core.results.JsonlResultStore` streaming each
+            completed mission to disk (one flushed JSON line per mission).
+        resume:
+            With a ``store``, skip every spec whose deterministic key is
+            already on disk -- an interrupted campaign picks up where it
+            left off.  ``False`` re-flies everything.
+        scenarios:
+            Optional scenario names/objects; each adds one error-free batch
+            flown under that scenario, recorded under ``scenario:<name>``.
+
+        Returns
+        -------
+        CampaignResult
+            Per-setting mission records plus success-rate/flight-time/energy
+            accessors.
         """
         specs = self.evaluation_specs(scenarios=scenarios)
         results = self.run_specs(specs, executor=executor, store=store, resume=resume)

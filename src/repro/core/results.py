@@ -220,6 +220,24 @@ class JsonlResultStore:
     killed campaign leaves a valid prefix behind.  A torn final line -- the
     one failure mode of append-only JSONL -- is tolerated and skipped on
     read, and re-running the campaign fills in exactly the missing specs.
+
+    The ``key`` is the spec's deterministic semantic hash
+    (:meth:`~repro.core.executor.RunSpec.key`): environment, seeds, fault
+    plan, detector, planner, platform and scenario.  Floats round-trip
+    exactly through JSON, so a stored record equals the in-memory
+    :class:`~repro.pipeline.runner.MissionResult` bit for bit
+    (:func:`mission_results_equal`).
+
+    Typical use::
+
+        store = JsonlResultStore("sparse.jsonl")
+        campaign.full_evaluation(store=store)        # streams + resumes
+        results = store.load_results()               # key -> MissionResult
+        # `python -m repro summarize --results sparse.jsonl` renders a table.
+
+    The store is process-safe for the engine's usage pattern (only the
+    parent process appends); workers return results over the pool, never
+    write files.
     """
 
     def __init__(self, path: Union[str, Path]) -> None:

@@ -20,7 +20,9 @@ import json
 import math
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.pipeline.states import FEATURE_STAGE, MONITORED_FEATURES
 
@@ -155,6 +157,34 @@ class GaussianDetector:
             if decision.anomalous:
                 anomalies.append(decision)
         return anomalies
+
+    def score_batch(
+        self, matrix: np.ndarray, features: Optional[Sequence[str]] = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched *frozen* scoring of a window of delta samples.
+
+        ``matrix`` has shape ``(N, len(features))``; ``features`` defaults to
+        every cGAD in registration order.  Models are not updated (the frozen
+        counterpart of ``online_update=False``), so whole windows can be
+        scored with one broadcast instead of N*F Python-level checks --
+        exactly what :meth:`CGad.check` computes per sample.  Returns
+        ``(anomalous_mask, scores, thresholds)``, each of shape ``(N, F)``.
+        """
+        features = list(features) if features is not None else list(self.detectors)
+        matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
+        # Honour each cGAD's own config (it may diverge from the detector
+        # default), exactly like the per-sample ``CGad.check`` path does.
+        cgads = [self.detectors[f] for f in features]
+        means = np.array([c.model.mean for c in cgads])
+        stds = np.array([max(c.model.std, c.config.min_std) for c in cgads])
+        n_sigma = np.array([c.config.n_sigma for c in cgads])
+        armed = np.array(
+            [c.model.count >= c.config.min_samples for c in cgads], dtype=bool
+        )
+        scores = np.abs(matrix - means[None, :])
+        thresholds = np.broadcast_to(n_sigma[None, :] * stds[None, :], scores.shape)
+        anomalous = armed[None, :] & (scores > thresholds)
+        return anomalous, scores, thresholds
 
     def stage_of(self, feature: str) -> str:
         """PPC stage owning ``feature`` (for recomputation routing)."""

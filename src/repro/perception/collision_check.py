@@ -45,14 +45,29 @@ class CollisionChecker:
         self.config = config if config is not None else CollisionCheckConfig()
         self._tree: Optional[cKDTree] = None
         self._map_resolution: float = 1.0
+        self._map_fingerprint: Optional[tuple] = None
         self.future_collision_seq = 0
         self._last_future_collision = False
 
     # -------------------------------------------------------------- map input
     def update_map(self, occupied_centers: np.ndarray, resolution: float) -> None:
-        """Refresh the KD-tree over occupied voxel centres."""
+        """Refresh the KD-tree over occupied voxel centres.
+
+        The map node republishes at a fixed rate even when no new voxel was
+        observed, so the (content-derived) fingerprint skips the O(n log n)
+        tree rebuild whenever the occupied set is unchanged -- the dominant
+        case in the cruise phase of a mission.
+        """
+        occupied_centers = np.ascontiguousarray(occupied_centers, dtype=float)
+        fingerprint = (
+            occupied_centers.shape,
+            float(resolution),
+            hash(occupied_centers.tobytes()),
+        )
+        if fingerprint == self._map_fingerprint:
+            return
+        self._map_fingerprint = fingerprint
         self._map_resolution = float(resolution)
-        occupied_centers = np.asarray(occupied_centers, dtype=float)
         if occupied_centers.size == 0:
             self._tree = None
         else:
@@ -61,6 +76,7 @@ class CollisionChecker:
     def reset(self) -> None:
         """Forget the map and the future-collision latch (between missions)."""
         self._tree = None
+        self._map_fingerprint = None
         self.future_collision_seq = 0
         self._last_future_collision = False
 
@@ -165,7 +181,8 @@ class CollisionCheckNode(KernelNode):
         waypoints = self._latest_trajectory.waypoints if self._latest_trajectory else []
         self.cache_inputs(odometry=odometry, waypoints=waypoints)
         self.charge_invocation()
-        msg = self.kernel.compute(odometry.position, odometry.velocity, waypoints)
+        with self.measured():
+            msg = self.kernel.compute(odometry.position, odometry.velocity, waypoints)
         self.publish_output(self._check_pub, msg)
 
     def _do_recompute(self) -> None:

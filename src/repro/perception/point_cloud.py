@@ -29,6 +29,31 @@ class PointCloudGenerator:
             raise ValueError(f"stride must be >= 1, got {stride}")
         self.stride = stride
         self.max_points = max_points
+        self._direction_cache: dict = {}
+
+    def _directions(self, height: int, width: int, fov_h: float, fov_v: float) -> np.ndarray:
+        """Strided per-pixel ray directions in the camera frame, cached.
+
+        The camera intrinsics are constant across a mission, so the trig that
+        dominated per-frame cost is done once per ``(shape, fov, stride)``.
+        The cached grid is bit-identical to recomputing the full-resolution
+        grid and slicing it: the strided ``linspace`` samples are the same
+        float inputs to the same trig calls.
+        """
+        key = (height, width, float(fov_h), float(fov_v), self.stride)
+        cached = self._direction_cache.get(key)
+        if cached is None:
+            az = np.deg2rad(np.linspace(-fov_h / 2, fov_h / 2, width))[:: self.stride]
+            el = np.deg2rad(np.linspace(-fov_v / 2, fov_v / 2, height))[:: self.stride]
+            az_grid, el_grid = np.meshgrid(az, el)
+            x = np.cos(el_grid) * np.cos(az_grid)
+            y = np.cos(el_grid) * np.sin(az_grid)
+            z = np.sin(el_grid)
+            cached = np.stack([x, y, z], axis=-1)
+            if len(self._direction_cache) >= 8:
+                self._direction_cache.clear()
+            self._direction_cache[key] = cached
+        return cached
 
     def compute(self, depth_msg: DepthImageMsg) -> PointCloudMsg:
         """Generate the point cloud for one depth image."""
@@ -36,16 +61,8 @@ class PointCloudGenerator:
         if depth.ndim != 2 or depth.size == 0:
             return PointCloudMsg(points=np.zeros((0, 3)))
         height, width = depth.shape
-        az = np.deg2rad(np.linspace(-depth_msg.fov_h / 2, depth_msg.fov_h / 2, width))
-        el = np.deg2rad(np.linspace(-depth_msg.fov_v / 2, depth_msg.fov_v / 2, height))
-        az_grid, el_grid = np.meshgrid(az, el)
-        x = np.cos(el_grid) * np.cos(az_grid)
-        y = np.cos(el_grid) * np.sin(az_grid)
-        z = np.sin(el_grid)
-        directions = np.stack([x, y, z], axis=-1)
-
         sub_depth = depth[:: self.stride, :: self.stride]
-        sub_dirs = directions[:: self.stride, :: self.stride]
+        sub_dirs = self._directions(height, width, depth_msg.fov_h, depth_msg.fov_v)
         valid = np.isfinite(sub_depth) & (sub_depth > 0) & (sub_depth <= depth_msg.max_range)
         if not valid.any():
             return PointCloudMsg(points=np.zeros((0, 3)))
@@ -80,7 +97,8 @@ class PointCloudNode(KernelNode):
     def _on_depth(self, msg: DepthImageMsg) -> None:
         self.cache_inputs(depth=msg)
         self.charge_invocation()
-        cloud = self.kernel.compute(msg)
+        with self.measured():
+            cloud = self.kernel.compute(msg)
         self.publish_output(self._cloud_pub, cloud)
 
     def _do_recompute(self) -> None:

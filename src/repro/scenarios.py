@@ -61,7 +61,31 @@ class MissionPlan:
 
 @dataclass(frozen=True)
 class Scenario:
-    """One declarative, picklable flight-scenario specification."""
+    """One declarative, picklable flight-scenario specification.
+
+    A scenario names one point in the workload space spanned by the four
+    orthogonal axes (environment family/seed, wind, sensor degradation,
+    mission shape).  It carries **no live objects** -- only primitives and
+    frozen sub-configs -- so it pickles across process boundaries unchanged
+    and :meth:`canonical` hashes into the deterministic
+    :class:`~repro.core.executor.RunSpec` key used for JSONL resume.
+
+    Use it anywhere a campaign is configured::
+
+        from repro.scenarios import Scenario, get_scenario
+        from repro.core.campaign import Campaign, CampaignConfig
+
+        campaign = Campaign(CampaignConfig(scenario="foggy-factory"))
+        # or a custom one:
+        custom = Scenario(name="my-gusts", environment="forest",
+                          wind=WindConfig(enabled=True, gust_intensity=2.0))
+        Campaign(CampaignConfig(scenario=custom))
+
+    ``env_seed=None`` (the default) inherits the campaign's ``env_seed``, so
+    the same scenario can be flown over many procedurally generated layouts.
+    Presets live in the registry (:func:`get_scenario`, :func:`iter_scenarios`)
+    and are what the CLI's ``--scenario``/``--list-scenarios`` expose.
+    """
 
     name: str
     environment: str = "sparse"

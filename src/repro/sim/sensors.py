@@ -45,6 +45,9 @@ class DepthCamera:
         self.world = world
         self.config = config if config is not None else CameraConfig()
         self._ray_grid = self._build_ray_grid()
+        # Flattened (N, 3) view used by every capture; computed once so the
+        # per-frame work is a single rotation matmul plus the ray cast.
+        self._body_dirs = np.ascontiguousarray(self._ray_grid.reshape(-1, 3))
 
     def _build_ray_grid(self) -> np.ndarray:
         """Precompute per-pixel ray directions in the camera (body) frame."""
@@ -65,8 +68,7 @@ class DepthCamera:
         rotation = np.array(
             [[cos_yaw, -sin_yaw, 0.0], [sin_yaw, cos_yaw, 0.0], [0.0, 0.0, 1.0]]
         )
-        body_dirs = self._ray_grid.reshape(-1, 3)
-        world_dirs = body_dirs @ rotation.T
+        world_dirs = self._body_dirs @ rotation.T
         origin = state.position + np.array([0.0, 0.0, cfg.mount_height])
         depths = self.world.ray_cast(origin, world_dirs, max_range=cfg.max_range)
         depth_image = depths.reshape(cfg.height, cfg.width)

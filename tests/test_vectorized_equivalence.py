@@ -1,0 +1,278 @@
+"""Vectorized-vs-scalar equivalence tests for the hot-path kernels.
+
+The vectorized kernels (array-backed occupancy map, batched back-projection,
+KD-tree collision checks, batched detector scoring, bit-twiddled sign-exponent
+transform) must behave exactly like their scalar references: identical
+occupancy keys and log-odds, identical collision verdicts, identical detector
+scores on seeded workloads -- and, end to end, bit-identical campaign results
+under ``REPRO_SCALAR_KERNELS=1``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.scalar_ref import (
+    ScalarCollisionChecker,
+    scalar_aad_errors,
+    scalar_gad_scores,
+    scalar_point_cloud,
+    scalar_sign_exponent,
+)
+from repro.bench.workloads import build_workload
+from repro.core.injector import FaultInjectorNode, FaultPlan
+from repro.core.results import mission_result_to_dict
+from repro.detection.gaussian import GadConfig
+from repro.detection.preprocess import sign_exponent_transform
+from repro.perception.collision_check import CollisionChecker
+from repro.perception.occupancy import (
+    OccupancyMap,
+    ScalarOccupancyMap,
+    make_occupancy_map,
+    use_scalar_kernels,
+)
+from repro.perception.point_cloud import PointCloudGenerator
+from repro.pipeline.builder import PipelineConfig, build_pipeline
+from repro.pipeline.runner import MissionRunner
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """The (smoke-sized) bench workload shared by the equivalence tests."""
+    return build_workload(smoke=True, seed=3)
+
+
+class TestOccupancyEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), resolution=st.floats(0.4, 2.5))
+    def test_random_clouds_identical_store(self, seed, resolution):
+        """Property: both backends agree on keys, log-odds and verdicts."""
+        rng = np.random.default_rng(seed)
+        vector = OccupancyMap(resolution=resolution)
+        scalar = ScalarOccupancyMap(resolution=resolution)
+        for _ in range(4):
+            cloud = rng.uniform(-40.0, 60.0, size=(int(rng.integers(0, 400)), 3))
+            cloud[rng.random(len(cloud)) < 0.05] = np.nan
+            assert vector.insert_point_cloud(cloud) == scalar.insert_point_cloud(cloud)
+        assert vector.all_keys() == scalar.all_keys()
+        assert vector.occupied_keys() == scalar.occupied_keys()
+        for key in vector.all_keys():
+            assert vector.log_odds_at(key) == scalar.log_odds_at(key)
+        queries = rng.uniform(-45.0, 65.0, size=(200, 3))
+        assert np.array_equal(vector.query(queries), scalar.query(queries))
+        np.testing.assert_array_equal(
+            vector.occupied_centers(), scalar.occupied_centers()
+        )
+
+    def test_mission_scale_clouds_identical(self, workload):
+        """The real camera-sweep clouds integrate identically."""
+        vector, scalar = OccupancyMap(), ScalarOccupancyMap()
+        for cloud in workload.clouds:
+            assert vector.insert_point_cloud(cloud) == scalar.insert_point_cloud(cloud)
+        assert vector.all_keys() == scalar.all_keys()
+        assert vector._log_odds == scalar._log_odds
+
+    def test_set_voxel_and_clamp_identical(self):
+        vector, scalar = OccupancyMap(clamp=2.0), ScalarOccupancyMap(clamp=2.0)
+        for backend in (vector, scalar):
+            for _ in range(5):
+                backend.insert_point_cloud(np.array([[1.0, 1.0, 1.0]]))
+            backend.set_voxel((4, -2, 1), True)
+            backend.set_voxel((1, 1, 1), False)
+        assert vector._log_odds == scalar._log_odds
+        assert vector.num_occupied == scalar.num_occupied
+
+    def test_far_outside_points_clip_identically(self):
+        """Corruption-scale coordinates land in the same clipped voxel."""
+        cloud = np.array([[1e30, -1e30, 5.0], [2.0, 3.0, 1.0]])
+        vector, scalar = OccupancyMap(), ScalarOccupancyMap()
+        assert vector.insert_point_cloud(cloud) == scalar.insert_point_cloud(cloud)
+        assert vector.all_keys() == scalar.all_keys()
+
+    def test_factory_respects_escape_hatch(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALAR_KERNELS", raising=False)
+        assert not use_scalar_kernels()
+        assert isinstance(make_occupancy_map(), OccupancyMap)
+        monkeypatch.setenv("REPRO_SCALAR_KERNELS", "1")
+        assert use_scalar_kernels()
+        assert isinstance(make_occupancy_map(), ScalarOccupancyMap)
+        monkeypatch.setenv("REPRO_SCALAR_KERNELS", "0")
+        assert isinstance(make_occupancy_map(), OccupancyMap)
+
+
+class TestPointCloudEquivalence:
+    @pytest.mark.parametrize("stride", [1, 2, 3])
+    def test_back_projection_matches_per_pixel_loop(self, workload, stride):
+        generator = PointCloudGenerator(stride=stride)
+        for frame in workload.depth_frames:
+            vector = np.asarray(generator.compute(frame).points)
+            scalar = scalar_point_cloud(frame, stride=stride)
+            assert vector.shape == scalar.shape
+            np.testing.assert_allclose(vector, scalar, rtol=1e-12, atol=1e-12)
+
+    def test_direction_cache_is_bit_identical_across_frames(self, workload):
+        """The cached direction grid gives the same cloud as a fresh kernel."""
+        cached = PointCloudGenerator()
+        for frame in workload.depth_frames:
+            first = cached.compute(frame).points
+            fresh = PointCloudGenerator().compute(frame).points
+            np.testing.assert_array_equal(first, fresh)
+
+
+class TestCollisionEquivalence:
+    def test_verdicts_match_brute_force(self, workload):
+        vector, scalar = CollisionChecker(), ScalarCollisionChecker()
+        vector.update_map(workload.occupied_centers, resolution=1.0)
+        scalar.update_map(workload.occupied_centers, resolution=1.0)
+        for pose in workload.query_poses:
+            ttc_v = vector.time_to_collision(pose["position"], pose["velocity"])
+            ttc_s = scalar.time_to_collision(pose["position"], pose["velocity"])
+            assert ttc_v == pytest.approx(ttc_s, rel=1e-9)
+            assert vector.trajectory_collides(
+                pose["waypoints"], pose["position"]
+            ) == scalar.trajectory_collides(pose["waypoints"], pose["position"])
+            assert vector.distance_to_nearest(pose["position"]) == pytest.approx(
+                scalar.distance_to_nearest(pose["position"]), rel=1e-9
+            )
+
+    def test_fingerprint_skips_rebuild_only_for_identical_maps(self, workload):
+        checker = CollisionChecker()
+        checker.update_map(workload.occupied_centers, resolution=1.0)
+        tree_before = checker._tree
+        checker.update_map(workload.occupied_centers.copy(), resolution=1.0)
+        assert checker._tree is tree_before  # unchanged content: no rebuild
+        changed = workload.occupied_centers + 1.0
+        checker.update_map(changed, resolution=1.0)
+        assert checker._tree is not tree_before
+
+
+class TestDetectorEquivalence:
+    def test_gad_batch_matches_per_cell_reference(self, workload):
+        features = list(workload.gad.detectors)
+        anomalous, _, _ = workload.gad.score_batch(workload.detector_window, features)
+        expected = scalar_gad_scores(workload.gad, workload.detector_window, features)
+        np.testing.assert_array_equal(anomalous, expected)
+
+    def test_gad_batch_matches_sequential_frozen_checks(self, workload):
+        """score_batch agrees with CGad.check run sample by sample."""
+        gad = workload.gad
+        for detector in gad.detectors.values():
+            detector.config = GadConfig(online_update=False)
+        features = list(gad.detectors)
+        anomalous, scores, thresholds = gad.score_batch(
+            workload.detector_window[:64], features
+        )
+        for row in range(64):
+            for col, feature in enumerate(features):
+                decision = gad.detectors[feature].check(
+                    workload.detector_window[row, col]
+                )
+                assert decision.anomalous == bool(anomalous[row, col])
+                assert decision.score == pytest.approx(scores[row, col], rel=1e-12)
+                assert decision.threshold == pytest.approx(
+                    thresholds[row, col], rel=1e-12
+                )
+
+    def test_aad_batch_matches_row_by_row(self, workload):
+        batched = workload.aad.score_batch(workload.detector_window)
+        rows = scalar_aad_errors(workload.aad, workload.detector_window)
+        np.testing.assert_allclose(batched, rows, rtol=1e-9, atol=1e-12)
+
+    def test_aad_check_batch_matches_check_sample_verdicts(self, workload):
+        """check_batch agrees with the online path on stateless windows."""
+        import copy
+
+        aad = workload.aad
+        window = workload.detector_window[:64]
+        anomalous, errors = aad.check_batch(window)
+        np.testing.assert_array_equal(anomalous, errors > aad.threshold)
+        features = aad.features
+        for row in range(len(window)):
+            fresh = copy.deepcopy(aad)  # per-row: no delta-state carry-over
+            verdict, error = fresh.check_sample(dict(zip(features, window[row])))
+            assert verdict == bool(anomalous[row])
+            assert error == pytest.approx(errors[row], rel=1e-9)
+
+    def test_gad_batch_honours_per_cgad_configs(self, workload):
+        """Diverging one cGAD's config changes score_batch like CGad.check."""
+        import copy
+
+        gad = copy.deepcopy(workload.gad)
+        features = list(gad.detectors)
+        victim = features[0]
+        gad.detectors[victim].config = GadConfig(n_sigma=0.5, online_update=False)
+        anomalous, _, thresholds = gad.score_batch(workload.detector_window, features)
+        expected = scalar_gad_scores(gad, workload.detector_window, features)
+        np.testing.assert_array_equal(anomalous, expected)
+        decision = gad.detectors[victim].check(workload.detector_window[0, 0])
+        assert decision.threshold == pytest.approx(thresholds[0, 0], rel=1e-12)
+        assert anomalous[:, 0].any()  # 0.5 sigma must actually fire
+
+
+class TestPreprocessEquivalence:
+    def test_edge_cases(self):
+        values = np.array(
+            [
+                0.0, -0.0, 1.0, -1.0, 1.5, -2.75, 1e-300, -1e-300, 5e-324,
+                1e-8, -1e-8, 1e8, 1e308, -1e308, np.inf, -np.inf,
+                np.nan, np.copysign(np.nan, -1.0),
+            ]
+        )
+        np.testing.assert_array_equal(
+            sign_exponent_transform(values), scalar_sign_exponent(values)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(allow_nan=True, allow_infinity=True))
+    def test_property_any_float(self, value):
+        assert sign_exponent_transform(np.array([value]))[0] == scalar_sign_exponent(
+            np.array([value])
+        )[0]
+
+    def test_update_array_matches_sequential_updates(self):
+        from repro.detection.preprocess import DataPreprocessor
+
+        rng = np.random.default_rng(5)
+        values = rng.normal(0.0, 100.0, size=37)
+        values[5], values[9] = np.nan, np.inf
+        batched_pre, sequential_pre = DataPreprocessor(), DataPreprocessor()
+        batched = batched_pre.update_array("f", values)
+        sequential = [sequential_pre.update("f", v) for v in values]
+        assert sequential[0] is None  # first-ever sample yields no delta
+        assert list(batched) == sequential[1:]
+        # State carries across calls identically on both paths.
+        batched2 = batched_pre.update_array("f", values[:5])
+        sequential2 = [sequential_pre.update("f", v) for v in values[:5]]
+        assert list(batched2) == sequential2
+        assert batched_pre._previous == sequential_pre._previous
+
+
+def _fly(monkeypatch, scalar: bool, fault_plan=None):
+    """One fixed-seed mission with the selected kernel backend."""
+    if scalar:
+        monkeypatch.setenv("REPRO_SCALAR_KERNELS", "1")
+    else:
+        monkeypatch.delenv("REPRO_SCALAR_KERNELS", raising=False)
+    handles = build_pipeline(
+        PipelineConfig(environment="farm", seed=2, mission_time_limit=60.0)
+    )
+    if fault_plan is not None:
+        handles.graph.add_node(FaultInjectorNode(fault_plan, handles.kernels))
+    return MissionRunner(handles).run(setting="equivalence", seed=2)
+
+
+class TestCampaignEquivalence:
+    def test_golden_mission_bit_identical_across_backends(self, monkeypatch):
+        vector = _fly(monkeypatch, scalar=False)
+        scalar = _fly(monkeypatch, scalar=True)
+        assert mission_result_to_dict(vector) == mission_result_to_dict(scalar)
+
+    def test_octomap_state_injection_bit_identical_across_backends(self, monkeypatch):
+        """The fault path that enumerates map voxels picks the same victim."""
+        plan = FaultPlan(
+            target_type="kernel", target="octomap_generation",
+            injection_time=6.0, bit=40, seed=9,
+        )
+        vector = _fly(monkeypatch, scalar=False, fault_plan=plan)
+        scalar = _fly(monkeypatch, scalar=True, fault_plan=plan)
+        assert mission_result_to_dict(vector) == mission_result_to_dict(scalar)
