@@ -19,6 +19,7 @@ miniature campaign in minutes, which is what the CI smoke job runs.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -29,7 +30,16 @@ from repro.detection.training import train_detectors
 from repro.sim.environments import ENVIRONMENT_NAMES
 
 CACHE_DIR = Path(__file__).parent / ".cache"
-RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Where regenerated figure/table text lands.  The default is the *untracked*
+#: ``results/local/`` directory so benchmark runs never dirty the working
+#: tree; the committed reference files live one level up in ``results/`` and
+#: are refreshed deliberately by pointing ``REPRO_BENCH_RESULTS_DIR`` at it.
+RESULTS_DIR = Path(
+    os.environ.get(
+        "REPRO_BENCH_RESULTS_DIR", str(Path(__file__).parent / "results" / "local")
+    )
+)
 
 #: Base (MAVFI_RUNS=1) run counts for the shared campaign.
 BASE_GOLDEN_RUNS = 10
@@ -54,7 +64,7 @@ def print_artifact(title: str, body: str) -> None:
     banner = "=" * 78
     text = f"\n{banner}\n{title}\n{banner}\n{body}\n"
     print(text)
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     slug = (
         title.lower()
         .split(":")[0]

@@ -1,0 +1,77 @@
+"""Campaign-throughput bench self-test and the committed-artifact gate.
+
+The smoke case runs the full ``python -m repro bench --campaign`` machinery on
+the miniature workload: it validates the ``BENCH_campaign.json`` schema, the
+bit-identity of every engine mode against the scratch baseline (enforced
+inside the bench itself), and a deliberately loose speedup floor so a noisy
+shared CI runner cannot flake it.  The hard >=3x acceptance gate applies to
+the *committed* repo-root ``BENCH_campaign.json``, which is validated here
+statically on every tier-1 run.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    format_campaign_table,
+    run_campaign_bench,
+    validate_campaign_report,
+    validate_campaign_report_file,
+)
+
+from conftest import print_artifact
+
+COMMITTED_REPORT = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
+
+
+@pytest.mark.smoke
+def test_smoke_campaign_bench_writes_valid_report(tmp_path):
+    out = tmp_path / "BENCH_campaign.json"
+    report = run_campaign_bench(smoke=True, workers=2, out=out)
+    assert out.exists()
+    loaded = validate_campaign_report_file(out)
+    assert loaded["schema"] == report["schema"]
+    assert loaded["bit_identical"] is True
+    modes = loaded["modes"]
+    assert set(modes) >= {"serial_scratch", "serial_cached", "serial_checkpointed"}
+    # The checkpointed engine must beat the scratch baseline even on the tiny
+    # smoke workload; the floor is far below the committed full-workload >=3x
+    # so CI noise cannot flake it.
+    assert loaded["speedups"]["cached_checkpointed_vs_baseline"] > 1.3
+    ckpt = loaded["checkpoint"]
+    assert ckpt["forks"] > 0
+    assert ckpt["prefix_sim_seconds_saved"] > 0
+    print_artifact("Campaign-throughput bench: smoke workload", format_campaign_table(report))
+
+
+def test_committed_campaign_report_meets_the_acceptance_gate():
+    """The committed BENCH_campaign.json shows >=3x cached+checkpointed."""
+    report = validate_campaign_report_file(COMMITTED_REPORT)
+    assert report["bit_identical"] is True
+    assert report["workload"]["smoke"] is False, (
+        "the committed artifact must come from the full standard workload"
+    )
+    assert report["speedups"]["cached_checkpointed_vs_baseline"] >= 3.0
+    assert report["checkpoint"]["forks"] > 0
+
+
+def test_malformed_campaign_reports_rejected(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(ValueError):
+        validate_campaign_report_file(bad)
+    with pytest.raises(ValueError):
+        validate_campaign_report({"schema": "wrong"})
+    good = json.loads(COMMITTED_REPORT.read_text())
+    # A report that lost its bit-identity flag must fail validation.
+    tampered = dict(good)
+    tampered["bit_identical"] = False
+    with pytest.raises(ValueError):
+        validate_campaign_report(tampered)
+    # A tampered timing must fail validation.
+    tampered = json.loads(COMMITTED_REPORT.read_text())
+    tampered["modes"]["serial_scratch"]["wall_s"] = 0.0
+    with pytest.raises(ValueError):
+        validate_campaign_report(tampered)

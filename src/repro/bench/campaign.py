@@ -1,0 +1,364 @@
+"""Campaign-throughput benchmark: ``python -m repro bench --campaign``.
+
+Times one *standard injection-sweep workload* -- a seeded, late-window,
+bit-sensitivity-style sweep (many injections per mission seed, activation
+late in the flight) plus its golden baselines -- through the campaign
+execution engine in several modes:
+
+* ``serial_scratch`` -- the PR 3 baseline: serial executor, construction
+  caches and golden-prefix checkpointing disabled (every run rebuilds its
+  world and re-flies its prefix);
+* ``serial_cached`` -- construction caches only;
+* ``serial_checkpointed`` -- caches plus golden-prefix checkpoint forks (the
+  headline serial comparison);
+* ``parallel_scratch`` / ``parallel_checkpointed`` -- the same two extremes
+  across worker processes.
+
+Every mode's result stream is checked bit-identical against the baseline's
+(the hard correctness gate: a faster engine that changes a single bit of a
+mission record fails the bench), and the report records the construction-cache
+and checkpoint statistics (hit rates, prefix seconds saved) alongside the
+throughputs.  The schema-validated artifact is ``BENCH_campaign.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.analysis.reporting import format_table
+from repro.bench.harness import host_fingerprint
+from repro.core import checkpoint
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.executor import ParallelExecutor, RunSpec, SerialExecutor
+from repro.core.results import mission_results_equal
+from repro.pipeline import builder
+
+#: Schema identifier written into (and required from) every campaign report.
+CAMPAIGN_BENCH_SCHEMA = "repro-campaign-bench-v1"
+
+#: Default report file name (repo-root perf-trajectory artifact).
+DEFAULT_CAMPAIGN_REPORT_NAME = "BENCH_campaign.json"
+
+#: Mode names in report/table order.
+CAMPAIGN_BENCH_MODES = (
+    "serial_scratch",
+    "serial_cached",
+    "serial_checkpointed",
+    "parallel_scratch",
+    "parallel_checkpointed",
+)
+
+
+@contextmanager
+def _engine_env(no_cache: bool, no_checkpoint: bool):
+    """Temporarily pin the engine's cache/checkpoint escape hatches."""
+    saved = {
+        name: os.environ.get(name)
+        for name in (builder.NO_CACHE_ENV, checkpoint.NO_CHECKPOINT_ENV)
+    }
+    try:
+        os.environ[builder.NO_CACHE_ENV] = "1" if no_cache else "0"
+        os.environ[checkpoint.NO_CHECKPOINT_ENV] = "1" if no_checkpoint else "0"
+        yield
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+def campaign_workload(
+    smoke: bool = False,
+) -> Tuple[CampaignConfig, List[RunSpec], Dict]:
+    """The standard injection-sweep workload (config, specs, description).
+
+    Late-window sweep in the Factory environment: every mission seed carries
+    many single-bit injections activating in the ``(10, 15) s`` window of a
+    ~16 s flight, plus the golden baselines -- the shape of the paper's
+    bit-sensitivity characterisation, and the shape golden-prefix
+    checkpointing exists for.  Counts are pinned (independent of
+    ``MAVFI_RUNS``) so every bench run times the same campaign.
+    """
+    config = CampaignConfig(
+        environment="factory",
+        env_seed=0,
+        seed=0,
+        num_golden=1 if smoke else 2,
+        num_injections_per_stage=3 if smoke else 12,
+        injection_window=(10.0, 15.0),
+        mission_time_limit=60.0,
+    )
+    saved_runs = os.environ.get("MAVFI_RUNS")
+    os.environ["MAVFI_RUNS"] = "1.0"
+    try:
+        campaign = Campaign(config)
+        specs = campaign.golden_specs() + campaign.stage_injection_specs("injection")
+    finally:
+        if saved_runs is None:
+            os.environ.pop("MAVFI_RUNS", None)
+        else:
+            os.environ["MAVFI_RUNS"] = saved_runs
+    description = {
+        "environment": config.environment,
+        "mission_seeds": config.num_golden,
+        "injections_per_stage": config.num_injections_per_stage,
+        "injection_window": list(config.injection_window),
+        "mission_time_limit": config.mission_time_limit,
+        "specs": len(specs),
+        "smoke": bool(smoke),
+    }
+    return config, specs, description
+
+
+def _reset_engine_caches() -> None:
+    checkpoint.reset_checkpoint_caches()
+    builder.reset_world_cache()
+
+
+def _run_mode(
+    config: CampaignConfig,
+    specs: List[RunSpec],
+    no_cache: bool,
+    no_checkpoint: bool,
+    workers: int = 1,
+    repeats: int = 1,
+) -> Tuple[List, float]:
+    """Run the workload in one engine mode; returns (results, best wall_s).
+
+    Each repeat starts from cold per-process caches (reset between runs), so
+    the best-of-``repeats`` time measures the mode itself rather than shared
+    machine noise or a pre-warmed cache.
+    """
+    executor = SerialExecutor() if workers <= 1 else ParallelExecutor(workers=workers)
+    results: List = []
+    wall_s = float("inf")
+    with _engine_env(no_cache=no_cache, no_checkpoint=no_checkpoint):
+        for repeat in range(max(repeats, 1)):
+            _reset_engine_caches()
+            start = time.perf_counter()
+            run_results = Campaign(config).run_specs(specs, executor=executor)
+            wall_s = min(wall_s, time.perf_counter() - start)
+            if repeat == 0:
+                results = run_results
+    return results, wall_s
+
+
+def run_campaign_bench(
+    smoke: bool = False,
+    workers: int = 2,
+    out: Union[str, Path, None] = None,
+    min_speedup: Optional[float] = None,
+    repeats: Optional[int] = None,
+) -> Dict:
+    """Benchmark the campaign engine on the standard injection-sweep workload.
+
+    Raises :class:`~repro.core.checkpoint.CheckpointDivergenceError` if any
+    mode's result stream is not bit-identical to the baseline's, and
+    ``ValueError`` if ``min_speedup`` is given and the serial
+    cached+checkpointed engine fails to beat the serial scratch baseline by
+    that factor.  Writes the validated report to ``out`` when given.
+    """
+    config, specs, description = campaign_workload(smoke=smoke)
+    n = len(specs)
+    if repeats is None:
+        repeats = 1 if smoke else 2
+    description["repeats"] = int(repeats)
+
+    mode_plan = {
+        "serial_scratch": dict(no_cache=True, no_checkpoint=True, workers=1),
+        "serial_cached": dict(no_cache=False, no_checkpoint=True, workers=1),
+        "serial_checkpointed": dict(no_cache=False, no_checkpoint=False, workers=1),
+        "parallel_scratch": dict(no_cache=True, no_checkpoint=True, workers=workers),
+        "parallel_checkpointed": dict(
+            no_cache=False, no_checkpoint=False, workers=workers
+        ),
+    }
+
+    best_wall: Dict[str, float] = {name: float("inf") for name in CAMPAIGN_BENCH_MODES}
+    baseline_results = None
+    bit_identical = True
+    cache_stats: Dict[str, int] = {}
+    checkpoint_stats: Dict[str, float] = {}
+    # Rounds are interleaved (every mode once per round, best-of over rounds)
+    # so drifting load on a shared machine biases all modes equally instead
+    # of whichever mode happened to run during the noisy minute.
+    for round_index in range(max(repeats, 1)):
+        for name in CAMPAIGN_BENCH_MODES:
+            plan = mode_plan[name]
+            results, wall_s = _run_mode(config, specs, repeats=1, **plan)
+            best_wall[name] = min(best_wall[name], wall_s)
+            if name == "serial_checkpointed":
+                # Captured before the next mode resets the per-process caches.
+                cache_stats = builder.world_cache_stats()
+                checkpoint_stats = checkpoint.checkpoint_stats().as_dict()
+            if round_index > 0:
+                continue
+            if baseline_results is None:
+                baseline_results = results
+            else:
+                identical = all(
+                    mission_results_equal(a, b)
+                    for a, b in zip(baseline_results, results)
+                )
+                bit_identical = bit_identical and identical
+                if not identical:
+                    raise checkpoint.CheckpointDivergenceError(
+                        f"campaign bench mode {name!r} produced results that "
+                        f"are not bit-identical to the serial scratch baseline"
+                    )
+    modes: Dict[str, Dict] = {
+        name: {
+            "wall_s": best_wall[name],
+            "specs": n,
+            "specs_per_sec": n / best_wall[name] if best_wall[name] > 0 else float("inf"),
+            "workers": mode_plan[name]["workers"],
+        }
+        for name in CAMPAIGN_BENCH_MODES
+    }
+
+    def _speedup(mode: str) -> float:
+        return modes[mode]["specs_per_sec"] / modes["serial_scratch"]["specs_per_sec"]
+
+    report = {
+        "schema": CAMPAIGN_BENCH_SCHEMA,
+        "created_unix": time.time(),
+        "host": host_fingerprint(),
+        "workload": description,
+        "modes": modes,
+        "speedups": {
+            "cached_vs_baseline": _speedup("serial_cached"),
+            "cached_checkpointed_vs_baseline": _speedup("serial_checkpointed"),
+            "parallel_vs_baseline": _speedup("parallel_scratch"),
+            "parallel_checkpointed_vs_baseline": _speedup("parallel_checkpointed"),
+        },
+        "cache": cache_stats,
+        "checkpoint": checkpoint_stats,
+        "bit_identical": bit_identical,
+    }
+    validate_campaign_report(report)
+    if min_speedup is not None:
+        achieved = report["speedups"]["cached_checkpointed_vs_baseline"]
+        if achieved < min_speedup:
+            raise ValueError(
+                f"campaign throughput gate failed: cached+checkpointed is "
+                f"{achieved:.2f}x the scratch baseline, gate is {min_speedup:.2f}x"
+            )
+    if out is not None:
+        write_campaign_report(report, out)
+    return report
+
+
+# ------------------------------------------------------------------ reporting
+def format_campaign_table(report: Dict) -> str:
+    """The campaign bench report as a text table."""
+    rows = []
+    base = report["modes"]["serial_scratch"]["specs_per_sec"]
+    for name in CAMPAIGN_BENCH_MODES:
+        mode = report["modes"].get(name)
+        if mode is None:
+            continue
+        rows.append(
+            [
+                name,
+                mode["workers"],
+                f"{mode['wall_s']:.2f}",
+                f"{mode['specs_per_sec']:.2f}",
+                f"{mode['specs_per_sec'] / base:.2f}x",
+            ]
+        )
+    workload = report["workload"]
+    ckpt = report.get("checkpoint", {})
+    table = format_table(
+        ["Mode", "Workers", "Wall [s]", "Specs/s", "vs baseline"],
+        rows,
+        title=(
+            f"Campaign throughput ({workload['environment']}, "
+            f"{workload['specs']} specs, window "
+            f"{workload['injection_window'][0]:.0f}-"
+            f"{workload['injection_window'][1]:.0f}s)"
+        ),
+    )
+    table += (
+        f"\nbit-identical across modes: {report['bit_identical']}"
+        f" | prefix sim-seconds saved: "
+        f"{ckpt.get('prefix_sim_seconds_saved', 0.0):.1f}"
+        f" (forks: {ckpt.get('forks', 0)}, golden served: "
+        f"{ckpt.get('golden_served', 0)}, cursor restarts: "
+        f"{ckpt.get('cursor_restarts', 0)})"
+    )
+    return table
+
+
+# ----------------------------------------------------------------- validation
+def validate_campaign_report(report: Dict) -> None:
+    """Validate a campaign bench report; raises ``ValueError`` when malformed."""
+    if not isinstance(report, dict):
+        raise ValueError("campaign bench report must be a JSON object")
+    if report.get("schema") != CAMPAIGN_BENCH_SCHEMA:
+        raise ValueError(
+            f"campaign bench schema must be {CAMPAIGN_BENCH_SCHEMA!r}, "
+            f"got {report.get('schema')!r}"
+        )
+    modes = report.get("modes")
+    if not isinstance(modes, dict) or not modes:
+        raise ValueError("campaign bench report must contain a 'modes' object")
+    for required in ("serial_scratch", "serial_checkpointed"):
+        if required not in modes:
+            raise ValueError(f"campaign bench report must time the {required!r} mode")
+    for name, mode in modes.items():
+        if not isinstance(mode, dict):
+            raise ValueError(f"mode {name!r}: must be an object")
+        for field_name in ("wall_s", "specs_per_sec"):
+            value = mode.get(field_name)
+            if not isinstance(value, (int, float)) or not math.isfinite(value) or value <= 0:
+                raise ValueError(
+                    f"mode {name!r}: {field_name} must be finite and positive, got {value!r}"
+                )
+        if not isinstance(mode.get("specs"), int) or mode["specs"] <= 0:
+            raise ValueError(f"mode {name!r}: specs must be a positive integer")
+    speedups = report.get("speedups")
+    if not isinstance(speedups, dict):
+        raise ValueError("campaign bench report must contain a 'speedups' object")
+    for name, value in speedups.items():
+        if not isinstance(value, (int, float)) or not math.isfinite(value) or value <= 0:
+            raise ValueError(f"speedup {name!r} must be finite and positive, got {value!r}")
+    headline = speedups.get("cached_checkpointed_vs_baseline")
+    if headline is None:
+        raise ValueError(
+            "campaign bench report must record 'cached_checkpointed_vs_baseline'"
+        )
+    if report.get("bit_identical") is not True:
+        raise ValueError(
+            "campaign bench report must record bit_identical=true (checkpointed "
+            "results must match from-scratch execution exactly)"
+        )
+    for section in ("checkpoint", "cache", "workload", "host"):
+        if not isinstance(report.get(section), dict):
+            raise ValueError(f"campaign bench report must contain a {section!r} object")
+
+
+def validate_campaign_report_file(path: Union[str, Path]) -> Dict:
+    """Load and validate a campaign report file; returns the parsed report."""
+    path = Path(path)
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ValueError(f"cannot read campaign bench report {path}: {error}") from error
+    validate_campaign_report(report)
+    return report
+
+
+def write_campaign_report(report: Dict, path: Union[str, Path]) -> Path:
+    """Validate and write a report as pretty-printed JSON; returns the path."""
+    validate_campaign_report(report)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

@@ -252,9 +252,8 @@ def format_bench_table(report: Dict) -> str:
         table += "\n" + format_table(
             ["Pipeline kernel", "Wall [ms]", "Calls", "ms/call"],
             prof_rows,
-            title=(
-                "Profiled mission (sparse, seed 0, "
-                f"wall {pipeline.get('mission_wall_s', 0.0):.1f}s)"
-            ),
+            # No wall-clock in the title: the rendered table doubles as a
+            # committed reference artifact, which must not churn per run.
+            title="Profiled mission (sparse, seed 0)",
         )
     return table

@@ -155,37 +155,67 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bench = subparsers.add_parser(
         "bench",
-        help="benchmark the vectorized hot-path kernels and write BENCH_hotpath.json",
+        help="benchmark hot-path kernels or campaign throughput (BENCH_*.json)",
         description=(
             "Time the vectorized hot-path kernels against their scalar "
-            "references on a fixed seeded workload, profile one real mission "
-            "with the kernel profiler, and write the perf-trajectory artifact "
-            "(schema repro-bench-v1)."
+            "references (default, schema repro-bench-v1), or -- with "
+            "--campaign -- time the campaign engine's execution modes "
+            "(serial/parallel x scratch/cached/checkpointed) on the standard "
+            "injection-sweep workload (schema repro-campaign-bench-v1)."
+        ),
+    )
+    bench.add_argument(
+        "--campaign",
+        action="store_true",
+        help=(
+            "benchmark campaign throughput (construction caches + "
+            "golden-prefix checkpointing) instead of the hot-path kernels"
         ),
     )
     bench.add_argument(
         "--out",
         type=Path,
-        default=Path("BENCH_hotpath.json"),
-        help="report file to write (default BENCH_hotpath.json)",
+        default=None,
+        help="report file to write (default BENCH_hotpath.json / BENCH_campaign.json)",
     )
     bench.add_argument(
         "--smoke",
         action="store_true",
-        help="small workload + short profiled mission (the CI bench job)",
+        help="small workload (the CI bench jobs)",
     )
     bench.add_argument(
         "--repeats",
         type=int,
         default=None,
-        help="timed repeats per kernel (default 7, or 3 with --smoke)",
+        help=(
+            "timed repeats (hot-path: per kernel, default 7 or 3 with "
+            "--smoke; campaign: per mode, default 2 or 1 with --smoke)"
+        ),
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count of the parallel campaign-bench modes (default 2)",
+    )
+    bench.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help=(
+            "campaign bench gate: fail unless cached+checkpointed beats the "
+            "scratch baseline by this factor"
+        ),
     )
     bench.add_argument(
         "--validate",
         type=Path,
         default=None,
         metavar="REPORT",
-        help="validate an existing report file and exit (no benchmarking)",
+        help=(
+            "validate an existing report file (schema auto-detected) and "
+            "exit (no benchmarking)"
+        ),
     )
 
     subparsers.add_parser("version", help="print the package version")
@@ -401,16 +431,76 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_bench_report(path: Path) -> int:
+    """Validate a bench report of either schema (auto-detected)."""
+    import json
+
+    from repro.bench import (
+        CAMPAIGN_BENCH_SCHEMA,
+        validate_campaign_report_file,
+        validate_report_file,
+    )
+
+    try:
+        schema = json.loads(path.read_text()).get("schema")
+    except (OSError, json.JSONDecodeError, AttributeError) as error:
+        raise ValueError(f"cannot read bench report {path}: {error}") from error
+    if schema == CAMPAIGN_BENCH_SCHEMA:
+        report = validate_campaign_report_file(path)
+        print(
+            f"{path}: valid {report['schema']} report "
+            f"({len(report['modes'])} modes, "
+            f"{report['speedups']['cached_checkpointed_vs_baseline']:.2f}x "
+            f"cached+checkpointed vs baseline)"
+        )
+    else:
+        report = validate_report_file(path)
+        print(f"{path}: valid {report['schema']} report "
+              f"({len(report['kernels'])} kernels)")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import format_bench_table, run_bench, validate_report_file
+    from repro.bench import (
+        DEFAULT_CAMPAIGN_REPORT_NAME,
+        DEFAULT_REPORT_NAME,
+        format_bench_table,
+        format_campaign_table,
+        run_bench,
+        run_campaign_bench,
+    )
 
     if args.validate is not None:
-        report = validate_report_file(args.validate)
-        print(f"{args.validate}: valid {report['schema']} report "
-              f"({len(report['kernels'])} kernels)")
+        return _validate_bench_report(args.validate)
+    if not args.campaign and (args.min_speedup is not None or args.workers is not None):
+        # Refuse rather than silently ignore: a user adding --min-speedup to
+        # the hot-path bench would believe a perf gate is enforced when the
+        # flag only applies to the campaign bench.
+        raise ValueError(
+            "--min-speedup and --workers apply to the campaign bench only; "
+            "add --campaign (the hot-path bench gates on occupancy_integration)"
+        )
+    if args.campaign:
+        out = args.out if args.out is not None else Path(DEFAULT_CAMPAIGN_REPORT_NAME)
+        start = time.perf_counter()
+        report = run_campaign_bench(
+            smoke=args.smoke,
+            workers=args.workers if args.workers is not None else 2,
+            out=out,
+            min_speedup=args.min_speedup,
+            repeats=args.repeats,
+        )
+        elapsed = time.perf_counter() - start
+        print(format_campaign_table(report))
+        print(
+            f"cached+checkpointed speedup vs scratch baseline: "
+            f"{report['speedups']['cached_checkpointed_vs_baseline']:.2f}x"
+        )
+        print(f"report: {out} ({elapsed:.1f}s wall clock)")
         return 0
+    out = args.out if args.out is not None else Path(DEFAULT_REPORT_NAME)
     start = time.perf_counter()
-    report = run_bench(smoke=args.smoke, repeats=args.repeats, out=args.out)
+    report = run_bench(smoke=args.smoke, repeats=args.repeats, out=out)
     elapsed = time.perf_counter() - start
     print(format_bench_table(report))
     occupancy = report["kernels"]["occupancy_integration"]
@@ -418,7 +508,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"occupancy-integration speedup vs scalar reference: "
         f"{occupancy['speedup']:.1f}x"
     )
-    print(f"report: {args.out} ({elapsed:.1f}s wall clock)")
+    print(f"report: {out} ({elapsed:.1f}s wall clock)")
     return 0
 
 

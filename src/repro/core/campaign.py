@@ -115,6 +115,10 @@ class CampaignConfig:
     num_injections_per_stage: int = 12
     mission_time_limit: float = 120.0
     time_step: float = 0.25
+    #: Extra simulated seconds the mission runner grants past the time limit
+    #: before force-aborting a mission that failed to terminate on its own
+    #: (was hardcoded to 5 s inside :class:`~repro.pipeline.runner.MissionRunner`).
+    abort_grace: float = 5.0
     injection_window: Tuple[float, float] = (2.0, 9.0)
     bit_field: BitField = BitField.ANY
     seed: int = 0

@@ -1,0 +1,362 @@
+"""Golden-prefix checkpointing: snapshot the fault-free prefix, fork the rest.
+
+Every fault-injection mission of a campaign is bit-identical to the error-free
+("golden") mission of the same (configuration, seed, scenario, detector) up to
+the instant its fault activates.  Re-simulating that shared prefix for each of
+the N injections of a sweep is the single largest source of redundant work in
+a campaign, so this module keeps one *golden-prefix cursor* per prefix
+identity: a live pipeline advanced lazily along the mission runner's exact
+time grid.  An injection run then *forks* from the cursor -- a deep copy of
+the full pipeline state (graph clock, executor timer heap, node/kernel state,
+RNG streams, vehicle, octomap, detector windows, topic/service buses) --
+attaches its fault injector, and resumes the stepping loop from the pause
+point instead of re-flying the prefix.
+
+Correctness is held to a hard bit-identity standard: a forked run must produce
+exactly the :class:`~repro.pipeline.runner.MissionResult` of a from-scratch
+run, byte for byte through the JSON round-trip.  The pieces that make that
+true:
+
+* the cursor pauses only on the runner's accumulated time grid, and the fork
+  resumes the loop from the exact accumulated float, so the continued grid is
+  the one an uninterrupted run would have used;
+* the forked injector's one-shot timer is re-anchored to the *absolute*
+  injection time and wins ties against every re-registered periodic timer
+  (:meth:`~repro.rosmw.executor.Executor.reschedule_timer` with
+  ``front=True``), matching the from-scratch registration order;
+* service handlers and topic taps are callable objects, not closures, so the
+  deep copy rebinds them to the copied nodes;
+* immutable constituents (the generated world, the platform model, the
+  pipeline config, a frozen autoencoder) are shared across forks via the
+  deep-copy memo -- everything mutable is copied.
+
+``REPRO_NO_CHECKPOINT=1`` disables forking entirely (every spec runs from
+scratch); ``REPRO_CHECKPOINT_VERIFY=1`` runs every forked spec from scratch as
+well and raises :class:`CheckpointDivergenceError` on any mismatch -- the
+belt-and-braces mode used by the bit-identity gates in tests and CI.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.injector import FaultInjectorNode
+from repro.pipeline.builder import build_pipeline, env_flag
+from repro.pipeline.runner import DEFAULT_ABORT_GRACE, MissionRunner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.executor import RunSpec
+    from repro.pipeline.builder import PipelineHandles
+    from repro.pipeline.runner import MissionResult
+
+#: Environment variable disabling golden-prefix checkpointing (escape hatch).
+NO_CHECKPOINT_ENV = "REPRO_NO_CHECKPOINT"
+
+#: Environment variable enabling the per-spec fork-vs-scratch verification.
+CHECKPOINT_VERIFY_ENV = "REPRO_CHECKPOINT_VERIFY"
+
+
+class CheckpointDivergenceError(AssertionError):
+    """A forked run diverged from its from-scratch reference (verify mode)."""
+
+
+def checkpointing_enabled() -> bool:
+    """Whether golden-prefix checkpointing is active (the default)."""
+    return not env_flag(NO_CHECKPOINT_ENV)
+
+
+def verification_enabled() -> bool:
+    """Whether every forked run is cross-checked against a scratch run."""
+    return env_flag(CHECKPOINT_VERIFY_ENV)
+
+
+def supports_spec(spec: "RunSpec") -> bool:
+    """Whether ``spec``'s prefix identity is capturable by a cursor key.
+
+    Excluded: in-memory :class:`~repro.sim.world.World` environments (their
+    content is not part of the spec key) and custom detector objects (their
+    identity cannot be derived from the campaign configuration).
+    """
+    from repro.core.executor import RECONSTRUCTIBLE_DETECTORS
+
+    if not isinstance(spec.config.environment, str):
+        return False
+    if spec.detector is not None and spec.detector not in RECONSTRUCTIBLE_DETECTORS:
+        return False
+    return True
+
+
+# ------------------------------------------------------------------ statistics
+@dataclass
+class CheckpointStats:
+    """Per-process counters of the checkpoint engine (benchmark reporting)."""
+
+    #: Cursors built from scratch (first spec of a prefix identity).
+    cursors_built: int = 0
+    #: Cursors rebuilt because a spec needed an earlier time than the cursor
+    #: had already passed (out-of-cache-order dispatch).
+    cursor_restarts: int = 0
+    #: Cursor reuses (a spec found a usable cursor for its prefix identity).
+    cursor_hits: int = 0
+    #: Injection runs served by forking a cursor.
+    forks: int = 0
+    #: Golden (fault-free) runs served by forking a completed cursor.
+    golden_served: int = 0
+    #: Simulated seconds the forks did *not* re-fly (sum of fork-point times).
+    forked_prefix_sim_seconds: float = 0.0
+    #: Simulated seconds the cursors themselves flew (the shared cost).
+    cursor_sim_seconds: float = 0.0
+
+    @property
+    def prefix_sim_seconds_saved(self) -> float:
+        """Net simulated seconds saved versus re-flying every prefix."""
+        return self.forked_prefix_sim_seconds - self.cursor_sim_seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON form (the ``checkpoint`` section of ``BENCH_campaign.json``)."""
+        return {
+            "cursors_built": self.cursors_built,
+            "cursor_restarts": self.cursor_restarts,
+            "cursor_hits": self.cursor_hits,
+            "forks": self.forks,
+            "golden_served": self.golden_served,
+            "forked_prefix_sim_seconds": self.forked_prefix_sim_seconds,
+            "cursor_sim_seconds": self.cursor_sim_seconds,
+            "prefix_sim_seconds_saved": self.prefix_sim_seconds_saved,
+        }
+
+
+# ---------------------------------------------------------------- the cursor
+class GoldenPrefixCursor:
+    """A live golden pipeline advanced lazily along the runner's time grid.
+
+    The cursor replicates :meth:`MissionRunner.run` exactly -- same node
+    start order, same ``t += time_step; spin_until(t)`` accumulation -- but
+    pauses between grid steps so forks can be taken.  It never aborts or
+    collects its own mission: terminal actions happen only on forks, so the
+    cursor state stays a pristine golden prefix.
+    """
+
+    def __init__(self, spec: "RunSpec", detector: Optional[object]) -> None:
+        from repro.core.executor import fork_detector, pipeline_config_for
+
+        cfg = spec.config
+        self.time_step = float(cfg.time_step)
+        self.hard_limit = float(cfg.mission_time_limit) + float(
+            getattr(cfg, "abort_grace", DEFAULT_ABORT_GRACE)
+        )
+        handles = build_pipeline(pipeline_config_for(spec))
+        #: The detector object this cursor's prefix was flown with.  Kept (by
+        #: strong reference) so the manager can refuse to serve a spec whose
+        #: live detector is a *different* object than the one in the prefix --
+        #: the prefix key derives detector identity from the campaign config,
+        #: which cannot distinguish two differently-trained in-memory objects.
+        self.detector_source = detector
+        if detector is not None:
+            from repro.detection.node import attach_detection
+
+            attach_detection(handles, fork_detector(detector))
+        handles.graph.start_all()
+        self.handles = handles
+        #: The runner-loop accumulator; bit-equal to a from-scratch runner's
+        #: ``t`` after the same number of iterations.
+        self.t = handles.graph.clock.now
+        self._shared = self._shared_atoms(handles)
+
+    @staticmethod
+    def _shared_atoms(handles: "PipelineHandles") -> List[object]:
+        """Objects every fork may share by reference (immutable during runs)."""
+        shared: List[object] = [handles.world, handles.platform, handles.config]
+        scenario = handles.extras.get("scenario")
+        if scenario is not None:
+            shared.append(scenario)
+        detector = getattr(handles.extras.get("detection_node"), "detector", None)
+        autoencoder = getattr(detector, "autoencoder", None)
+        if autoencoder is not None:
+            # AAD inference is pure forward passes: the network (weights and
+            # Adam buffers) and the normalisation vectors are frozen.
+            shared.append(autoencoder)
+            shared.append(detector.feature_mean)
+            shared.append(detector.feature_std)
+        return shared
+
+    # ------------------------------------------------------------- advancing
+    @property
+    def mission_done(self) -> bool:
+        """Whether the golden mission terminated on its own."""
+        return self.handles.airsim.mission_done
+
+    def _can_step(self) -> bool:
+        return not self.mission_done and self.t < self.hard_limit
+
+    def advance_before(self, limit_time: float) -> float:
+        """Advance while the *next* grid step would still end strictly before
+        ``limit_time``; returns the paused loop time.
+
+        Stopping one step short guarantees the fork's injector (scheduled at
+        exactly ``limit_time``) is in the graph before any timer at or beyond
+        that instant fires.
+        """
+        graph = self.handles.graph
+        while self._can_step() and self.t + self.time_step < limit_time:
+            self.t += self.time_step
+            graph.spin_until(self.t)
+        return self.t
+
+    def advance_to_completion(self) -> float:
+        """Advance until the mission terminates or the hard limit is reached."""
+        return self.advance_before(float("inf"))
+
+    # --------------------------------------------------------------- forking
+    def fork(self):
+        """Deep-copied pipeline state plus the exact paused loop time."""
+        memo = {id(obj): obj for obj in self._shared}
+        handles = copy.deepcopy(self.handles, memo)
+        return handles, self.t
+
+
+# ---------------------------------------------------------------- the manager
+class CheckpointManager:
+    """Per-process registry of golden-prefix cursors, keyed by prefix identity.
+
+    Cursors are kept in a small LRU (full pipelines are MB-scale); the
+    execution engine sorts spec batches into cache-friendly order (grouped by
+    prefix, injections by ascending activation time, golden runs last) so the
+    cursor of the active group advances monotonically and is evicted only
+    when its group is finished.
+    """
+
+    def __init__(self, max_cursors: int = 4) -> None:
+        self.max_cursors = int(max_cursors)
+        self._cursors: "OrderedDict[str, GoldenPrefixCursor]" = OrderedDict()
+        self.stats = CheckpointStats()
+
+    # -------------------------------------------------------------- plumbing
+    def _cursor_for(
+        self, spec: "RunSpec", detector: Optional[object], needed_before: float
+    ) -> GoldenPrefixCursor:
+        key = spec.prefix_key()
+        cursor = self._cursors.get(key)
+        if cursor is not None and (
+            cursor.t >= needed_before or cursor.detector_source is not detector
+        ):
+            # The cursor flew past the requested fork point (out-of-order
+            # dispatch), or the caller's live detector is a different object
+            # than the one the prefix was flown with; rebuild.
+            del self._cursors[key]
+            cursor = None
+            self.stats.cursor_restarts += 1
+        if cursor is None:
+            cursor = GoldenPrefixCursor(spec, detector)
+            self.stats.cursors_built += 1
+            self._cursors[key] = cursor
+        else:
+            self.stats.cursor_hits += 1
+        self._cursors.move_to_end(key)
+        while len(self._cursors) > self.max_cursors:
+            self._cursors.popitem(last=False)
+        return cursor
+
+    def _advance(self, cursor: GoldenPrefixCursor, limit_time: float) -> None:
+        before = cursor.t
+        cursor.advance_before(limit_time)
+        self.stats.cursor_sim_seconds += cursor.t - before
+
+    def reset(self) -> None:
+        """Drop every cursor and zero the statistics."""
+        self._cursors.clear()
+        self.stats = CheckpointStats()
+
+    # ------------------------------------------------------------- execution
+    def run_spec(
+        self, spec: "RunSpec", detector: Optional[object]
+    ) -> Optional["MissionResult"]:
+        """Serve ``spec`` from a golden-prefix fork, or ``None`` to decline.
+
+        Declining (a fault too early for any prefix to be worth sharing)
+        falls back to the engine's from-scratch path.
+        """
+        if spec.fault_plan is None:
+            return self._run_golden(spec, detector)
+        return self._run_injection(spec, detector)
+
+    def _run_golden(
+        self, spec: "RunSpec", detector: Optional[object]
+    ) -> "MissionResult":
+        cursor = self._cursor_for(spec, detector, needed_before=float("inf"))
+        self._advance(cursor, float("inf"))
+        handles, loop_t = cursor.fork()
+        self.stats.golden_served += 1
+        self.stats.forked_prefix_sim_seconds += handles.graph.clock.now
+        return self._finish(spec, handles, loop_t, injector=None)
+
+    def _run_injection(
+        self, spec: "RunSpec", detector: Optional[object]
+    ) -> Optional["MissionResult"]:
+        plan = spec.fault_plan
+        injection_time = float(plan.injection_time)
+        if injection_time <= spec.config.time_step:
+            # No full grid step fits before the fault: nothing to share.
+            return None
+        cursor = self._cursor_for(spec, detector, needed_before=injection_time)
+        self._advance(cursor, injection_time)
+        handles, loop_t = cursor.fork()
+        self.stats.forks += 1
+        self.stats.forked_prefix_sim_seconds += handles.graph.clock.now
+
+        injector = FaultInjectorNode(plan, handles.kernels)
+        handles.graph.add_node(injector)
+        injector.start()
+        if injector._timer is not None:
+            # The timer was created relative to the resumed clock; re-anchor
+            # it to the absolute injection time, winning ties like the
+            # launch-registered timer of a from-scratch run does.
+            handles.graph.executor.reschedule_timer(
+                injector._timer, injection_time, front=True
+            )
+        return self._finish(spec, handles, loop_t, injector=injector)
+
+    def _finish(
+        self,
+        spec: "RunSpec",
+        handles: "PipelineHandles",
+        loop_t: float,
+        injector: Optional[FaultInjectorNode],
+    ) -> "MissionResult":
+        cfg = spec.config
+        runner = MissionRunner(
+            handles,
+            time_step=cfg.time_step,
+            abort_grace=float(getattr(cfg, "abort_grace", DEFAULT_ABORT_GRACE)),
+        )
+        result = runner.run(
+            setting=spec.setting,
+            seed=spec.seed,
+            fault_target=spec.fault_plan.target if spec.fault_plan else "",
+            resume_from=loop_t,
+        )
+        if injector is not None:
+            result.fault_description = injector.description
+        return result
+
+
+#: The per-process manager used by the execution engine.
+_MANAGER = CheckpointManager()
+
+
+def manager() -> CheckpointManager:
+    """The process-wide :class:`CheckpointManager`."""
+    return _MANAGER
+
+
+def checkpoint_stats() -> CheckpointStats:
+    """The process-wide checkpoint statistics."""
+    return _MANAGER.stats
+
+
+def reset_checkpoint_caches() -> None:
+    """Drop all cursors and zero the statistics (tests, benchmarks)."""
+    _MANAGER.reset()

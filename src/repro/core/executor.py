@@ -44,8 +44,12 @@ from typing import (
 )
 
 from repro.core.injector import FaultInjectorNode, FaultPlan
-from repro.pipeline.builder import PipelineConfig, build_pipeline
-from repro.pipeline.runner import MissionResult, MissionRunner
+from repro.pipeline.builder import (
+    PipelineConfig,
+    build_pipeline,
+    construction_caches_enabled,
+)
+from repro.pipeline.runner import DEFAULT_ABORT_GRACE, MissionResult, MissionRunner
 from repro.scenarios import Scenario, resolve_scenario
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
@@ -106,25 +110,30 @@ class RunSpec:
         """
         return hashlib.sha1(repr(self._canonical()).encode("utf-8")).hexdigest()[:16]
 
-    def _canonical(self) -> Tuple:
+    def prefix_key(self) -> str:
+        """Identity of this spec's fault-free *prefix* (stable across processes).
+
+        Two specs with the same prefix key fly bit-identical missions up to
+        their fault-activation times: same pipeline, seed, scenario, detector
+        and timing -- only the fault plan (and the setting label) may differ.
+        The golden-prefix checkpoint engine keys its cursors on this, and the
+        execution engine groups spec batches by it so workers receive
+        cache-friendly chunks.
+        """
+        return hashlib.sha1(
+            repr(self.prefix_canonical()).encode("utf-8")
+        ).hexdigest()[:16]
+
+    def prefix_canonical(self) -> Tuple:
+        """Canonical tuple of everything that shapes the fault-free prefix."""
+        return ("prefix-v1",) + self._prefix_fields()
+
+    def _prefix_fields(self) -> Tuple:
         cfg = self.config
         environment = getattr(cfg.environment, "name", cfg.environment)
         platform = getattr(cfg.platform, "name", cfg.platform)
-        plan = self.fault_plan
-        plan_fields: Tuple = ()
-        if plan is not None:
-            plan_fields = (
-                plan.target_type,
-                plan.target,
-                round(float(plan.injection_time), 9),
-                plan.bit,
-                plan.bit_field.value,
-                plan.seed,
-            )
         scenario = self.effective_scenario()
         return (
-            "runspec-v2",
-            self.setting,
             scenario.canonical() if scenario is not None else (),
             int(self.seed),
             self.detector or "",
@@ -140,8 +149,22 @@ class RunSpec:
             str(platform),
             round(float(cfg.mission_time_limit), 9),
             round(float(cfg.time_step), 9),
-            plan_fields,
+            round(float(getattr(cfg, "abort_grace", DEFAULT_ABORT_GRACE)), 9),
         )
+
+    def _canonical(self) -> Tuple:
+        plan = self.fault_plan
+        plan_fields: Tuple = ()
+        if plan is not None:
+            plan_fields = (
+                plan.target_type,
+                plan.target,
+                round(float(plan.injection_time), 9),
+                plan.bit,
+                plan.bit_field.value,
+                plan.seed,
+            )
+        return ("runspec-v3", self.setting) + self._prefix_fields() + (plan_fields,)
 
 
 # --------------------------------------------------------------- spec running
@@ -198,20 +221,14 @@ def _resolve_detector(
     )
 
 
-def execute_spec(
-    spec: RunSpec, detectors: Optional[Mapping[str, object]] = None
-) -> MissionResult:
-    """Fly the mission described by ``spec`` and return its result.
+def pipeline_config_for(spec: RunSpec) -> PipelineConfig:
+    """The :class:`PipelineConfig` a spec's mission is built from.
 
-    ``detectors`` optionally maps detector tags to live detector objects (the
-    serial path); without it, reconstructible tags are trained or loaded in
-    this process.  The detector is deep-copied per run so that one run's
-    detector state never leaks into the next.
+    Shared by the from-scratch path and the golden-prefix cursor so both
+    construct bit-identical pipelines.
     """
-    from repro.detection.node import attach_detection
-
     cfg = spec.config
-    pipeline_config = PipelineConfig(
+    return PipelineConfig(
         environment=cfg.environment,
         env_seed=cfg.env_seed,
         scenario=spec.effective_scenario(),
@@ -220,15 +237,41 @@ def execute_spec(
         seed=spec.seed,
         mission_time_limit=cfg.mission_time_limit,
     )
-    handles = build_pipeline(pipeline_config)
-    detector = _resolve_detector(spec, detectors)
+
+
+def fork_detector(detector: object) -> object:
+    """Per-mission detector instance: cheap state fork, or deep copy.
+
+    Detectors exposing ``fork_for_run`` (GAD, AAD) share their frozen trained
+    parameters and get fresh per-mission state; anything else falls back to
+    the historical per-run ``copy.deepcopy``.  With ``REPRO_NO_CACHE=1`` the
+    deep copy is always used (the pre-cache reference behaviour).
+    """
+    fork = getattr(detector, "fork_for_run", None)
+    if fork is not None and construction_caches_enabled():
+        return fork()
+    return copy.deepcopy(detector)
+
+
+def _abort_grace(cfg: "CampaignConfig") -> float:
+    return float(getattr(cfg, "abort_grace", DEFAULT_ABORT_GRACE))
+
+
+def _execute_spec_scratch(spec: RunSpec, detector: Optional[object]) -> MissionResult:
+    """Fly ``spec`` from scratch (build, launch, step to termination)."""
+    from repro.detection.node import attach_detection
+
+    cfg = spec.config
+    handles = build_pipeline(pipeline_config_for(spec))
     if detector is not None:
-        attach_detection(handles, copy.deepcopy(detector))
+        attach_detection(handles, fork_detector(detector))
     injector = None
     if spec.fault_plan is not None:
         injector = FaultInjectorNode(spec.fault_plan, handles.kernels)
         handles.graph.add_node(injector)
-    runner = MissionRunner(handles, time_step=cfg.time_step)
+    runner = MissionRunner(
+        handles, time_step=cfg.time_step, abort_grace=_abort_grace(cfg)
+    )
     result = runner.run(
         setting=spec.setting,
         seed=spec.seed,
@@ -239,11 +282,70 @@ def execute_spec(
     return result
 
 
+def execute_spec(
+    spec: RunSpec, detectors: Optional[Mapping[str, object]] = None
+) -> MissionResult:
+    """Fly the mission described by ``spec`` and return its result.
+
+    ``detectors`` optionally maps detector tags to live detector objects (the
+    serial path); without it, reconstructible tags are trained or loaded in
+    this process.  Each run gets its own detector state via
+    :func:`fork_detector`, so one run's detector state never leaks into the
+    next.
+
+    Specs are served from the golden-prefix checkpoint engine when possible
+    (:mod:`repro.core.checkpoint`): fault-free prefixes are flown once per
+    (config, seed, scenario, detector) identity and injection runs fork from
+    the snapshot.  ``REPRO_NO_CHECKPOINT=1`` forces every spec from scratch;
+    ``REPRO_CHECKPOINT_VERIFY=1`` additionally cross-checks every forked
+    result against a scratch run and raises on divergence.
+    """
+    from repro.core import checkpoint
+
+    detector = _resolve_detector(spec, detectors)
+    result = None
+    if checkpoint.checkpointing_enabled() and checkpoint.supports_spec(spec):
+        result = checkpoint.manager().run_spec(spec, detector)
+        if result is not None and checkpoint.verification_enabled():
+            from repro.core.results import mission_results_equal
+
+            scratch = _execute_spec_scratch(spec, detector)
+            if not mission_results_equal(result, scratch):
+                raise checkpoint.CheckpointDivergenceError(
+                    f"checkpoint fork diverged from scratch execution for "
+                    f"spec {spec.key()} ({spec.setting}, seed {spec.seed}, "
+                    f"fault {spec.fault_plan})"
+                )
+    if result is None:
+        result = _execute_spec_scratch(spec, detector)
+    return result
+
+
 def _execute_chunk(
     indexed_specs: Sequence[Tuple[int, RunSpec]]
 ) -> List[Tuple[int, MissionResult]]:
     """Worker entry point: run one chunk of (position, spec) pairs."""
     return [(pos, execute_spec(spec)) for pos, spec in indexed_specs]
+
+
+def cache_order_key(spec: RunSpec):
+    """Sort key grouping specs for construction-cache and checkpoint locality.
+
+    Specs sharing a fault-free prefix (same :meth:`RunSpec.prefix_key`) land
+    next to each other; within a group, injection specs come in ascending
+    fault-activation order and golden (fault-free) specs come last -- exactly
+    the order in which a golden-prefix cursor can serve them all with one
+    monotonic pass.  Results are always returned in submission order; only
+    the execution order changes.
+    """
+    plan = spec.fault_plan
+    activation = float(plan.injection_time) if plan is not None else float("inf")
+    return (spec.prefix_key(), activation)
+
+
+def cache_friendly_order(specs: Sequence[RunSpec]) -> List[RunSpec]:
+    """Stable reordering of ``specs`` by :func:`cache_order_key`."""
+    return sorted(specs, key=cache_order_key)
 
 
 def materialize_scenario(spec: RunSpec) -> RunSpec:
@@ -342,7 +444,12 @@ class ParallelExecutor:
         size = self.chunk_size
         if size is None:
             size = max(1, len(specs) // (workers * 4))
-        indexed = list(enumerate(specs))
+        # Group by construction-cache/prefix key (stable, ascending fault
+        # time, golden last) so each worker's chunk hits its per-process
+        # world/detector caches and golden-prefix cursors instead of
+        # interleaving unrelated pipelines.  Original positions ride along,
+        # so the result stream is still returned in submission order.
+        indexed = sorted(enumerate(specs), key=lambda pair: cache_order_key(pair[1]))
         return [indexed[i : i + size] for i in range(0, len(indexed), size)]
 
     def map(
@@ -434,6 +541,11 @@ def execute_specs(
         if spec_key not in known and spec_key not in pending_keys:
             pending.append(spec)
             pending_keys.add(spec_key)
+    # Cache-friendly execution order (construction caches, golden-prefix
+    # cursors); the returned list is rebuilt in submission order below, so
+    # only completion order -- already unordered under the parallel
+    # executor -- is affected.
+    pending = cache_friendly_order(pending)
 
     def record(spec: RunSpec, result: MissionResult) -> None:
         if store is not None:

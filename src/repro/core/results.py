@@ -242,6 +242,10 @@ class JsonlResultStore:
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
+        # Whether this instance has verified the file ends in a newline (a
+        # torn tail from a killed writer would swallow the next append).
+        # Every append we write ends in one, so the check runs at most once.
+        self._tail_checked = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"JsonlResultStore({str(self.path)!r})"
@@ -281,10 +285,27 @@ class JsonlResultStore:
     def append(
         self, key: str, result: MissionResult, meta: Optional[Dict] = None
     ) -> None:
-        """Append one keyed result (flushed immediately)."""
+        """Append one keyed result (flushed immediately).
+
+        A store killed mid-write can leave a torn final line *without* a
+        trailing newline; appending straight after it would merge the new
+        record into the torn line and lose both.  The append therefore starts
+        a fresh line whenever the file does not end in a newline.
+        """
         record = {"key": key, "meta": meta or {}, "result": mission_result_to_dict(result)}
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        needs_newline = False
+        if not self._tail_checked:
+            if self.path.exists():
+                with self.path.open("rb") as tail:
+                    tail.seek(0, 2)
+                    if tail.tell() > 0:
+                        tail.seek(-1, 2)
+                        needs_newline = tail.read(1) != b"\n"
+            self._tail_checked = True
         with self.path.open("a", encoding="utf-8") as handle:
+            if needs_newline:
+                handle.write("\n")
             handle.write(json.dumps(record) + "\n")
             handle.flush()
 

@@ -260,6 +260,25 @@ class AadDetector:
         self._latest_deltas.clear()
         self.alarm_count = 0
 
+    def fork_for_run(self) -> "AadDetector":
+        """Cheap per-mission fork sharing the frozen trained network.
+
+        Detection only runs forward passes, so the autoencoder weights,
+        normalisation vectors and threshold are shared by reference; only the
+        per-mission mutable state (latest-delta window, alarm counter) is
+        fresh.  Replaces the per-run ``copy.deepcopy`` of the whole detector.
+        """
+        clone = AadDetector.__new__(AadDetector)
+        clone.features = self.features
+        clone.config = self.config
+        clone.autoencoder = self.autoencoder
+        clone.feature_mean = self.feature_mean
+        clone.feature_std = self.feature_std
+        clone.threshold = self.threshold
+        clone.alarm_count = 0
+        clone._latest_deltas = {}
+        return clone
+
     # ------------------------------------------------------------- persistence
     def save(self, path: Path) -> None:
         """Save the trained detector to JSON."""

@@ -186,6 +186,27 @@ class GaussianDetector:
         anomalous = armed[None, :] & (scores > thresholds)
         return anomalous, scores, thresholds
 
+    def fork_for_run(self) -> "GaussianDetector":
+        """Cheap per-mission fork: trained statistics copied, counters fresh.
+
+        The cGAD models update online during a mission, so each run needs its
+        own mutable model state.  This replaces the per-run ``copy.deepcopy``
+        of the whole detector with an explicit copy of the ~3 floats per
+        monitored state that actually constitute the trained baseline; the
+        fork is numerically identical to a deep copy of a freshly trained
+        (never-flown) detector.
+        """
+        clone = GaussianDetector.__new__(GaussianDetector)
+        clone.config = self.config
+        clone.detectors = {}
+        for feature, cgad in self.detectors.items():
+            forked = CGad(feature, cgad.config)
+            forked.model.count = cgad.model.count
+            forked.model.mean = cgad.model.mean
+            forked.model._s = cgad.model._s
+            clone.detectors[feature] = forked
+        return clone
+
     def stage_of(self, feature: str) -> str:
         """PPC stage owning ``feature`` (for recomputation routing)."""
         return FEATURE_STAGE.get(feature, "control")

@@ -50,6 +50,22 @@ _TRAJECTORY_FEATURES = (
 
 
 @dataclass
+class _DetectionTap:
+    """Topic tap routing messages into one detection node.
+
+    A callable object (not a closure) so deep-copying a pipeline for
+    golden-prefix checkpointing rebinds the tap to the copied node; a closure
+    would keep feeding the original node's preprocessor from the copy's bus.
+    """
+
+    node: "AnomalyDetectionNode"
+    topic: str
+
+    def __call__(self, name: str, message: Message) -> Optional[Message]:
+        return self.node._inspect(self.topic, message)
+
+
+@dataclass
 class DetectionPolicy:
     """How alarms are turned into recovery actions."""
 
@@ -102,10 +118,7 @@ class AnomalyDetectionNode(Node):
 
     # -------------------------------------------------------------- detection
     def _make_tap(self, topic: str):
-        def tap(name: str, message: Message) -> Optional[Message]:
-            return self._inspect(topic, message)
-
-        return tap
+        return _DetectionTap(self, topic)
 
     def _detector_stage_category(self, stage: str) -> str:
         if isinstance(self.detector, AadDetector):

@@ -22,6 +22,21 @@ from repro.rosmw.message import RecomputeRequestMsg
 from repro.rosmw.node import Node
 
 
+class _StageRecomputeHandler:
+    """Service handler recomputing one stage of one coordinator.
+
+    A callable object (not a closure) so a deep-copied pipeline (golden-prefix
+    checkpointing) gets handlers bound to the copied coordinator and kernels.
+    """
+
+    def __init__(self, node: "RecoveryCoordinatorNode", stage: str) -> None:
+        self.node = node
+        self.stage = stage
+
+    def __call__(self, request: RecomputeRequestMsg) -> bool:
+        return self.node.recompute_stage(self.stage)
+
+
 class RecoveryCoordinatorNode(Node):
     """Routes recomputation requests to the kernels of each PPC stage."""
 
@@ -40,10 +55,7 @@ class RecoveryCoordinatorNode(Node):
             self.advertise_service(service_name, self._make_handler(stage))
 
     def _make_handler(self, stage: str):
-        def handler(request: RecomputeRequestMsg) -> bool:
-            return self.recompute_stage(stage)
-
-        return handler
+        return _StageRecomputeHandler(self, stage)
 
     def recompute_stage(self, stage: str) -> bool:
         """Re-run every kernel of ``stage`` from its cached inputs."""

@@ -14,8 +14,10 @@ performance model -- which is how the TX2 comparison of Fig. 9 is reproduced.
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -37,6 +39,73 @@ from repro.sim.sensors import CameraConfig
 from repro.sim.vehicle import QuadrotorParams
 from repro.sim.wind import WindModel
 from repro.sim.world import World
+
+#: Environment variable disabling the per-process construction caches (worlds
+#: here, detectors in :mod:`repro.core.executor`): the escape hatch for the
+#: campaign-throughput engine's cache layer.
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+
+
+def env_flag(name: str) -> bool:
+    """Whether environment variable ``name`` is set truthy.
+
+    The one shared parse for the engine's escape hatches (``REPRO_NO_CACHE``
+    here, ``REPRO_NO_CHECKPOINT``/``REPRO_CHECKPOINT_VERIFY`` in
+    :mod:`repro.core.checkpoint`): unset, ``0``, ``false`` and ``no`` are
+    falsy, anything else is truthy.
+    """
+    value = os.environ.get(name, "").strip().lower()
+    return value not in ("", "0", "false", "no")
+
+
+def construction_caches_enabled() -> bool:
+    """Whether the per-process construction caches are active (the default)."""
+    return not env_flag(NO_CACHE_ENV)
+
+
+#: Per-process cache of generated worlds.  Worlds are immutable once built
+#: (missions only query them: ray casts, collision and distance checks), so
+#: every pipeline of a campaign can share one instance per (environment
+#: family, environment seed) pair instead of regenerating the obstacles for
+#: each of the thousands of runs.
+_WORLD_CACHE: "OrderedDict[Tuple[str, int], World]" = OrderedDict()
+_WORLD_CACHE_MAX = 8
+_WORLD_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def world_for(environment: str, seed: int) -> World:
+    """Generated :class:`World` for ``(environment family, env seed)``.
+
+    Served from the per-process construction cache when enabled; the returned
+    world is shared across pipelines and must be treated as immutable.
+    """
+    if not construction_caches_enabled():
+        return make_environment(environment, seed=seed)
+    key = (str(environment), int(seed))
+    world = _WORLD_CACHE.get(key)
+    if world is not None:
+        _WORLD_CACHE.move_to_end(key)
+        _WORLD_CACHE_STATS["hits"] += 1
+        return world
+    _WORLD_CACHE_STATS["misses"] += 1
+    world = make_environment(environment, seed=seed)
+    _WORLD_CACHE[key] = world
+    while len(_WORLD_CACHE) > _WORLD_CACHE_MAX:
+        _WORLD_CACHE.popitem(last=False)
+    return world
+
+
+def world_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the per-process world cache."""
+    return dict(_WORLD_CACHE_STATS)
+
+
+def reset_world_cache() -> None:
+    """Drop all cached worlds and zero the counters (tests, benchmarks)."""
+    _WORLD_CACHE.clear()
+    _WORLD_CACHE_STATS["hits"] = 0
+    _WORLD_CACHE_STATS["misses"] = 0
+
 
 #: Seed offsets deriving the per-mission wind and sensor-degradation streams
 #: from the mission seed (disjoint from the start-jitter offset below and the
@@ -117,10 +186,8 @@ def _resolve_world(config: PipelineConfig, scenario: Optional[Scenario]) -> Worl
     if isinstance(config.environment, World) and scenario is None:
         return config.environment
     if scenario is not None:
-        return make_environment(
-            scenario.environment, seed=_effective_env_seed(config, scenario)
-        )
-    return make_environment(config.environment, seed=config.env_seed)
+        return world_for(scenario.environment, _effective_env_seed(config, scenario))
+    return world_for(config.environment, config.env_seed)
 
 
 def _effective_env_seed(config: PipelineConfig, scenario: Optional[Scenario]) -> int:

@@ -10,7 +10,7 @@ detection/recovery statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -60,12 +60,30 @@ class MissionResult:
         return sum(self.compute_time.values())
 
 
-class MissionRunner:
-    """Runs one closed-loop mission on a built pipeline."""
+#: Default extra simulated seconds the runner grants beyond the mission time
+#: limit before force-aborting a mission that failed to terminate on its own.
+DEFAULT_ABORT_GRACE = 5.0
 
-    def __init__(self, handles: PipelineHandles, time_step: float = 0.25) -> None:
+
+class MissionRunner:
+    """Runs one closed-loop mission on a built pipeline.
+
+    ``abort_grace`` is the safety margin (simulated seconds) past the
+    configured mission time limit after which a mission that has not
+    terminated on its own is force-aborted; it used to be hardcoded to 5 s.
+    """
+
+    def __init__(
+        self,
+        handles: PipelineHandles,
+        time_step: float = 0.25,
+        abort_grace: float = DEFAULT_ABORT_GRACE,
+    ) -> None:
+        if abort_grace < 0:
+            raise ValueError(f"abort_grace must be non-negative, got {abort_grace}")
         self.handles = handles
         self.time_step = float(time_step)
+        self.abort_grace = float(abort_grace)
 
     def run(
         self,
@@ -73,16 +91,27 @@ class MissionRunner:
         seed: int = 0,
         fault_description: str = "",
         fault_target: str = "",
+        resume_from: Optional[float] = None,
     ) -> MissionResult:
-        """Launch the graph and run the mission to termination."""
+        """Launch the graph and run the mission to termination.
+
+        ``resume_from`` resumes the stepping loop of an already-started
+        pipeline (a golden-prefix checkpoint fork) at the given loop time
+        instead of launching the nodes; it must be the exact accumulated loop
+        time at which the prefix paused, so the continued time grid is
+        bit-identical to an uninterrupted run's.
+        """
         handles = self.handles
         graph = handles.graph
         airsim = handles.airsim
         config = handles.config
 
-        graph.start_all()
-        hard_limit = config.mission_time_limit + 5.0
-        t = graph.clock.now
+        if resume_from is None:
+            graph.start_all()
+            t = graph.clock.now
+        else:
+            t = float(resume_from)
+        hard_limit = config.mission_time_limit + self.abort_grace
         while not airsim.mission_done and t < hard_limit:
             t += self.time_step
             graph.spin_until(t)

@@ -32,6 +32,29 @@ class Executor:
         """Number of live timer entries currently scheduled."""
         return sum(1 for _, _, t in self._heap if not t.cancelled)
 
+    def reschedule_timer(
+        self, timer: Timer, fire_time: float, front: bool = False
+    ) -> None:
+        """Move an already-registered timer to fire at absolute ``fire_time``.
+
+        With ``front=True`` the timer wins ties against every currently
+        scheduled entry (its tie-break counter is set below the heap minimum).
+        Golden-prefix checkpoint forks use this to insert the fault injector's
+        one-shot timer at its absolute injection time: in a from-scratch run
+        the injector registered at launch and never re-registered, so at the
+        injection instant its counter is older than every periodic timer's --
+        ``front=True`` reproduces that ordering on a resumed graph.
+        """
+        self._heap = [entry for entry in self._heap if entry[2] is not timer]
+        timer.next_fire = float(fire_time)
+        counter: int = next(self._counter)
+        if front:
+            counter = min(
+                (entry[1] for entry in self._heap), default=counter
+            ) - 1
+        self._heap.append((timer.next_fire, counter, timer))
+        heapq.heapify(self._heap)
+
     def spin_until(self, t: float) -> int:
         """Fire every due timer up to and including simulated time ``t``.
 

@@ -111,6 +111,22 @@ class ComputeAccounting:
         self.categories.clear()
 
 
+class _GuardedServiceHandler:
+    """Crash-guarded wrapper around a node's service handler.
+
+    A callable object rather than a closure so that a deep copy of the node
+    graph (golden-prefix checkpointing) rebinds the wrapper to the *copied*
+    node and handler; a closure would keep servicing the original graph.
+    """
+
+    def __init__(self, node: "Node", handler: Callable[[Any], Any]) -> None:
+        self.node = node
+        self.handler = handler
+
+    def __call__(self, request: Any) -> Any:
+        return self.node._run_guarded(self.handler, request)
+
+
 class Node:
     """Base class for all compute kernels and framework nodes.
 
@@ -232,10 +248,7 @@ class Node:
             return None
 
     def _guard_service(self, handler: Callable[[Any], Any]) -> Callable[[Any], Any]:
-        def wrapped(request: Any) -> Any:
-            return self._run_guarded(handler, request)
-
-        return wrapped
+        return _GuardedServiceHandler(self, handler)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "alive" if self.alive else "down"

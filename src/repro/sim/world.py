@@ -77,6 +77,12 @@ class World:
     name:
         Environment name (``factory``, ``farm``, ``sparse``, ``dense`` or
         ``training``).
+
+    Worlds are *immutable once populated*: missions only query them (ray
+    casts, collision and distance checks), which is what lets the pipeline
+    builder's per-process world cache and the golden-prefix checkpoint forks
+    share one instance across runs.  ``add_obstacle(s)`` is a construction-
+    time API, not a mid-campaign one.
     """
 
     bounds_lo: Tuple[float, float, float] = (-5.0, -30.0, 0.0)

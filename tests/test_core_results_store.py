@@ -96,6 +96,24 @@ class TestJsonlResultStore:
         store.append("def", sample_result)
         assert store.completed_keys() == {"abc", "def"}
 
+    def test_append_after_torn_tail_without_newline(self, tmp_path, sample_result):
+        """Regression: appending after a newline-less torn tail must not merge
+        the fresh record into the garbage line (which silently lost it).
+
+        The torn tail comes from a *previous* killed writer, so the resuming
+        campaign opens the file through a fresh store instance (the tail
+        check runs once per instance).
+        """
+        store = JsonlResultStore(tmp_path / "r.jsonl")
+        store.append("abc", sample_result)
+        with store.path.open("a") as handle:
+            handle.write('{"key": "torn", "result": {"succ')  # no newline
+        resumed = JsonlResultStore(tmp_path / "r.jsonl")
+        resumed.append("def", sample_result)
+        assert resumed.completed_keys() == {"abc", "def"}
+        loaded = resumed.load_results()
+        assert mission_results_equal(loaded["def"], sample_result)
+
     def test_missing_file_is_empty(self, tmp_path):
         store = JsonlResultStore(tmp_path / "nope" / "r.jsonl")
         assert store.completed_keys() == set()
