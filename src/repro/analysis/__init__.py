@@ -1,12 +1,34 @@
-"""Result analysis: trajectory comparison and report formatting.
+"""Result analysis: trajectory comparison, report formatting, paper reports.
 
 * :mod:`repro.analysis.trajectory` -- flight-trajectory metrics (path length,
   detour ratio, deviation from a reference flight) used for the Fig. 7
   trajectory analysis.
 * :mod:`repro.analysis.reporting` -- text rendering of the paper's tables and
   figures (Table I, Table II, Fig. 3/4/6/8/9) from campaign results.
+* :mod:`repro.analysis.detection_metrics` -- detection-accuracy metrics
+  (TPR/FPR/precision/time-to-detect) from golden and injection runs.
+* :mod:`repro.analysis.report` -- the streaming paper-report engine behind
+  ``python -m repro report``: shard-merging aggregation, bootstrap confidence
+  intervals and the schema-validated ``repro-report-v1`` artifact.
 """
 
+from repro.analysis.detection_metrics import (
+    DetectionAccuracy,
+    StageDetection,
+    detection_accuracy,
+    detector_label,
+    format_detection_accuracy_table,
+)
+from repro.analysis.report import (
+    DEFAULT_REPORT_NAME,
+    REPORT_SCHEMA,
+    StreamingAggregator,
+    build_report,
+    render_report,
+    validate_report,
+    validate_report_file,
+    write_report,
+)
 from repro.analysis.reporting import (
     format_distribution_table,
     format_overhead_table,
@@ -24,4 +46,17 @@ __all__ = [
     "format_success_rate_table",
     "format_distribution_table",
     "format_overhead_table",
+    "DetectionAccuracy",
+    "StageDetection",
+    "detection_accuracy",
+    "detector_label",
+    "format_detection_accuracy_table",
+    "DEFAULT_REPORT_NAME",
+    "REPORT_SCHEMA",
+    "StreamingAggregator",
+    "build_report",
+    "render_report",
+    "validate_report",
+    "validate_report_file",
+    "write_report",
 ]

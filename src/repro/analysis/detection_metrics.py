@@ -1,0 +1,376 @@
+"""Per-stage detection-accuracy metrics (TPR / FPR / time-to-detect).
+
+The paper's detection schemes are judged by how reliably they flag injected
+faults without crying wolf on clean flights.  This module turns campaign
+mission records into those numbers:
+
+* **False-positive rate** comes from fault-free runs flown with a detector
+  attached (the ``dr_golden_*`` settings): any alarm there is spurious.  Both
+  the run-level rate (runs with >= 1 alarm) and the per-checked-sample rate
+  are reported.
+* **True-positive rate / recall** comes from injection runs with a detector:
+  a run counts as detected when at least one alarm fired.  ``precision`` is
+  computed over the pooled golden + injected runs of the same detector.
+* **Time-to-first-alarm** uses the ``first_alarm_time`` /
+  ``injection_time`` fields recorded since result-format version 2; records
+  written before the bump load without them and simply contribute no latency
+  samples.
+
+Everything here consumes plain :class:`~repro.pipeline.runner.MissionResult`
+iterables, so it works on in-memory campaign results and on records streamed
+back from JSONL stores alike.  All sample lists are kept sorted, which makes
+the derived statistics invariant to the order results are supplied in (the
+report engine's shard-order-independence guarantee).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro import topics
+
+#: Canonical detector labels derivable from campaign setting names.
+GAUSSIAN = "gaussian"
+AUTOENCODER = "autoencoder"
+
+_NAN = float("nan")
+
+
+def detector_label(setting: str) -> Optional[str]:
+    """Detector implied by a campaign setting label, or ``None``.
+
+    ``MissionResult`` does not record which detector supervised the run; the
+    campaign encodes it in the setting label (``dr_gaussian``,
+    ``dr_golden_autoencoder``, ...).  Unknown labels map to ``None`` --
+    detector-free runs (``golden``, ``injection``) never contribute to
+    detection accuracy.
+    """
+    label = setting.lower()
+    if "gaussian" in label or "gad" in label:
+        return GAUSSIAN
+    if "autoencoder" in label or "aad" in label:
+        return AUTOENCODER
+    return None
+
+
+def _rate(numerator: int, denominator: int) -> float:
+    return numerator / denominator if denominator > 0 else _NAN
+
+
+def _mean(values: Tuple[float, ...]) -> float:
+    return sum(values) / len(values) if values else _NAN
+
+
+@dataclass(frozen=True)
+class StageDetection:
+    """Detection outcome of the injections targeting one PPC stage."""
+
+    stage: str
+    injected_runs: int
+    detected_runs: int
+    localized_runs: int
+    times_to_detect: Tuple[float, ...] = ()
+
+    @property
+    def tpr(self) -> float:
+        """Fraction of injected runs with at least one alarm (NaN if none)."""
+        return _rate(self.detected_runs, self.injected_runs)
+
+    @property
+    def localization_rate(self) -> float:
+        """Fraction of injected runs whose first alarm named the injected stage."""
+        return _rate(self.localized_runs, self.injected_runs)
+
+    @property
+    def mean_time_to_detect(self) -> float:
+        """Mean first-alarm latency after injection [s] (NaN without samples)."""
+        return _mean(self.times_to_detect)
+
+
+@dataclass(frozen=True)
+class DetectionAccuracy:
+    """Accuracy of one detector over one (environment, scenario) cell."""
+
+    detector: str
+    golden_runs: int
+    golden_runs_with_alarm: int
+    golden_checked_samples: int
+    golden_alarms: int
+    injected_runs: int
+    injected_runs_with_alarm: int
+    injected_checked_samples: int
+    per_stage: Dict[str, StageDetection] = field(default_factory=dict)
+    times_to_detect: Tuple[float, ...] = ()
+
+    # ------------------------------------------------------------- rates
+    @property
+    def run_fpr(self) -> float:
+        """Fraction of fault-free runs with at least one (spurious) alarm."""
+        return _rate(self.golden_runs_with_alarm, self.golden_runs)
+
+    @property
+    def sample_fpr(self) -> float:
+        """Spurious alarms per checked sample on fault-free runs."""
+        return _rate(self.golden_alarms, self.golden_checked_samples)
+
+    @property
+    def tpr(self) -> float:
+        """Fraction of injected runs with at least one alarm (= recall)."""
+        return _rate(self.injected_runs_with_alarm, self.injected_runs)
+
+    recall = tpr
+
+    @property
+    def precision(self) -> float:
+        """Alarmed-and-injected runs over all alarmed runs of the pool."""
+        alarmed = self.injected_runs_with_alarm + self.golden_runs_with_alarm
+        return _rate(self.injected_runs_with_alarm, alarmed)
+
+    @property
+    def mean_time_to_detect(self) -> float:
+        """Mean first-alarm latency after injection [s] (NaN without samples)."""
+        return _mean(self.times_to_detect)
+
+    def to_dict(self) -> Dict:
+        """JSON form (finite floats only; NaN encodes as ``None``)."""
+
+        def opt(value: float) -> Optional[float]:
+            return None if math.isnan(value) else float(value)
+
+        return {
+            "detector": self.detector,
+            "golden_runs": self.golden_runs,
+            "golden_runs_with_alarm": self.golden_runs_with_alarm,
+            "golden_checked_samples": self.golden_checked_samples,
+            "golden_alarms": self.golden_alarms,
+            "injected_runs": self.injected_runs,
+            "injected_runs_with_alarm": self.injected_runs_with_alarm,
+            "injected_checked_samples": self.injected_checked_samples,
+            "run_fpr": opt(self.run_fpr),
+            "sample_fpr": opt(self.sample_fpr),
+            "tpr": opt(self.tpr),
+            "precision": opt(self.precision),
+            "mean_time_to_detect": opt(self.mean_time_to_detect),
+            "per_stage": {
+                stage: {
+                    "injected_runs": s.injected_runs,
+                    "detected_runs": s.detected_runs,
+                    "localized_runs": s.localized_runs,
+                    "tpr": opt(s.tpr),
+                    "localization_rate": opt(s.localization_rate),
+                    "mean_time_to_detect": opt(s.mean_time_to_detect),
+                }
+                for stage, s in sorted(self.per_stage.items())
+            },
+        }
+
+
+class DetectionAccumulator:
+    """Streaming accumulator behind :func:`detection_accuracy`.
+
+    Feed results one at a time (:meth:`add`); nothing but counters and sorted
+    latency lists is retained, so the report engine can stream arbitrarily
+    large shard sets through it in constant memory.
+    """
+
+    def __init__(self, detector: str) -> None:
+        self.detector = detector
+        self._golden_runs = 0
+        self._golden_alarmed = 0
+        self._golden_checked = 0
+        self._golden_alarms = 0
+        self._injected_runs = 0
+        self._injected_alarmed = 0
+        self._injected_checked = 0
+        self._latencies: List[float] = []
+        self._stages: Dict[str, Dict[str, object]] = {}
+
+    @staticmethod
+    def is_injected(result) -> bool:
+        """Whether a result describes a fault-injection run."""
+        return bool(result.fault_target) or result.injection_time is not None
+
+    def add(self, result) -> None:
+        """Fold one mission result into the counters."""
+        if not self.is_injected(result):
+            self._golden_runs += 1
+            self._golden_alarmed += int(result.detection_alarms > 0)
+            self._golden_checked += result.detection_checked_samples
+            self._golden_alarms += result.detection_alarms
+            return
+        self._injected_runs += 1
+        detected = self._detected(result)
+        self._injected_alarmed += int(detected)
+        self._injected_checked += result.detection_checked_samples
+        latency = self._latency(result)
+        if latency is not None:
+            self._latencies.append(latency)
+
+        stage = result.fault_target if result.fault_target in topics.PPC_STAGES else ""
+        if stage:
+            entry = self._stages.setdefault(
+                stage, {"injected": 0, "detected": 0, "localized": 0, "latencies": []}
+            )
+            entry["injected"] += 1
+            entry["detected"] += int(detected)
+            entry["localized"] += int(self._localized(result, stage))
+            if latency is not None:
+                entry["latencies"].append(latency)
+
+    @staticmethod
+    def _detected(result) -> bool:
+        """Whether an injected run's fault counts as detected.
+
+        Alarms that fired strictly before the injection are spurious (the
+        same rule :meth:`_latency` applies) and must not inflate the TPR, so
+        a run only counts when some alarm fired at or after the injection
+        time.  Timing granularity is the per-stage *first*-alarm times: a
+        stage whose only alarms are pre-injection with later repeats is
+        indistinguishable, which errs on the conservative side.  Pre-bump
+        records carry no alarm times and fall back to "any alarm" (they also
+        carry no injection time, so no better rule exists for them).
+        """
+        if result.detection_alarms <= 0:
+            return False
+        if result.injection_time is None or result.first_alarm_time is None:
+            return True
+        if result.first_alarm_time >= result.injection_time:
+            return True
+        return any(
+            t >= result.injection_time
+            for t in result.first_alarm_time_by_stage.values()
+        )
+
+    @staticmethod
+    def _localized(result, stage: str) -> bool:
+        """Whether the injected stage itself alarmed (at/after the injection)."""
+        if result.detection_alarms_by_stage.get(stage, 0) <= 0:
+            return False
+        stage_first = result.first_alarm_time_by_stage.get(stage)
+        if result.injection_time is None or stage_first is None:
+            return True
+        return stage_first >= result.injection_time
+
+    @staticmethod
+    def _latency(result) -> Optional[float]:
+        """Earliest known post-injection alarm latency, or ``None``.
+
+        Alarms before the injection are false positives that pre-empted the
+        fault and say nothing about detection latency; the per-stage
+        first-alarm times let a later true detection still contribute.
+        """
+        if result.injection_time is None:
+            return None
+        injection = float(result.injection_time)
+        candidates = list(result.first_alarm_time_by_stage.values())
+        if result.first_alarm_time is not None:
+            candidates.append(result.first_alarm_time)
+        post = [float(t) - injection for t in candidates if float(t) >= injection]
+        return min(post) if post else None
+
+    def accuracy(self) -> DetectionAccuracy:
+        """The accumulated counters as a :class:`DetectionAccuracy`."""
+        return DetectionAccuracy(
+            detector=self.detector,
+            golden_runs=self._golden_runs,
+            golden_runs_with_alarm=self._golden_alarmed,
+            golden_checked_samples=self._golden_checked,
+            golden_alarms=self._golden_alarms,
+            injected_runs=self._injected_runs,
+            injected_runs_with_alarm=self._injected_alarmed,
+            injected_checked_samples=self._injected_checked,
+            per_stage={
+                stage: StageDetection(
+                    stage=stage,
+                    injected_runs=entry["injected"],
+                    detected_runs=entry["detected"],
+                    localized_runs=entry["localized"],
+                    times_to_detect=tuple(sorted(entry["latencies"])),
+                )
+                for stage, entry in sorted(self._stages.items())
+            },
+            times_to_detect=tuple(sorted(self._latencies)),
+        )
+
+
+def detection_accuracy(
+    golden_results: Iterable,
+    injected_results: Iterable,
+    detector: str = "",
+) -> DetectionAccuracy:
+    """Detection accuracy of one detector from its golden and injected runs.
+
+    ``golden_results`` are fault-free runs flown **with the detector
+    attached** (false-positive material); ``injected_results`` are the
+    fault-injection runs of the same detector (true-positive material).
+    Results are classified by their own fault metadata, so passing a mixed
+    iterable to either argument still lands every run in the right pool.
+    """
+    accumulator = DetectionAccumulator(detector)
+    for result in golden_results:
+        accumulator.add(result)
+    for result in injected_results:
+        accumulator.add(result)
+    return accumulator.accuracy()
+
+
+def format_detection_accuracy_table(
+    accuracies: Iterable,
+    title: str = "Detection accuracy (per detector)",
+) -> str:
+    """Render accuracy rows as an aligned text table.
+
+    Accepts :class:`DetectionAccuracy` objects or their :meth:`~
+    DetectionAccuracy.to_dict` form (as stored in ``report.json``, where NaN
+    statistics are ``None``); dict rows may carry ``environment``/
+    ``scenario`` keys, which qualify the detector label.  This is the one
+    renderer shared by the standalone API and the report engine.
+    """
+    from repro.analysis.reporting import format_table
+
+    def pct(value: Optional[float]) -> str:
+        if value is None or math.isnan(value):
+            return "-"
+        return f"{value * 100:.1f}%"
+
+    def sec(value: Optional[float]) -> str:
+        if value is None or math.isnan(value):
+            return "-"
+        return f"{value:.2f}"
+
+    rows = []
+    for acc in accuracies:
+        row = acc.to_dict() if isinstance(acc, DetectionAccuracy) else acc
+        label = row["detector"]
+        if row.get("environment"):
+            label += f"@{row['environment']}"
+        if row.get("scenario"):
+            label += f"/{row['scenario']}"
+        rows.append(
+            [
+                label,
+                row["golden_runs"],
+                pct(row["run_fpr"]),
+                pct(row["sample_fpr"]),
+                row["injected_runs"],
+                pct(row["tpr"]),
+                pct(row["precision"]),
+                sec(row["mean_time_to_detect"]),
+            ]
+        )
+    return format_table(
+        [
+            "Detector",
+            "Golden",
+            "FPR(run)",
+            "FPR(sample)",
+            "Injected",
+            "TPR",
+            "Precision",
+            "TTD [s]",
+        ],
+        rows,
+        title=title,
+    )

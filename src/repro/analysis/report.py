@@ -1,0 +1,974 @@
+"""Streaming paper-report engine (``python -m repro report``).
+
+Turns one or many campaign JSONL shards into the paper's full artifact set --
+Table I success rates, Table II detection/recovery overhead, Fig. 6
+flight-time distributions, Fig. 7 trajectory metrics, the detection-accuracy
+table (TPR/FPR/time-to-detect) and the worst-case-recovery summary -- as a
+text bundle plus a schema-validated ``report.json`` (``repro-report-v1``).
+
+Design constraints, in order:
+
+* **Streaming / constant memory.**  Shards are read line by line; only
+  per-group scalar accumulators and sorted float lists (flight times, not
+  trajectories) are retained, so the engine handles result stores far larger
+  than RAM.
+* **Shard-merge with deterministic dedup.**  Results are deduplicated across
+  shards by spec key.  Within one shard the last record wins (matching
+  :meth:`~repro.core.results.JsonlResultStore.load_results` resume
+  semantics); when different shards disagree on a key, the winner is the
+  record with the lexicographically largest canonical-JSON SHA-1 digest -- an
+  arbitrary but *shard-order-invariant* rule, so merging ``a.jsonl b.jsonl``
+  and ``b.jsonl a.jsonl`` yields byte-identical reports.
+* **Determinism.**  Groups are sorted, sample lists are sorted before any
+  statistic or bootstrap draw, and every bootstrap RNG is seeded from the
+  group key, so the same stores produce the same bytes regardless of shard
+  order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.detection_metrics import (
+    DetectionAccumulator,
+    detector_label,
+    format_detection_accuracy_table,
+)
+from repro.analysis.reporting import format_success_rate_table, format_table
+from repro.analysis.trajectory import analyze_trajectory
+from repro.core.overhead import KERNEL_STAGES, OverheadReport
+from repro.core.qof import (
+    QofSummary,
+    failure_recovery_rate,
+    qof_pool_confidence_intervals,
+    worst_case_recovery,
+)
+from repro.core.results import JsonlResultStore, mission_result_from_dict
+from repro.pipeline.runner import MissionResult
+from repro.version import __version__
+
+#: Schema identifier written into (and required from) every report.
+REPORT_SCHEMA = "repro-report-v1"
+
+#: Default report file name of the ``repro report`` CLI.
+DEFAULT_REPORT_NAME = "report.json"
+
+#: Canonical setting labels of the paper campaign (recovery summary pairing).
+_GOLDEN_SETTING = "golden"
+_INJECTION_SETTING = "injection"
+
+StorePath = Union[str, Path, JsonlResultStore]
+
+
+def _finite_or_none(value) -> Optional[float]:
+    """Floats for JSON: NaN/inf become ``None`` (strict-RFC output)."""
+    if value is None:
+        return None
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def _sorted_stats(values: Sequence[float]) -> Optional[Dict[str, float]]:
+    """Five-number-style summary of a *sorted* sample (None when empty)."""
+    if not values:
+        return None
+    n = len(values)
+    return {
+        "count": n,
+        "min": values[0],
+        "max": values[-1],
+        "mean": sum(values) / n,
+        "median": (
+            values[n // 2] if n % 2 else (values[n // 2 - 1] + values[n // 2]) / 2.0
+        ),
+    }
+
+
+def _quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of a sorted sample (numpy-compatible)."""
+    n = len(sorted_values)
+    if n == 1:
+        return float(sorted_values[0])
+    pos = q * (n - 1)
+    low = int(math.floor(pos))
+    high = min(low + 1, n - 1)
+    frac = pos - low
+    return float(sorted_values[low] * (1.0 - frac) + sorted_values[high] * frac)
+
+
+# ------------------------------------------------------------------ aggregates
+@dataclass(frozen=True)
+class GroupKey:
+    """Identity of one aggregation cell: (setting, scenario, environment)."""
+
+    setting: str
+    scenario: str
+    environment: str
+
+    def sort_key(self) -> Tuple[str, str, str]:
+        return (self.environment, self.scenario, self.setting)
+
+
+@dataclass
+class GroupAggregate:
+    """Constant-memory accumulators of one (setting, scenario, environment) cell.
+
+    Holds counters and per-run scalars (flight times, energies, trajectory
+    shape metrics) -- never trajectories or full results.  All lists are
+    sorted before use, so derived statistics do not depend on the order the
+    records were streamed in.
+    """
+
+    key: GroupKey
+    num_runs: int = 0
+    num_success: int = 0
+    num_injected: int = 0
+    success_flight_times: List[float] = field(default_factory=list)
+    all_flight_times: List[float] = field(default_factory=list)
+    success_energies: List[float] = field(default_factory=list)
+    all_energies: List[float] = field(default_factory=list)
+    replan_total: int = 0
+    # Detection counters.
+    checked_samples: int = 0
+    alarms: int = 0
+    runs_with_alarm: int = 0
+    alarms_by_stage: Dict[str, int] = field(default_factory=dict)
+    first_alarm_times: List[float] = field(default_factory=list)
+    # Trajectory shape metrics (Fig. 7).
+    path_lengths: List[float] = field(default_factory=list)
+    detour_ratios: List[float] = field(default_factory=list)
+    max_lateral_deviations: List[float] = field(default_factory=list)
+    # Compute-overhead pools (Table II).  Kept as per-record samples and
+    # summed over a *sorted* copy at derivation time: float addition is not
+    # associative, so streaming sums would differ at the ULP level between
+    # shard orders and break the byte-identical-report guarantee.
+    compute_times: List[float] = field(default_factory=list)
+    detection_times: Dict[str, List[float]] = field(default_factory=dict)
+    recovery_times: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add(self, result: MissionResult) -> None:
+        """Fold one mission result into the accumulators and drop it."""
+        self.num_runs += 1
+        self.num_injected += int(DetectionAccumulator.is_injected(result))
+        flight_time = float(result.flight_time)
+        energy = float(result.mission_energy)
+        self.all_flight_times.append(flight_time)
+        self.all_energies.append(energy)
+        if result.success:
+            self.num_success += 1
+            self.success_flight_times.append(flight_time)
+            self.success_energies.append(energy)
+        self.replan_total += int(result.replan_count)
+
+        self.checked_samples += int(result.detection_checked_samples)
+        self.alarms += int(result.detection_alarms)
+        self.runs_with_alarm += int(result.detection_alarms > 0)
+        for stage, count in result.detection_alarms_by_stage.items():
+            self.alarms_by_stage[stage] = self.alarms_by_stage.get(stage, 0) + int(count)
+        if result.first_alarm_time is not None:
+            self.first_alarm_times.append(float(result.first_alarm_time))
+
+        if len(result.trajectory) >= 2:
+            metrics = analyze_trajectory(result.trajectory)
+            self.path_lengths.append(metrics.path_length)
+            self.detour_ratios.append(metrics.detour_ratio)
+            self.max_lateral_deviations.append(metrics.max_lateral_deviation)
+
+        self.compute_times.append(float(result.total_compute_time))
+        for node_name, categories in result.categories_by_node.items():
+            stage = KERNEL_STAGES.get(node_name)
+            for category, seconds in categories.items():
+                if category.startswith("detection:"):
+                    stage_key = category.split(":", 1)[1]
+                    self.detection_times.setdefault(stage_key, []).append(seconds)
+                elif category == "recovery" and stage is not None:
+                    self.recovery_times.setdefault(stage, []).append(seconds)
+
+    # ------------------------------------------------------------- derived
+    def qof_summary(self) -> QofSummary:
+        """Success-only QoF summary (failure fallback flagged, as upstream)."""
+        success = sorted(self.success_flight_times)
+        pool_times = success or sorted(self.all_flight_times)
+        pool_energies = sorted(self.success_energies or self.all_energies)
+        if pool_times:
+            mean_time = sum(pool_times) / len(pool_times)
+            worst_time, best_time = pool_times[-1], pool_times[0]
+            mean_energy = sum(pool_energies) / len(pool_energies)
+            worst_energy = pool_energies[-1]
+        else:
+            mean_time = worst_time = best_time = 0.0
+            mean_energy = worst_energy = 0.0
+        return QofSummary(
+            num_runs=self.num_runs,
+            num_success=self.num_success,
+            success_rate=(self.num_success / self.num_runs) if self.num_runs else 0.0,
+            mean_flight_time=mean_time,
+            worst_flight_time=worst_time,
+            best_flight_time=best_time,
+            mean_energy=mean_energy,
+            worst_energy=worst_energy,
+            fell_back_to_failures=bool(self.num_runs and not self.num_success),
+        )
+
+    def flight_time_distribution(self) -> Optional[Dict[str, float]]:
+        """Fig. 6 five-number summary of the successful flight times."""
+        values = sorted(self.success_flight_times)
+        if not values:
+            return None
+        return {
+            "count": len(values),
+            "min": values[0],
+            "q1": _quantile(values, 0.25),
+            "median": _quantile(values, 0.50),
+            "q3": _quantile(values, 0.75),
+            "max": values[-1],
+            "mean": sum(values) / len(values),
+        }
+
+    def overhead_report(self, detector: str) -> Optional[OverheadReport]:
+        """Table II overhead fractions of this cell (None without D&R charges)."""
+        total_compute = sum(sorted(self.compute_times))
+        if total_compute <= 0 or not (self.detection_times or self.recovery_times):
+            return None
+        report = OverheadReport(detector=detector, environment=self.key.environment)
+        report.total_compute_time = total_compute
+        for stage in sorted(self.detection_times):
+            report.detection_fraction[stage] = (
+                sum(sorted(self.detection_times[stage])) / total_compute
+            )
+        for stage in sorted(self.recovery_times):
+            report.recovery_fraction[stage] = (
+                sum(sorted(self.recovery_times[stage])) / total_compute
+            )
+        return report
+
+
+# ----------------------------------------------------------------- aggregator
+class StreamingAggregator:
+    """Streams JSONL result shards into per-(setting, scenario, environment)
+    aggregates with deterministic cross-shard deduplication.
+
+    Two passes over the shards, both line-streamed:
+
+    1. **Election** -- for every spec key, pick the winning record.  The last
+       record of each shard is that shard's candidate (last-write-wins, as in
+       :meth:`JsonlResultStore.load_results`).  Any candidate that some shard
+       proves *superseded* (it appears there followed by a different record
+       for the same key -- e.g. an older backup shard's copy of a since-
+       corrected result) is disqualified; among the remaining candidates the
+       lexicographically largest canonical-JSON SHA-1 digest wins (pure
+       tie-break, so genuinely conflicting shards still merge
+       deterministically).  Only per-key digest sets are retained.
+    2. **Aggregation** -- each key's winning record is parsed into a
+       :class:`~repro.pipeline.runner.MissionResult` once, folded into its
+       group's :class:`GroupAggregate` and dropped.  Keys with a single
+       distinct record (the overwhelmingly common case) skip the digest
+       recomputation entirely.
+
+    Both passes see shards as *sets*, so the outcome is invariant to the
+    order the shards are supplied in, and identical duplicate records (the
+    same mission appended by two campaign passes) aggregate exactly once.
+    """
+
+    def __init__(self, stores: Sequence[StorePath]) -> None:
+        if not stores:
+            raise ValueError("report aggregation needs at least one result store")
+        self.stores = [
+            store if isinstance(store, JsonlResultStore) else JsonlResultStore(store)
+            for store in stores
+        ]
+        self.total_records = 0
+        self.unique_missions = 0
+        self.groups: Dict[GroupKey, GroupAggregate] = {}
+        #: One detection accumulator per (environment, scenario, detector).
+        self.detection: Dict[Tuple[str, str, str], DetectionAccumulator] = {}
+        self._aggregate()
+
+    @property
+    def duplicates_dropped(self) -> int:
+        """Records superseded by another record with the same spec key."""
+        return self.total_records - self.unique_missions
+
+    @staticmethod
+    def _digest(record: Dict) -> str:
+        return hashlib.sha1(
+            json.dumps(record, sort_keys=True).encode("utf-8")
+        ).hexdigest()
+
+    def _aggregate(self) -> None:
+        # Pass 1: election.  candidates[key] = every shard's last digest;
+        # superseded[key] = digests some shard shows an override for.
+        candidates: Dict[str, set] = {}
+        superseded: Dict[str, set] = {}
+        for store in self.stores:
+            shard_digests: Dict[str, set] = {}
+            shard_last: Dict[str, str] = {}
+            for record in store.iter_records():
+                self.total_records += 1
+                key = record["key"]
+                digest = self._digest(record)
+                shard_digests.setdefault(key, set()).add(digest)
+                shard_last[key] = digest
+            for key, last in shard_last.items():
+                candidates.setdefault(key, set()).add(last)
+                stale = shard_digests[key] - {last}
+                if stale:
+                    superseded.setdefault(key, set()).update(stale)
+        winners: Dict[str, str] = {}
+        contested = set()
+        for key, shard_lasts in candidates.items():
+            if len(shard_lasts | superseded.get(key, set())) > 1:
+                contested.add(key)
+            eligible = shard_lasts - superseded.get(key, set())
+            # All candidates superseded (shards overriding each other in a
+            # cycle): fall back to the pure tie-break over all of them.
+            winners[key] = max(eligible) if eligible else max(shard_lasts)
+        self.unique_missions = len(winners)
+
+        # Pass 2: aggregate each key's winner exactly once.  Only contested
+        # keys need their digests recomputed to identify the winning record.
+        consumed = set()
+        for store in self.stores:
+            for record in store.iter_records():
+                key = record["key"]
+                if key in consumed:
+                    continue
+                if key in contested and winners[key] != self._digest(record):
+                    continue
+                consumed.add(key)
+                self._add(mission_result_from_dict(record["result"]))
+
+    def _add(self, result: MissionResult) -> None:
+        group_key = GroupKey(
+            setting=result.setting,
+            scenario=result.scenario,
+            environment=result.environment,
+        )
+        group = self.groups.get(group_key)
+        if group is None:
+            group = self.groups[group_key] = GroupAggregate(key=group_key)
+        group.add(result)
+
+        detector = detector_label(result.setting)
+        if detector is not None:
+            detection_key = (result.environment, result.scenario, detector)
+            accumulator = self.detection.get(detection_key)
+            if accumulator is None:
+                accumulator = self.detection[detection_key] = DetectionAccumulator(
+                    detector
+                )
+            accumulator.add(result)
+
+    def sorted_groups(self) -> List[GroupAggregate]:
+        """Groups in canonical (environment, scenario, setting) order."""
+        return [
+            self.groups[key]
+            for key in sorted(self.groups, key=GroupKey.sort_key)
+        ]
+
+
+# -------------------------------------------------------------- report builder
+def _group_seed(base_seed: int, key: GroupKey) -> int:
+    """Deterministic per-group bootstrap seed (shard-order independent)."""
+    digest = hashlib.sha1(
+        f"{key.setting}|{key.scenario}|{key.environment}".encode("utf-8")
+    ).hexdigest()
+    return (int(digest[:8], 16) + int(base_seed)) % (2**31)
+
+
+def _group_confidence(
+    group: GroupAggregate, confidence: float, resamples: int, seed: int
+) -> Dict[str, Dict]:
+    """Seeded bootstrap CIs of the group's headline QoF statistics."""
+    intervals = qof_pool_confidence_intervals(
+        success_flags=[1.0] * group.num_success
+        + [0.0] * (group.num_runs - group.num_success),
+        flight_times=group.success_flight_times,
+        energies=group.success_energies,
+        confidence=confidence,
+        n_resamples=resamples,
+        seed=seed,
+    )
+    return {
+        name: {
+            "value": _finite_or_none(ci.value),
+            "lower": _finite_or_none(ci.lower),
+            "upper": _finite_or_none(ci.upper),
+            "confidence": ci.confidence,
+            "samples": ci.samples,
+        }
+        for name, ci in intervals.items()
+    }
+
+
+def _group_entry(
+    group: GroupAggregate, confidence: float, resamples: int, base_seed: int
+) -> Dict:
+    summary = group.qof_summary()
+    distribution = group.flight_time_distribution()
+    detector = detector_label(group.key.setting) or ""
+    overhead = group.overhead_report(detector or "none")
+    path_lengths = sorted(group.path_lengths)
+    detours = sorted(group.detour_ratios)
+    laterals = sorted(group.max_lateral_deviations)
+    entry = {
+        "setting": group.key.setting,
+        "scenario": group.key.scenario,
+        "environment": group.key.environment,
+        "detector": detector,
+        "qof": {
+            "num_runs": summary.num_runs,
+            "num_success": summary.num_success,
+            "num_injected": group.num_injected,
+            "success_rate": summary.success_rate,
+            "mean_flight_time": _finite_or_none(summary.mean_flight_time),
+            "worst_flight_time": _finite_or_none(summary.worst_flight_time),
+            "best_flight_time": _finite_or_none(summary.best_flight_time),
+            "mean_energy": _finite_or_none(summary.mean_energy),
+            "worst_energy": _finite_or_none(summary.worst_energy),
+            "fell_back_to_failures": summary.fell_back_to_failures,
+        },
+        "confidence": _group_confidence(
+            group, confidence, resamples, _group_seed(base_seed, group.key)
+        ),
+        "flight_time_distribution": distribution,
+        "trajectory": {
+            "runs": len(path_lengths),
+            "path_length": _sorted_stats(path_lengths),
+            "detour_ratio": _sorted_stats(detours),
+            "max_lateral_deviation": _sorted_stats(laterals),
+            "replans_total": group.replan_total,
+        },
+        "detection": {
+            "checked_samples": group.checked_samples,
+            "alarms": group.alarms,
+            "runs_with_alarm": group.runs_with_alarm,
+            "alarms_by_stage": dict(sorted(group.alarms_by_stage.items())),
+            "first_alarm_time": _sorted_stats(sorted(group.first_alarm_times)),
+        },
+        "overhead": None,
+    }
+    if overhead is not None:
+        entry["overhead"] = {
+            "detector": overhead.detector,
+            "detection_fraction": dict(sorted(overhead.detection_fraction.items())),
+            "recovery_fraction": dict(sorted(overhead.recovery_fraction.items())),
+            "total_overhead": overhead.total_overhead,
+            "total_compute_time": overhead.total_compute_time,
+        }
+    return entry
+
+
+def _recovery_rows(aggregator: StreamingAggregator) -> List[Dict]:
+    """Worst-case-recovery + failure-recovery-rate rows per detector cell."""
+    by_cell: Dict[Tuple[str, str], Dict[str, GroupAggregate]] = {}
+    for key, group in aggregator.groups.items():
+        by_cell.setdefault((key.environment, key.scenario), {})[key.setting] = group
+    rows: List[Dict] = []
+    for (environment, scenario) in sorted(by_cell):
+        cell = by_cell[(environment, scenario)]
+        golden = cell.get(_GOLDEN_SETTING)
+        faulty = cell.get(_INJECTION_SETTING)
+        if golden is None or faulty is None:
+            continue
+        for setting in sorted(cell):
+            detector = detector_label(setting)
+            if detector is None or setting in (_GOLDEN_SETTING, _INJECTION_SETTING):
+                continue
+            recovered = cell[setting]
+            # Only D&R cells that actually flew injections are comparable to
+            # the FI cell; dr_golden_* (false-positive material) is not.
+            if recovered.num_injected == 0:
+                continue
+            golden_summary = golden.qof_summary()
+            faulty_summary = faulty.qof_summary()
+            recovered_summary = recovered.qof_summary()
+            rows.append(
+                {
+                    "environment": environment,
+                    "scenario": scenario,
+                    "setting": setting,
+                    "detector": detector,
+                    "worst_case_recovery": _finite_or_none(
+                        worst_case_recovery(
+                            golden_summary, faulty_summary, recovered_summary
+                        )
+                    ),
+                    "failure_recovery_rate": _finite_or_none(
+                        failure_recovery_rate(
+                            golden_summary, faulty_summary, recovered_summary
+                        )
+                    ),
+                }
+            )
+    return rows
+
+
+def build_report(
+    stores: Sequence[StorePath],
+    confidence: float = 0.95,
+    bootstrap_resamples: int = 500,
+    bootstrap_seed: int = 0,
+    title: str = "",
+) -> Dict:
+    """Aggregate ``stores`` into a ``repro-report-v1`` dict (validated).
+
+    The returned dict is fully deterministic for a given set of shards: the
+    shard list is sorted, groups and sample lists are sorted, and all
+    bootstrap draws are seeded per group, so any shard ordering produces
+    byte-identical JSON.
+    """
+    aggregator = StreamingAggregator(stores)
+    groups = [
+        _group_entry(group, confidence, bootstrap_resamples, bootstrap_seed)
+        for group in aggregator.sorted_groups()
+    ]
+    accuracy_rows = [
+        {
+            "environment": environment,
+            "scenario": scenario,
+            **aggregator.detection[(environment, scenario, detector)]
+            .accuracy()
+            .to_dict(),
+        }
+        for (environment, scenario, detector) in sorted(aggregator.detection)
+    ]
+    report = {
+        "schema": REPORT_SCHEMA,
+        "generator": f"mavfi-repro {__version__}",
+        "title": title,
+        "shards": sorted(str(store.path) for store in aggregator.stores),
+        "records": {
+            "total": aggregator.total_records,
+            "unique": aggregator.unique_missions,
+            "duplicates_dropped": aggregator.duplicates_dropped,
+        },
+        "bootstrap": {
+            "confidence": confidence,
+            "resamples": bootstrap_resamples,
+            "seed": bootstrap_seed,
+        },
+        "groups": groups,
+        "detection_accuracy": accuracy_rows,
+        "recovery": _recovery_rows(aggregator),
+    }
+    validate_report(report)
+    return report
+
+
+# ------------------------------------------------------------------- validator
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(f"invalid {REPORT_SCHEMA} report: {message}")
+
+
+def _check_optional_number(value, label: str) -> None:
+    if value is None:
+        return
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool)
+        and math.isfinite(value),
+        f"{label} must be a finite number or null, got {value!r}",
+    )
+
+
+def validate_report(report: Dict) -> None:
+    """Validate a ``repro-report-v1`` dict; raises ``ValueError`` when malformed.
+
+    Mirrors the bench-report validators: schema marker, record accounting,
+    per-group QoF/confidence/detection shapes with finite-or-null numbers,
+    and the detection-accuracy and recovery row lists.
+    """
+    _require(isinstance(report, dict), "report must be a JSON object")
+    _require(
+        report.get("schema") == REPORT_SCHEMA,
+        f"schema must be {REPORT_SCHEMA!r}, got {report.get('schema')!r}",
+    )
+    records = report.get("records")
+    _require(isinstance(records, dict), "missing 'records' accounting object")
+    for field_name in ("total", "unique", "duplicates_dropped"):
+        value = records.get(field_name)
+        _require(
+            isinstance(value, int) and value >= 0,
+            f"records.{field_name} must be a non-negative integer",
+        )
+    _require(
+        records["total"] == records["unique"] + records["duplicates_dropped"],
+        "records.total must equal unique + duplicates_dropped",
+    )
+    shards = report.get("shards")
+    _require(
+        isinstance(shards, list) and all(isinstance(s, str) for s in shards),
+        "'shards' must be a list of path strings",
+    )
+    _require(shards == sorted(shards), "'shards' must be sorted (determinism)")
+
+    groups = report.get("groups")
+    _require(isinstance(groups, list), "'groups' must be a list")
+    for i, group in enumerate(groups):
+        label = f"groups[{i}]"
+        _require(isinstance(group, dict), f"{label} must be an object")
+        for field_name in ("setting", "scenario", "environment"):
+            _require(
+                isinstance(group.get(field_name), str),
+                f"{label}.{field_name} must be a string",
+            )
+        qof = group.get("qof")
+        _require(isinstance(qof, dict), f"{label}.qof must be an object")
+        for field_name in ("num_runs", "num_success"):
+            _require(
+                isinstance(qof.get(field_name), int) and qof[field_name] >= 0,
+                f"{label}.qof.{field_name} must be a non-negative integer",
+            )
+        _require(
+            qof["num_success"] <= qof["num_runs"],
+            f"{label}.qof cannot have more successes than runs",
+        )
+        rate = qof.get("success_rate")
+        _require(
+            isinstance(rate, (int, float)) and 0.0 <= float(rate) <= 1.0,
+            f"{label}.qof.success_rate must be in [0, 1]",
+        )
+        for field_name in (
+            "mean_flight_time",
+            "worst_flight_time",
+            "best_flight_time",
+            "mean_energy",
+            "worst_energy",
+        ):
+            _check_optional_number(qof.get(field_name), f"{label}.qof.{field_name}")
+        intervals = group.get("confidence")
+        _require(isinstance(intervals, dict), f"{label}.confidence must be an object")
+        for name, ci in intervals.items():
+            _require(isinstance(ci, dict), f"{label}.confidence.{name} must be an object")
+            for field_name in ("value", "lower", "upper"):
+                _check_optional_number(
+                    ci.get(field_name), f"{label}.confidence.{name}.{field_name}"
+                )
+            _require(
+                isinstance(ci.get("samples"), int) and ci["samples"] >= 0,
+                f"{label}.confidence.{name}.samples must be a non-negative integer",
+            )
+        detection = group.get("detection")
+        _require(isinstance(detection, dict), f"{label}.detection must be an object")
+        for field_name in ("checked_samples", "alarms", "runs_with_alarm"):
+            _require(
+                isinstance(detection.get(field_name), int)
+                and detection[field_name] >= 0,
+                f"{label}.detection.{field_name} must be a non-negative integer",
+            )
+        overhead = group.get("overhead")
+        if overhead is not None:
+            _require(isinstance(overhead, dict), f"{label}.overhead must be an object")
+            for side in ("detection_fraction", "recovery_fraction"):
+                fractions = overhead.get(side)
+                _require(
+                    isinstance(fractions, dict),
+                    f"{label}.overhead.{side} must be an object",
+                )
+                for stage, fraction in fractions.items():
+                    _check_optional_number(
+                        fraction, f"{label}.overhead.{side}.{stage}"
+                    )
+
+    accuracy = report.get("detection_accuracy")
+    _require(isinstance(accuracy, list), "'detection_accuracy' must be a list")
+    for i, row in enumerate(accuracy):
+        label = f"detection_accuracy[{i}]"
+        _require(isinstance(row, dict), f"{label} must be an object")
+        _require(isinstance(row.get("detector"), str), f"{label}.detector must be a string")
+        for field_name in ("golden_runs", "injected_runs", "golden_checked_samples"):
+            _require(
+                isinstance(row.get(field_name), int) and row[field_name] >= 0,
+                f"{label}.{field_name} must be a non-negative integer",
+            )
+        for field_name in ("run_fpr", "sample_fpr", "tpr", "precision",
+                           "mean_time_to_detect"):
+            _check_optional_number(row.get(field_name), f"{label}.{field_name}")
+
+    recovery = report.get("recovery")
+    _require(isinstance(recovery, list), "'recovery' must be a list")
+    for i, row in enumerate(recovery):
+        label = f"recovery[{i}]"
+        _require(isinstance(row, dict), f"{label} must be an object")
+        for field_name in ("environment", "setting", "detector"):
+            _require(
+                isinstance(row.get(field_name), str),
+                f"{label}.{field_name} must be a string",
+            )
+        for field_name in ("worst_case_recovery", "failure_recovery_rate"):
+            _check_optional_number(row.get(field_name), f"{label}.{field_name}")
+
+
+def validate_report_file(path: Union[str, Path]) -> Dict:
+    """Load and validate a report file; returns the parsed report."""
+    path = Path(path)
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ValueError(f"cannot read report {path}: {error}") from error
+    validate_report(report)
+    return report
+
+
+def write_report(report: Dict, path: Union[str, Path]) -> Path:
+    """Validate and write a report as canonical JSON; returns the path.
+
+    ``sort_keys`` plus ``allow_nan=False`` makes the bytes a pure function of
+    the report content -- the determinism the shard-order tests pin down.
+    """
+    validate_report(report)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(report, indent=2, sort_keys=True, allow_nan=False) + "\n"
+    )
+    return path
+
+
+# -------------------------------------------------------------------- renderer
+def _fmt(value: Optional[float], pattern: str = "{:.1f}") -> str:
+    return "-" if value is None else pattern.format(value)
+
+
+def _group_label(group: Dict) -> str:
+    setting = group["setting"]
+    scenario = group["scenario"]
+    if scenario and not setting.startswith("scenario:"):
+        return f"{scenario}:{setting}"
+    return setting
+
+
+def _render_table1(groups: List[Dict]) -> str:
+    environments: List[str] = []
+    settings: List[str] = []
+    rates: Dict[str, Dict[str, float]] = {}
+    for group in groups:
+        label = _group_label(group)
+        env = group["environment"]
+        if env not in environments:
+            environments.append(env)
+        if label not in settings:
+            settings.append(label)
+        rates.setdefault(label, {})[env] = group["qof"]["success_rate"]
+    return format_success_rate_table(
+        rates,
+        environments=sorted(environments),
+        settings=settings,
+        setting_labels={},
+        title="Table I: flight success rate",
+    )
+
+
+def _render_qof(groups: List[Dict]) -> str:
+    rows = []
+    for group in groups:
+        qof = group["qof"]
+        ci = group["confidence"]["success_rate"]
+        mark = "*" if qof["fell_back_to_failures"] else ""
+        rows.append(
+            [
+                _group_label(group),
+                group["environment"],
+                qof["num_runs"],
+                f"{qof['success_rate'] * 100:.0f}%"
+                + (
+                    f" [{ci['lower'] * 100:.0f}-{ci['upper'] * 100:.0f}]"
+                    if ci["lower"] is not None
+                    else ""
+                ),
+                _fmt(qof["mean_flight_time"]) + mark,
+                _fmt(qof["worst_flight_time"]) + mark,
+                _fmt(
+                    None
+                    if qof["mean_energy"] is None
+                    else qof["mean_energy"] / 1000.0
+                )
+                + mark,
+            ]
+        )
+    table = format_table(
+        [
+            "Setting",
+            "Env",
+            "Runs",
+            "Success [CI]",
+            "Mean flight [s]",
+            "Worst flight [s]",
+            "Mean energy [kJ]",
+        ],
+        rows,
+        title="QoF summary with bootstrap confidence intervals",
+    )
+    if any(group["qof"]["fell_back_to_failures"] for group in groups):
+        table += "\n(* statistics over failed runs: no mission of that row succeeded)"
+    return table
+
+
+def _render_fig6(groups: List[Dict]) -> str:
+    rows = []
+    for group in groups:
+        dist = group["flight_time_distribution"]
+        if dist is None:
+            rows.append([_group_label(group), 0, "-", "-", "-", "-", "-", "-"])
+            continue
+        rows.append(
+            [
+                _group_label(group),
+                dist["count"],
+                f"{dist['min']:.1f}",
+                f"{dist['q1']:.1f}",
+                f"{dist['median']:.1f}",
+                f"{dist['q3']:.1f}",
+                f"{dist['max']:.1f}",
+                f"{dist['mean']:.1f}",
+            ]
+        )
+    return format_table(
+        ["Setting", "n", "min [s]", "q1", "median", "q3", "max [s]", "mean"],
+        rows,
+        title="Fig. 6: flight time distribution (successful runs)",
+    )
+
+
+def _render_fig7(groups: List[Dict]) -> str:
+    rows = []
+    for group in groups:
+        trajectory = group["trajectory"]
+        path = trajectory["path_length"]
+        detour = trajectory["detour_ratio"]
+        lateral = trajectory["max_lateral_deviation"]
+        rows.append(
+            [
+                _group_label(group),
+                trajectory["runs"],
+                _fmt(None if path is None else path["mean"]),
+                _fmt(None if detour is None else detour["mean"], "{:.2f}"),
+                _fmt(None if detour is None else detour["max"], "{:.2f}"),
+                _fmt(None if lateral is None else lateral["mean"]),
+                trajectory["replans_total"],
+            ]
+        )
+    return format_table(
+        [
+            "Setting",
+            "n",
+            "Path [m]",
+            "Detour",
+            "Worst detour",
+            "Lateral [m]",
+            "Replans",
+        ],
+        rows,
+        title="Fig. 7: trajectory metrics",
+    )
+
+
+def _render_table2(groups: List[Dict]) -> str:
+    lines = ["Table II: compute time overhead of detection and recovery"]
+    rendered = False
+    for group in groups:
+        overhead = group["overhead"]
+        if overhead is None:
+            continue
+        rendered = True
+        report = OverheadReport(
+            detector=overhead["detector"], environment=group["environment"]
+        )
+        report.detection_fraction.update(overhead["detection_fraction"])
+        report.recovery_fraction.update(overhead["recovery_fraction"])
+        report.total_compute_time = overhead["total_compute_time"]
+        lines.append(f"[{group['environment']}] {_group_label(group)}")
+        lines.extend("  " + row for row in report.rows())
+    if not rendered:
+        lines.append("  (no detection/recovery runs in the stores)")
+    return "\n".join(lines)
+
+
+def _render_detection(accuracy_rows: List[Dict]) -> str:
+    if not accuracy_rows:
+        return (
+            "Detection accuracy\n  (no detector-attached runs in the stores)"
+        )
+    return format_detection_accuracy_table(
+        accuracy_rows,
+        title="Detection accuracy (FPR from fault-free runs, TPR from injections)",
+    )
+
+
+def _render_recovery(recovery_rows: List[Dict]) -> str:
+    if not recovery_rows:
+        return (
+            "Recovery summary\n"
+            "  (needs golden, injection and D&R settings in the same "
+            "environment/scenario cell)"
+        )
+    rows = [
+        [
+            row["setting"],
+            row["environment"],
+            _fmt(
+                None
+                if row["worst_case_recovery"] is None
+                else row["worst_case_recovery"] * 100
+            )
+            + ("%" if row["worst_case_recovery"] is not None else ""),
+            _fmt(
+                None
+                if row["failure_recovery_rate"] is None
+                else row["failure_recovery_rate"] * 100
+            )
+            + ("%" if row["failure_recovery_rate"] is not None else ""),
+        ]
+        for row in recovery_rows
+    ]
+    return format_table(
+        ["Setting", "Env", "Worst-case recovery", "Failure recovery rate"],
+        rows,
+        title="Recovery summary (vs golden / unprotected injection)",
+    )
+
+
+def render_report(report: Dict) -> str:
+    """The full paper bundle of a report dict as one text block."""
+    groups = report["groups"]
+    header = [
+        f"repro report ({report['schema']})"
+        + (f": {report['title']}" if report.get("title") else ""),
+        "shards: " + ", ".join(report["shards"]),
+        (
+            f"missions: {report['records']['unique']} unique "
+            f"({report['records']['total']} records, "
+            f"{report['records']['duplicates_dropped']} duplicates dropped)"
+        ),
+    ]
+    sections = [
+        "\n".join(header),
+        _render_table1(groups),
+        _render_qof(groups),
+        _render_fig6(groups),
+        _render_fig7(groups),
+        _render_table2(groups),
+        _render_detection(report["detection_accuracy"]),
+        _render_recovery(report["recovery"]),
+    ]
+    return "\n\n".join(sections)
+
+
+__all__ = [
+    "DEFAULT_REPORT_NAME",
+    "REPORT_SCHEMA",
+    "GroupAggregate",
+    "GroupKey",
+    "StreamingAggregator",
+    "build_report",
+    "render_report",
+    "validate_report",
+    "validate_report_file",
+    "write_report",
+]

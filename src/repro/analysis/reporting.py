@@ -7,6 +7,7 @@ benches and examples share the same presentation.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Mapping, Sequence
 
 from repro.core.overhead import OverheadReport
@@ -64,18 +65,24 @@ def format_distribution_table(
     """Render box-plot-style five-number summaries, one row per label."""
     headers = ["Setting", "n", f"min [{unit}]", "q1", "median", "q3", f"max [{unit}]", "mean"]
     rows = []
+
+    def cell(value: float) -> str:
+        # An empty sample has NaN statistics; render `-` cells so it cannot
+        # be mistaken for a sample of genuinely zero flight times.
+        return "-" if math.isnan(value) else f"{value:.1f}"
+
     for label, values in distributions.items():
         stats: DistributionStats = distribution_stats(values)
         rows.append(
             [
                 label,
                 stats.count,
-                f"{stats.minimum:.1f}",
-                f"{stats.q1:.1f}",
-                f"{stats.median:.1f}",
-                f"{stats.q3:.1f}",
-                f"{stats.maximum:.1f}",
-                f"{stats.mean:.1f}",
+                cell(stats.minimum),
+                cell(stats.q1),
+                cell(stats.median),
+                cell(stats.q3),
+                cell(stats.maximum),
+                cell(stats.mean),
             ]
         )
     return format_table(headers, rows, title=title)

@@ -92,7 +92,14 @@ def _resample(points: np.ndarray, n_samples: int) -> np.ndarray:
 def compare_trajectories(
     trajectory: Sequence, reference: Sequence, n_samples: int = 100
 ) -> TrajectoryComparison:
-    """Deviation of ``trajectory`` from ``reference`` after arc-length alignment."""
+    """Deviation of ``trajectory`` from ``reference`` after arc-length alignment.
+
+    ``length_ratio`` is the compared path length over the reference path
+    length.  A degenerate (zero-length) reference cannot normalise anything:
+    the ratio is 1.0 only when the compared trajectory is degenerate too, and
+    ``inf`` otherwise -- it used to read 1.0 ("identical length") even when
+    the compared trajectory was arbitrarily long.
+    """
     points = _as_points(trajectory)
     ref = _as_points(reference)
     if len(points) == 0 or len(ref) == 0:
@@ -102,7 +109,10 @@ def compare_trajectories(
     deviations = np.linalg.norm(a - b, axis=1)
     length_a = analyze_trajectory(points).path_length if len(points) > 1 else 0.0
     length_b = analyze_trajectory(ref).path_length if len(ref) > 1 else 0.0
-    ratio = length_a / length_b if length_b > 1e-9 else 1.0
+    if length_b > 1e-9:
+        ratio = length_a / length_b
+    else:
+        ratio = 1.0 if length_a <= 1e-9 else float("inf")
     return TrajectoryComparison(
         mean_deviation=float(deviations.mean()),
         max_deviation=float(deviations.max()),

@@ -49,7 +49,15 @@ from repro.core.fault import (
 )
 from repro.core.injector import FaultInjectorNode, FaultPlan
 from repro.core.overhead import OverheadReport, compute_overhead
-from repro.core.qof import QofMetrics, QofSummary, summarize_runs
+from repro.core.qof import (
+    ConfidenceInterval,
+    QofMetrics,
+    QofSummary,
+    bootstrap_ci,
+    qof_confidence_intervals,
+    qof_pool_confidence_intervals,
+    summarize_runs,
+)
 from repro.core.results import (
     DistributionStats,
     JsonlResultStore,
@@ -83,6 +91,10 @@ __all__ = [
     "FaultPlan",
     "QofMetrics",
     "QofSummary",
+    "ConfidenceInterval",
+    "bootstrap_ci",
+    "qof_confidence_intervals",
+    "qof_pool_confidence_intervals",
     "summarize_runs",
     "Campaign",
     "CampaignConfig",

@@ -40,14 +40,21 @@ from repro import topics
 
 
 class RunSetting:
-    """Canonical labels of the four evaluation settings."""
+    """Canonical labels of the evaluation settings."""
 
     GOLDEN = "golden"
     INJECTION = "injection"
     DR_GAUSSIAN = "dr_gaussian"
     DR_AUTOENCODER = "dr_autoencoder"
+    #: Fault-free runs with a detector attached: every alarm is a false
+    #: positive, which is what the detection-accuracy FPR rows are made of.
+    DR_GOLDEN_GAUSSIAN = "dr_golden_gaussian"
+    DR_GOLDEN_AUTOENCODER = "dr_golden_autoencoder"
 
     ALL = (GOLDEN, INJECTION, DR_GAUSSIAN, DR_AUTOENCODER)
+    #: ALL plus the detector-on-golden false-positive settings (not part of
+    #: the default campaign; opt in via ``--settings`` or the spec methods).
+    EXTENDED = ALL + (DR_GOLDEN_GAUSSIAN, DR_GOLDEN_AUTOENCODER)
 
 
 #: MissionResult is the per-run record type used throughout the campaigns.
@@ -379,6 +386,41 @@ class Campaign:
             seeds = self._mission_seed_pool()
         return [
             RunSpec(config=self.config, setting=RunSetting.GOLDEN, seed=seed, index=i)
+            for i, seed in enumerate(seeds)
+        ]
+
+    def dr_golden_specs(
+        self, detector: str, count: Optional[int] = None
+    ) -> List[RunSpec]:
+        """Specs of fault-free runs flown with a detector attached.
+
+        Any alarm on these runs is spurious, so they are the false-positive
+        material of the detection-accuracy analysis
+        (:mod:`repro.analysis.detection_metrics`).  ``detector`` is a spec
+        detector tag (``"gaussian"`` or ``"autoencoder"``); the mission seeds
+        come from the shared pool, pairing each run with its golden twin.
+        """
+        settings = {
+            DETECTOR_GAUSSIAN: RunSetting.DR_GOLDEN_GAUSSIAN,
+            DETECTOR_AUTOENCODER: RunSetting.DR_GOLDEN_AUTOENCODER,
+        }
+        if detector not in settings:
+            raise ValueError(
+                f"dr_golden_specs needs a reconstructible detector tag "
+                f"({DETECTOR_GAUSSIAN!r} or {DETECTOR_AUTOENCODER!r}), got {detector!r}"
+            )
+        if count is not None:
+            seeds = [self.config.seed + i for i in range(scaled_count(count))]
+        else:
+            seeds = self._mission_seed_pool()
+        return [
+            RunSpec(
+                config=self.config,
+                setting=settings[detector],
+                seed=seed,
+                index=i,
+                detector=detector,
+            )
             for i, seed in enumerate(seeds)
         ]
 

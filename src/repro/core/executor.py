@@ -318,6 +318,12 @@ def execute_spec(
                 )
     if result is None:
         result = _execute_spec_scratch(spec, detector)
+    if spec.fault_plan is not None:
+        # Stamp the fault activation time so the time-to-detect analysis can
+        # compare it against the result's first_alarm_time without needing
+        # the spec (stamped here, after the verify cross-check, so both
+        # execution paths produce identical pre-stamp results).
+        result.injection_time = float(spec.fault_plan.injection_time)
     return result
 
 

@@ -43,11 +43,23 @@ class OverheadReport:
         """Sum of all detection and recovery fractions."""
         return sum(self.detection_fraction.values()) + sum(self.recovery_fraction.values())
 
+    def stages(self) -> List[str]:
+        """Every stage with a detection *or* recovery fraction, in a stable order.
+
+        The AAD scheme detects under ``"ppc"`` but recovers under
+        ``"control"``; iterating only the detection keys (the historical
+        behaviour) silently dropped the control RECOV row while the ``sum``
+        line still included it, so the printed rows did not add up to the
+        printed total.
+        """
+        ordered = dict.fromkeys(self.detection_fraction)
+        ordered.update(dict.fromkeys(self.recovery_fraction))
+        return list(ordered) or list(topics.PPC_STAGES)
+
     def rows(self) -> List[str]:
-        """Human-readable rows mirroring Table II."""
+        """Human-readable rows mirroring Table II (rows sum to the sum line)."""
         lines = []
-        stages = list(self.detection_fraction) or list(topics.PPC_STAGES)
-        for stage in stages:
+        for stage in self.stages():
             det = self.detection_fraction.get(stage, 0.0)
             rec = self.recovery_fraction.get(stage, 0.0)
             lines.append(

@@ -10,7 +10,7 @@ aggregation over a set of mission runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
@@ -112,6 +112,127 @@ def summarize_runs(
         mean_energy=mean_energy,
         worst_energy=worst_energy,
         fell_back_to_failures=bool(fell_back and on_no_success == "fallback"),
+    )
+
+
+# ------------------------------------------------------- confidence intervals
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """Seeded percentile-bootstrap confidence interval of one statistic."""
+
+    value: float
+    lower: float
+    upper: float
+    confidence: float
+    samples: int
+
+    def to_dict(self) -> dict:
+        """JSON form of the interval."""
+        return {
+            "value": self.value,
+            "lower": self.lower,
+            "upper": self.upper,
+            "confidence": self.confidence,
+            "samples": self.samples,
+        }
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic=np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 1000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap confidence interval of ``statistic(values)``.
+
+    Fully seeded and therefore deterministic for a given ``(values, seed)``
+    pair; callers that need shard-order-invariant reports must pass ``values``
+    in a canonical (e.g. sorted) order.  Degenerate samples (empty, or a
+    single observation) yield NaN bounds rather than a misleading zero-width
+    interval.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 1:
+        raise ValueError(f"n_resamples must be positive, got {n_resamples}")
+    data = np.asarray(list(values), dtype=float)
+    nan = float("nan")
+    if data.size == 0:
+        return ConfidenceInterval(nan, nan, nan, confidence, 0)
+    value = float(statistic(data))
+    if data.size == 1:
+        return ConfidenceInterval(value, nan, nan, confidence, 1)
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, data.size, size=(n_resamples, data.size))
+    estimates = np.asarray(
+        [float(statistic(sample)) for sample in data[indices]], dtype=float
+    )
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.percentile(estimates, [100.0 * alpha, 100.0 * (1.0 - alpha)])
+    return ConfidenceInterval(
+        value=value,
+        lower=float(lower),
+        upper=float(upper),
+        confidence=float(confidence),
+        samples=int(data.size),
+    )
+
+
+def qof_pool_confidence_intervals(
+    success_flags: Sequence[float],
+    flight_times: Sequence[float],
+    energies: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 1000,
+    seed: int = 0,
+) -> Dict[str, ConfidenceInterval]:
+    """Bootstrap CIs of the four headline QoF statistics from raw pools.
+
+    ``success_flags`` is one 0/1 entry per run; ``flight_times`` and
+    ``energies`` are the successful-run pools.  Pools are sorted here before
+    resampling, so the intervals are invariant to the order the values are
+    supplied in (shard-merge order independence).  This is the single place
+    that fixes the statistic list and the seed-offset convention -- the
+    report engine and :func:`qof_confidence_intervals` both delegate to it.
+    """
+    flags = sorted(success_flags)
+    times = sorted(flight_times)
+    pooled_energies = sorted(energies)
+    return {
+        "success_rate": bootstrap_ci(flags, np.mean, confidence, n_resamples, seed),
+        "mean_flight_time": bootstrap_ci(
+            times, np.mean, confidence, n_resamples, seed + 1
+        ),
+        "worst_flight_time": bootstrap_ci(
+            times, np.max, confidence, n_resamples, seed + 2
+        ),
+        "mean_energy": bootstrap_ci(
+            pooled_energies, np.mean, confidence, n_resamples, seed + 3
+        ),
+    }
+
+
+def qof_confidence_intervals(
+    results: Sequence,
+    confidence: float = 0.95,
+    n_resamples: int = 1000,
+    seed: int = 0,
+) -> Dict[str, ConfidenceInterval]:
+    """Bootstrap CIs of the paper's QoF statistics over a set of runs.
+
+    Returns intervals for the success rate (over all runs) and for the mean
+    and worst flight time and mean energy (over successful runs, matching
+    Fig. 6's "all successful cases").
+    """
+    results = list(results)
+    return qof_pool_confidence_intervals(
+        success_flags=[1.0 if r.success else 0.0 for r in results],
+        flight_times=[float(r.flight_time) for r in results if r.success],
+        energies=[float(r.mission_energy) for r in results if r.success],
+        confidence=confidence,
+        n_resamples=n_resamples,
+        seed=seed,
     )
 
 

@@ -42,10 +42,17 @@ class DistributionStats:
 
 
 def distribution_stats(values: Iterable[float]) -> DistributionStats:
-    """Compute the five-number summary of ``values`` (empty -> all zeros)."""
+    """Compute the five-number summary of ``values``.
+
+    An empty sample yields ``count == 0`` and NaN statistics (it used to
+    yield all zeros, which rendered exactly like a sample of genuinely zero
+    flight times); :func:`~repro.analysis.reporting.format_distribution_table`
+    renders the NaN cells as ``-``.
+    """
     data = np.asarray(list(values), dtype=float)
     if data.size == 0:
-        return DistributionStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        nan = float("nan")
+        return DistributionStats(0, nan, nan, nan, nan, nan, nan, nan)
     return DistributionStats(
         count=int(data.size),
         minimum=float(data.min()),
@@ -127,6 +134,13 @@ def flight_outcome_from_dict(data: Dict) -> FlightOutcome:
     )
 
 
+#: Serialisation format version written into every result dict.  Version 2
+#: added the detection-timing fields (``first_alarm_time``,
+#: ``first_alarm_time_by_stage``, ``injection_time``); version-1 records (no
+#: ``format`` marker) load with those fields at their "unknown" defaults.
+RESULT_FORMAT_VERSION = 2
+
+
 def mission_result_to_dict(result: MissionResult) -> Dict:
     """Full-fidelity JSON-serialisable form of a :class:`MissionResult`.
 
@@ -135,6 +149,7 @@ def mission_result_to_dict(result: MissionResult) -> Dict:
     parallel equivalence checks.
     """
     return {
+        "format": RESULT_FORMAT_VERSION,
         "success": bool(result.success),
         "flight_time": float(result.flight_time),
         "mission_energy": float(result.mission_energy),
@@ -163,6 +178,15 @@ def mission_result_to_dict(result: MissionResult) -> Dict:
             k: int(v) for k, v in result.detection_alarms_by_stage.items()
         },
         "detection_checked_samples": int(result.detection_checked_samples),
+        "first_alarm_time": (
+            None if result.first_alarm_time is None else float(result.first_alarm_time)
+        ),
+        "first_alarm_time_by_stage": {
+            k: float(v) for k, v in result.first_alarm_time_by_stage.items()
+        },
+        "injection_time": (
+            None if result.injection_time is None else float(result.injection_time)
+        ),
         "recoveries_by_stage": {
             k: int(v) for k, v in result.recoveries_by_stage.items()
         },
@@ -172,7 +196,15 @@ def mission_result_to_dict(result: MissionResult) -> Dict:
 
 
 def mission_result_from_dict(data: Dict) -> MissionResult:
-    """Inverse of :func:`mission_result_to_dict`."""
+    """Inverse of :func:`mission_result_to_dict`.
+
+    Loads every known format version: records written before
+    :data:`RESULT_FORMAT_VERSION` 2 (no ``format`` marker) simply lack the
+    detection-timing fields and get their defaults (no alarm observed, no
+    known injection time).
+    """
+    first_alarm = data.get("first_alarm_time")
+    injection_time = data.get("injection_time")
     trajectory = np.asarray(data.get("trajectory", []), dtype=float)
     if trajectory.size == 0:
         trajectory = np.zeros((0, 3))
@@ -200,6 +232,12 @@ def mission_result_from_dict(data: Dict) -> MissionResult:
         detection_alarms=int(data.get("detection_alarms", 0)),
         detection_alarms_by_stage=dict(data.get("detection_alarms_by_stage", {})),
         detection_checked_samples=int(data.get("detection_checked_samples", 0)),
+        first_alarm_time=None if first_alarm is None else float(first_alarm),
+        first_alarm_time_by_stage={
+            k: float(v)
+            for k, v in (data.get("first_alarm_time_by_stage") or {}).items()
+        },
+        injection_time=None if injection_time is None else float(injection_time),
         recoveries_by_stage=dict(data.get("recoveries_by_stage", {})),
         replan_count=int(data.get("replan_count", 0)),
         trajectory=trajectory.reshape(-1, 3),
@@ -266,6 +304,14 @@ class JsonlResultStore:
                     continue
                 if isinstance(record, dict) and "key" in record and "result" in record:
                     yield record
+
+    def iter_records(self) -> Iterable[Dict]:
+        """Stream every intact raw record in file order (constant memory).
+
+        Unlike :meth:`load_records` nothing is materialised: the report
+        engine uses this to aggregate arbitrarily large shards line by line.
+        """
+        return self._iter_records()
 
     def completed_keys(self) -> set:
         """Keys of every intact record in the store."""

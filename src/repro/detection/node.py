@@ -96,6 +96,11 @@ class AnomalyDetectionNode(Node):
         self.alarms_by_stage: Dict[str, int] = {stage: 0 for stage in topics.PPC_STAGES}
         self.dropped_messages = 0
         self.checked_samples = 0
+        #: Simulated time of the first alarm of the mission (None = no alarm),
+        #: and of the first alarm per PPC stage -- the raw material of the
+        #: time-to-detect analysis (repro.analysis.detection_metrics).
+        self.first_alarm_time: Optional[float] = None
+        self.first_alarm_time_by_stage: Dict[str, float] = {}
         self._in_recovery = False
         self._taps = []
 
@@ -181,6 +186,10 @@ class AnomalyDetectionNode(Node):
         self, topic: str, stage: str, feature: str, score: float, threshold: float
     ) -> None:
         detector_name = getattr(self.detector, "name", "detector")
+        now = float(self.graph.clock.now)
+        if self.first_alarm_time is None:
+            self.first_alarm_time = now
+        self.first_alarm_time_by_stage.setdefault(stage, now)
         self.alarms_by_stage[stage] = self.alarms_by_stage.get(stage, 0) + 1
         self._alarm_pub.publish(
             AlarmMsg(
@@ -213,6 +222,8 @@ class AnomalyDetectionNode(Node):
         self.alarms_by_stage = {stage: 0 for stage in topics.PPC_STAGES}
         self.dropped_messages = 0
         self.checked_samples = 0
+        self.first_alarm_time = None
+        self.first_alarm_time_by_stage = {}
         if isinstance(self.detector, AadDetector):
             self.detector.reset_state()
 

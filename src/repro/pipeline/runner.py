@@ -45,6 +45,13 @@ class MissionResult:
     detection_alarms: int = 0
     detection_alarms_by_stage: Dict[str, int] = field(default_factory=dict)
     detection_checked_samples: int = 0
+    #: Simulated time of the first detection alarm (None = no alarm raised),
+    #: plus the first alarm time per PPC stage; with ``injection_time`` (the
+    #: fault plan's activation time, None for fault-free runs) these feed the
+    #: time-to-detect analysis.
+    first_alarm_time: Optional[float] = None
+    first_alarm_time_by_stage: Dict[str, float] = field(default_factory=dict)
+    injection_time: Optional[float] = None
     recoveries_by_stage: Dict[str, int] = field(default_factory=dict)
     replan_count: int = 0
     trajectory: np.ndarray = field(default_factory=lambda: np.zeros((0, 3)))
@@ -157,6 +164,10 @@ class MissionRunner:
         detection_alarms = getattr(detection_node, "total_alarms", 0)
         alarms_by_stage = dict(getattr(detection_node, "alarms_by_stage", {}) or {})
         checked = getattr(detection_node, "checked_samples", 0)
+        first_alarm = getattr(detection_node, "first_alarm_time", None)
+        first_alarm_by_stage = dict(
+            getattr(detection_node, "first_alarm_time_by_stage", {}) or {}
+        )
         recoveries = dict(getattr(recovery_node, "recovery_counts", {}) or {})
 
         motion_planner = handles.kernels.get("motion_planner")
@@ -193,6 +204,8 @@ class MissionRunner:
             detection_alarms=detection_alarms,
             detection_alarms_by_stage=alarms_by_stage,
             detection_checked_samples=checked,
+            first_alarm_time=first_alarm,
+            first_alarm_time_by_stage=first_alarm_by_stage,
             recoveries_by_stage=recoveries,
             replan_count=replan_count,
             trajectory=trajectory,

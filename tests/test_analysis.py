@@ -50,6 +50,20 @@ class TestTrajectoryAnalysis:
         assert comparison.max_deviation >= 2.5
         assert comparison.length_ratio > 1.0
 
+    def test_degenerate_reference_yields_inf_length_ratio(self):
+        """Regression: a zero-length reference used to report length_ratio 1.0
+        ("identical length") even against an arbitrarily long trajectory."""
+        long_trajectory = [[float(x), 0.0, 2.0] for x in range(11)]
+        hover = [[5.0, 5.0, 2.0]] * 4
+        comparison = compare_trajectories(long_trajectory, hover)
+        assert comparison.length_ratio == float("inf")
+
+    def test_both_degenerate_trajectories_ratio_one(self):
+        hover = [[5.0, 5.0, 2.0]] * 4
+        comparison = compare_trajectories(hover, hover)
+        assert comparison.length_ratio == pytest.approx(1.0)
+        assert comparison.mean_deviation == pytest.approx(0.0)
+
 
 class TestReporting:
     def test_format_table_alignment(self):
@@ -76,6 +90,17 @@ class TestReporting:
         assert "golden" in text and "fi" in text
         assert "30.0" in text
 
+    def test_distribution_table_empty_sample_renders_dashes(self):
+        """Regression: an empty sample used to render as a real 0.0 row,
+        indistinguishable from genuinely zero flight times."""
+        text = format_distribution_table({"empty": [], "zero": [0.0, 0.0]})
+        empty_row = next(line for line in text.splitlines() if line.startswith("empty"))
+        zero_row = next(line for line in text.splitlines() if line.startswith("zero"))
+        assert "0.0" not in empty_row
+        assert empty_row.split()[1] == "0"  # n column
+        assert empty_row.count("-") >= 6
+        assert "0.0" in zero_row
+
     def test_overhead_table(self):
         report = OverheadReport(
             detector="gad",
@@ -86,6 +111,34 @@ class TestReporting:
         text = format_overhead_table({"sparse": report})
         assert "sparse" in text
         assert "RECOV" in text
+
+    def test_overhead_rows_cover_recovery_only_stages(self):
+        """Regression: the AAD report detects under "ppc" but recovers under
+        "control"; iterating only the detection keys dropped the control
+        RECOV row while the sum line still included it."""
+        report = OverheadReport(
+            detector="aad",
+            environment="farm",
+            detection_fraction={"ppc": 0.0001},
+            recovery_fraction={"control": 0.0040},
+        )
+        rows = report.rows()
+        assert any(row.startswith("control") for row in rows)
+        assert report.stages() == ["ppc", "control"]
+
+    def test_overhead_rows_sum_to_total(self):
+        report = OverheadReport(
+            detector="aad",
+            environment="farm",
+            detection_fraction={"ppc": 0.0001},
+            recovery_fraction={"control": 0.0040, "perception": 0.0002},
+        )
+        printed = 0.0
+        for row in report.rows()[:-1]:
+            parts = row.split()
+            printed += float(parts[2].rstrip("%")) + float(parts[4].rstrip("%"))
+        assert printed / 100 == pytest.approx(report.total_overhead, abs=1e-7)
+        assert f"{report.total_overhead * 100:.4f}%" in report.rows()[-1]
 
     def test_percentage_map(self):
         text = format_percentage_map({"recovered": 0.875}, title="Recovery")

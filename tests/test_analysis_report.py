@@ -1,0 +1,573 @@
+"""Tests for the streaming paper-report engine and the detection metrics.
+
+Covers the ISSUE-5 acceptance criteria: shard-order-invariant byte-identical
+``report.json``, JSONL round-trip of the first-alarm fields (including
+pre-format-bump records), detection-metrics sanity on a smoke campaign with
+known injections (golden runs contribute FPR only, injected runs TPR), and
+the ``repro-report-v1`` validator.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.analysis.detection_metrics import (
+    detection_accuracy,
+    detector_label,
+    format_detection_accuracy_table,
+)
+from repro.analysis.report import (
+    REPORT_SCHEMA,
+    StreamingAggregator,
+    build_report,
+    render_report,
+    validate_report,
+    write_report,
+)
+from repro.cli import main
+from repro.core.qof import bootstrap_ci, qof_confidence_intervals
+from repro.core.results import (
+    JsonlResultStore,
+    mission_result_from_dict,
+    mission_result_to_dict,
+)
+from repro.pipeline.runner import MissionResult
+from repro.sim.airsim import FlightOutcome
+
+
+# --------------------------------------------------------------- fixtures
+@pytest.fixture(scope="module")
+def campaign_store(tmp_path_factory):
+    """A smoke campaign with known injections streamed to one JSONL shard.
+
+    Golden + unprotected injections + D&R(Gaussian/Autoencoder) injections +
+    the detector-on-golden false-positive settings, all in the farm
+    environment with a 1-environment detector training run (cached).
+    """
+    tmp = tmp_path_factory.mktemp("report-campaign")
+    out = tmp / "results.jsonl"
+    rc = main(
+        [
+            "campaign",
+            "--env",
+            "farm",
+            "--settings",
+            "golden,injection,dr_gaussian,dr_autoencoder,"
+            "dr_golden_gaussian,dr_golden_autoencoder",
+            "--golden",
+            "3",
+            "--per-stage",
+            "2",
+            "--time-limit",
+            "60",
+            "--training-envs",
+            "1",
+            "--cache-dir",
+            str(tmp / "cache"),
+            "--out",
+            str(out),
+            "--quiet",
+        ]
+    )
+    assert rc == 0
+    return out
+
+
+def _fake_result(
+    setting="dr_gaussian",
+    success=True,
+    alarms=0,
+    checked=100,
+    alarms_by_stage=None,
+    fault_target="",
+    injection_time=None,
+    first_alarm_time=None,
+    flight_time=12.0,
+):
+    """A minimal synthetic MissionResult for detection-metric unit tests."""
+    return MissionResult(
+        success=success,
+        flight_time=flight_time,
+        mission_energy=1000.0,
+        flight_energy=900.0,
+        compute_energy=100.0,
+        distance_travelled=30.0,
+        outcome=FlightOutcome(success=success, flight_time=flight_time),
+        environment="farm",
+        platform="i9",
+        planner="rrt_star",
+        setting=setting,
+        detection_alarms=alarms,
+        detection_alarms_by_stage=alarms_by_stage or {},
+        detection_checked_samples=checked,
+        first_alarm_time=first_alarm_time,
+        injection_time=injection_time,
+        fault_target=fault_target,
+    )
+
+
+# ------------------------------------------------------- first-alarm fields
+class TestFirstAlarmRoundTrip:
+    def test_round_trip_exact(self):
+        result = _fake_result(
+            alarms=3,
+            alarms_by_stage={"planning": 2, "control": 1},
+            fault_target="planning",
+            injection_time=4.25,
+            first_alarm_time=4.75,
+        )
+        result.first_alarm_time_by_stage = {"planning": 4.75, "control": 5.0}
+        data = json.loads(json.dumps(mission_result_to_dict(result)))
+        restored = mission_result_from_dict(data)
+        assert restored.first_alarm_time == 4.75
+        assert restored.first_alarm_time_by_stage == {"planning": 4.75, "control": 5.0}
+        assert restored.injection_time == 4.25
+        assert mission_result_to_dict(restored) == mission_result_to_dict(result)
+
+    def test_none_round_trips_as_null(self):
+        result = _fake_result()
+        text = json.dumps(mission_result_to_dict(result))
+        assert "NaN" not in text and "Infinity" not in text
+        restored = mission_result_from_dict(json.loads(text))
+        assert restored.first_alarm_time is None
+        assert restored.injection_time is None
+
+    def test_pre_bump_record_loads_with_defaults(self):
+        """Version-1 records (no format marker, no timing fields) still load."""
+        data = mission_result_to_dict(_fake_result(alarms=2))
+        for legacy_missing in (
+            "format",
+            "first_alarm_time",
+            "first_alarm_time_by_stage",
+            "injection_time",
+        ):
+            del data[legacy_missing]
+        restored = mission_result_from_dict(data)
+        assert restored.detection_alarms == 2
+        assert restored.first_alarm_time is None
+        assert restored.first_alarm_time_by_stage == {}
+        assert restored.injection_time is None
+
+    def test_store_round_trip_from_campaign(self, campaign_store):
+        results = JsonlResultStore(campaign_store).load_results()
+        injected = [
+            r
+            for r in results.values()
+            if r.fault_target and detector_label(r.setting) is not None
+        ]
+        assert injected, "campaign must contain detector-attached injections"
+        # Every injected run carries its fault activation time.
+        assert all(r.injection_time is not None for r in injected)
+        # At least one injection raised an alarm whose time round-tripped.
+        alarmed = [r for r in injected if r.detection_alarms > 0]
+        assert alarmed
+        for r in alarmed:
+            assert r.first_alarm_time is not None
+            assert r.first_alarm_time_by_stage
+            assert min(r.first_alarm_time_by_stage.values()) == r.first_alarm_time
+        # Fault-free runs have no injection time.
+        for r in results.values():
+            if not r.fault_target:
+                assert r.injection_time is None
+
+
+# ------------------------------------------------------- detection metrics
+class TestDetectionMetrics:
+    def test_golden_runs_contribute_fpr_only(self):
+        golden = [_fake_result(setting="dr_golden_gaussian", alarms=0)] * 3
+        noisy_golden = _fake_result(setting="dr_golden_gaussian", alarms=5)
+        injected = [
+            _fake_result(
+                fault_target="planning",
+                alarms=1,
+                alarms_by_stage={"planning": 1},
+                injection_time=4.0,
+                first_alarm_time=4.5,
+            ),
+            _fake_result(fault_target="planning", injection_time=4.0),
+        ]
+        acc = detection_accuracy(list(golden) + [noisy_golden], injected, "gaussian")
+        assert acc.golden_runs == 4
+        assert acc.injected_runs == 2
+        assert acc.run_fpr == pytest.approx(0.25)
+        assert acc.sample_fpr == pytest.approx(5 / 400)
+        assert acc.tpr == pytest.approx(0.5)
+        assert acc.precision == pytest.approx(0.5)
+        assert acc.mean_time_to_detect == pytest.approx(0.5)
+        stage = acc.per_stage["planning"]
+        assert stage.injected_runs == 2
+        assert stage.detected_runs == 1
+        assert stage.localized_runs == 1
+
+    def test_clean_detector_reports_zero_fpr(self):
+        acc = detection_accuracy(
+            [_fake_result(setting="dr_golden_gaussian")] * 5, [], "gaussian"
+        )
+        assert acc.run_fpr == 0.0
+        assert acc.sample_fpr == 0.0
+        assert math.isnan(acc.tpr)
+
+    def test_pre_injection_alarm_is_not_a_detection(self):
+        """An alarm that fired before the fault is spurious: it must inflate
+        neither the TPR nor the latency statistics."""
+        result = _fake_result(
+            fault_target="control",
+            alarms=1,
+            alarms_by_stage={"control": 1},
+            injection_time=6.0,
+            first_alarm_time=2.0,  # false alarm fired before the fault
+        )
+        result.first_alarm_time_by_stage = {"control": 2.0}
+        acc = detection_accuracy([], [result], "gaussian")
+        assert acc.tpr == 0.0
+        assert acc.per_stage["control"].localized_runs == 0
+        assert math.isnan(acc.mean_time_to_detect)
+
+    def test_late_stage_alarm_still_detects_after_early_false_alarm(self):
+        """A pre-injection false alarm followed by a genuine post-injection
+        alarm in another stage counts as detected, with the post-injection
+        latency."""
+        result = _fake_result(
+            fault_target="planning",
+            alarms=3,
+            alarms_by_stage={"control": 1, "planning": 2},
+            injection_time=6.0,
+            first_alarm_time=2.0,
+        )
+        result.first_alarm_time_by_stage = {"control": 2.0, "planning": 7.5}
+        acc = detection_accuracy([], [result], "gaussian")
+        assert acc.tpr == pytest.approx(1.0)
+        assert acc.per_stage["planning"].localized_runs == 1
+        assert acc.mean_time_to_detect == pytest.approx(1.5)
+
+    def test_detector_label_mapping(self):
+        assert detector_label("dr_gaussian") == "gaussian"
+        assert detector_label("dr_golden_gaussian") == "gaussian"
+        assert detector_label("dr_autoencoder") == "autoencoder"
+        assert detector_label("dr_golden_autoencoder") == "autoencoder"
+        assert detector_label("golden") is None
+        assert detector_label("injection") is None
+
+    def test_table_renders_nan_as_dash(self):
+        acc = detection_accuracy([], [], "gaussian")
+        text = format_detection_accuracy_table([acc])
+        assert "gaussian" in text
+        assert "-" in text
+
+    def test_campaign_detection_sanity(self, campaign_store):
+        """On the smoke campaign: FPR comes from golden rows, TPR from injections."""
+        report = build_report([campaign_store])
+        rows = {row["detector"]: row for row in report["detection_accuracy"]}
+        assert set(rows) == {"gaussian", "autoencoder"}
+        for row in rows.values():
+            # dr_golden_* contributed the golden pool, injections the rest.
+            assert row["golden_runs"] == 3
+            assert row["injected_runs"] == 6
+            assert row["golden_checked_samples"] > 0
+        # The Gaussian detector catches every planted fault in this campaign.
+        assert rows["gaussian"]["tpr"] > 0.0
+        # FPR=0 rows are representable (the autoencoder is quiet on golden).
+        assert rows["autoencoder"]["run_fpr"] == 0.0
+
+
+# ------------------------------------------------------------ report engine
+class TestStreamingAggregator:
+    def test_identical_duplicates_counted_once(self, tmp_path, campaign_store):
+        lines = campaign_store.read_text().splitlines()
+        doubled = tmp_path / "doubled.jsonl"
+        doubled.write_text("\n".join(lines + lines) + "\n")
+        aggregator = StreamingAggregator([doubled])
+        assert aggregator.total_records == 2 * len(lines)
+        assert aggregator.unique_missions == len(lines)
+        assert aggregator.duplicates_dropped == len(lines)
+
+    def test_last_write_wins_within_shard(self, tmp_path):
+        record = {
+            "key": "k1",
+            "meta": {},
+            "result": mission_result_to_dict(_fake_result(flight_time=10.0)),
+        }
+        newer = json.loads(json.dumps(record))
+        newer["result"]["flight_time"] = 99.0
+        shard = tmp_path / "shard.jsonl"
+        shard.write_text(json.dumps(record) + "\n" + json.dumps(newer) + "\n")
+        aggregator = StreamingAggregator([shard])
+        (group,) = aggregator.groups.values()
+        assert group.all_flight_times == [99.0]
+
+    def test_superseded_record_loses_to_its_correction(self, tmp_path):
+        """A record a shard proves outdated (followed by a correction for the
+        same key) must lose the election even when an older backup shard
+        still carries it as its last record -- regardless of which record's
+        digest is larger, so the tie-break alone cannot resurrect it."""
+        import hashlib
+
+        def digest(record):
+            return hashlib.sha1(
+                json.dumps(record, sort_keys=True).encode("utf-8")
+            ).hexdigest()
+
+        stale = {
+            "key": "k1",
+            "meta": {},
+            "result": mission_result_to_dict(_fake_result(flight_time=10.0)),
+        }
+        # One correction whose digest sorts below the stale record's and one
+        # above: the supersession rule must win in both regimes.
+        fresh_variants = {}
+        for flight_time in range(90, 200):
+            fresh = json.loads(json.dumps(stale))
+            fresh["result"]["flight_time"] = float(flight_time)
+            fresh_variants[digest(fresh) > digest(stale)] = fresh
+            if len(fresh_variants) == 2:
+                break
+        assert len(fresh_variants) == 2
+        for fresh in fresh_variants.values():
+            current = tmp_path / "current.jsonl"
+            backup = tmp_path / "backup.jsonl"
+            current.write_text(json.dumps(stale) + "\n" + json.dumps(fresh) + "\n")
+            backup.write_text(json.dumps(stale) + "\n")
+            for shards in ([current, backup], [backup, current]):
+                aggregator = StreamingAggregator(shards)
+                (group,) = aggregator.groups.values()
+                assert group.all_flight_times == [fresh["result"]["flight_time"]]
+                assert aggregator.unique_missions == 1
+
+    def test_cross_shard_conflict_resolves_order_invariantly(self, tmp_path):
+        base = {
+            "key": "k1",
+            "meta": {},
+            "result": mission_result_to_dict(_fake_result(flight_time=10.0)),
+        }
+        other = json.loads(json.dumps(base))
+        other["result"]["flight_time"] = 42.0
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        a.write_text(json.dumps(base) + "\n")
+        b.write_text(json.dumps(other) + "\n")
+        first = StreamingAggregator([a, b])
+        second = StreamingAggregator([b, a])
+        (group1,) = first.groups.values()
+        (group2,) = second.groups.values()
+        assert group1.all_flight_times == group2.all_flight_times
+        assert first.unique_missions == second.unique_missions == 1
+
+    def test_torn_tail_skipped(self, tmp_path, campaign_store):
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text(campaign_store.read_text() + '{"key": "torn-li')
+        intact = len(campaign_store.read_text().splitlines())
+        aggregator = StreamingAggregator([torn])
+        assert aggregator.total_records == intact
+
+
+class TestReportDeterminism:
+    def test_shard_order_yields_byte_identical_json(self, tmp_path, campaign_store):
+        lines = campaign_store.read_text().splitlines()
+        cut = len(lines) * 2 // 3
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        # Overlapping shards, as produced by two resumed campaign passes.
+        a.write_text("\n".join(lines[:cut]) + "\n")
+        b.write_text("\n".join(lines[cut // 2 :]) + "\n")
+        out_ab = tmp_path / "ab.json"
+        out_ba = tmp_path / "ba.json"
+        write_report(build_report([a, b]), out_ab)
+        write_report(build_report([b, a]), out_ba)
+        assert out_ab.read_bytes() == out_ba.read_bytes()
+        # And the merged shards reproduce the unsharded campaign's groups.
+        whole = build_report([campaign_store])
+        merged = json.loads(out_ab.read_text())
+        assert merged["groups"] == whole["groups"]
+        assert merged["detection_accuracy"] == whole["detection_accuracy"]
+        assert merged["recovery"] == whole["recovery"]
+
+    def test_same_store_twice_is_stable(self, campaign_store):
+        first = build_report([campaign_store])
+        second = build_report([campaign_store])
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+
+class TestReportContent:
+    def test_report_validates_and_renders(self, campaign_store):
+        report = build_report([campaign_store], title="smoke")
+        validate_report(report)
+        assert report["schema"] == REPORT_SCHEMA
+        settings = {group["setting"] for group in report["groups"]}
+        assert {"golden", "injection", "dr_gaussian", "dr_autoencoder"} <= settings
+        text = render_report(report)
+        for banner in (
+            "Table I",
+            "Table II",
+            "Fig. 6",
+            "Fig. 7",
+            "Detection accuracy",
+            "Recovery summary",
+        ):
+            assert banner in text
+        # The recovery summary pairs golden/injection/D&R cells.
+        assert {row["setting"] for row in report["recovery"]} == {
+            "dr_gaussian",
+            "dr_autoencoder",
+        }
+
+    def test_confidence_intervals_bracket_value(self, campaign_store):
+        report = build_report([campaign_store])
+        for group in report["groups"]:
+            ci = group["confidence"]["mean_flight_time"]
+            if ci["lower"] is None:
+                continue
+            assert ci["lower"] <= ci["value"] <= ci["upper"]
+            assert ci["samples"] == group["qof"]["num_success"]
+
+    def test_strict_json_output(self, tmp_path, campaign_store):
+        out = tmp_path / "report.json"
+        write_report(build_report([campaign_store]), out)
+        text = out.read_text()
+        assert "NaN" not in text and "Infinity" not in text
+        json.loads(text)
+
+
+class TestReportValidator:
+    def _valid(self, campaign_store):
+        return build_report([campaign_store])
+
+    def test_rejects_wrong_schema(self, campaign_store):
+        report = self._valid(campaign_store)
+        report["schema"] = "repro-report-v0"
+        with pytest.raises(ValueError, match="schema"):
+            validate_report(report)
+
+    def test_rejects_inconsistent_record_accounting(self, campaign_store):
+        report = self._valid(campaign_store)
+        report["records"]["total"] += 1
+        with pytest.raises(ValueError, match="records.total"):
+            validate_report(report)
+
+    def test_rejects_nan_statistics(self, campaign_store):
+        report = self._valid(campaign_store)
+        report["groups"][0]["qof"]["mean_flight_time"] = float("nan")
+        with pytest.raises(ValueError, match="finite"):
+            validate_report(report)
+
+    def test_rejects_unsorted_shards(self, campaign_store):
+        report = self._valid(campaign_store)
+        report["shards"] = ["b.jsonl", "a.jsonl"]
+        with pytest.raises(ValueError, match="sorted"):
+            validate_report(report)
+
+    def test_rejects_out_of_range_success_rate(self, campaign_store):
+        report = self._valid(campaign_store)
+        report["groups"][0]["qof"]["success_rate"] = 1.5
+        with pytest.raises(ValueError, match="success_rate"):
+            validate_report(report)
+
+
+# ---------------------------------------------------------------- bootstrap
+class TestBootstrapCI:
+    def test_seeded_and_deterministic(self):
+        values = list(np.random.default_rng(5).normal(12.0, 3.0, size=40))
+        first = bootstrap_ci(values, np.mean, seed=7)
+        second = bootstrap_ci(values, np.mean, seed=7)
+        assert (first.lower, first.upper) == (second.lower, second.upper)
+        different = bootstrap_ci(values, np.mean, seed=8)
+        assert (first.lower, first.upper) != (different.lower, different.upper)
+
+    def test_brackets_the_statistic(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(50.0, 5.0, size=200)
+        ci = bootstrap_ci(values, np.mean, confidence=0.95, seed=1)
+        assert ci.lower <= ci.value <= ci.upper
+        assert ci.lower == pytest.approx(50.0, abs=2.0)
+        assert ci.samples == 200
+
+    def test_degenerate_samples_yield_nan(self):
+        empty = bootstrap_ci([], np.mean)
+        assert empty.samples == 0
+        assert math.isnan(empty.value) and math.isnan(empty.lower)
+        single = bootstrap_ci([3.0], np.mean)
+        assert single.value == 3.0
+        assert math.isnan(single.lower) and math.isnan(single.upper)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], np.mean, confidence=1.0)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], np.mean, n_resamples=0)
+
+    def test_qof_intervals_order_invariant(self):
+        results = [
+            _fake_result(flight_time=t, success=s)
+            for t, s in [(10.0, True), (12.0, True), (14.0, True), (20.0, False)]
+        ]
+        forward = qof_confidence_intervals(results, seed=3)
+        backward = qof_confidence_intervals(list(reversed(results)), seed=3)
+        for name in forward:
+            assert forward[name] == backward[name]
+        assert forward["success_rate"].value == pytest.approx(0.75)
+
+
+# --------------------------------------------------------------- CLI surface
+class TestReportCli:
+    def test_cli_report_writes_and_validates(self, tmp_path, campaign_store, capsys):
+        out = tmp_path / "report.json"
+        assert main(
+            ["report", "--results", str(campaign_store), "--out", str(out)]
+        ) == 0
+        stdout = capsys.readouterr().out
+        assert "Table I" in stdout and "Detection accuracy" in stdout
+        assert out.exists()
+        assert main(["report", "--validate", str(out)]) == 0
+        assert "valid repro-report-v1" in capsys.readouterr().out
+
+    def test_cli_report_quiet_only_writes(self, tmp_path, campaign_store, capsys):
+        out = tmp_path / "report.json"
+        assert main(
+            ["report", "--results", str(campaign_store), "--out", str(out), "--quiet"]
+        ) == 0
+        stdout = capsys.readouterr().out
+        assert "Table I" not in stdout
+        assert str(out) in stdout
+
+    def test_cli_report_missing_shard_fails(self, tmp_path, capsys):
+        assert main(["report", "--results", str(tmp_path / "none.jsonl")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_cli_report_empty_store_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["report", "--results", str(empty)]) == 1
+        assert "no intact records" in capsys.readouterr().out
+
+    def test_cli_report_needs_results_or_validate(self, capsys):
+        assert main(["report"]) == 2
+        assert "needs --results" in capsys.readouterr().err
+
+    def test_cli_report_shard_order_invariant(self, tmp_path, campaign_store):
+        lines = campaign_store.read_text().splitlines()
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        a.write_text("\n".join(lines[: len(lines) // 2]) + "\n")
+        b.write_text("\n".join(lines[len(lines) // 2 :]) + "\n")
+        out1 = tmp_path / "r1.json"
+        out2 = tmp_path / "r2.json"
+        assert main(
+            ["report", "--results", str(a), str(b), "--out", str(out1), "--quiet"]
+        ) == 0
+        assert main(
+            ["report", "--results", str(b), str(a), "--out", str(out2), "--quiet"]
+        ) == 0
+        assert out1.read_bytes() == out2.read_bytes()
+
+
+# ------------------------------------------------------ dataclass behaviour
+def test_fake_result_replace_keeps_new_fields():
+    """The new MissionResult fields behave like every other dataclass field."""
+    result = _fake_result(injection_time=3.0, first_alarm_time=3.5)
+    clone = replace(result, flight_time=1.0)
+    assert clone.injection_time == 3.0
+    assert clone.first_alarm_time == 3.5

@@ -1,5 +1,7 @@
 """Tests for the fault injector node, QoF metrics and campaign management."""
 
+import math
+
 import pytest
 
 from repro.core.campaign import (
@@ -209,7 +211,14 @@ class TestResultsHelpers:
         assert stats.count == 5
 
     def test_distribution_stats_empty(self):
-        assert distribution_stats([]).count == 0
+        stats = distribution_stats([])
+        assert stats.count == 0
+        # NaN (not 0.0) statistics: an empty sample must not masquerade as a
+        # sample of genuinely zero flight times.
+        assert all(
+            math.isnan(v)
+            for v in (stats.minimum, stats.median, stats.maximum, stats.mean)
+        )
 
     def test_recovery_percentage(self):
         assert recovery_percentage(10, 20, 12) == pytest.approx(0.8)
@@ -276,6 +285,23 @@ class TestCampaign:
         assert {r.fault_target for r in runs} == {"perception", "planning", "control"}
         golden_seeds = {r.seed for r in campaign.run_golden(2)}
         assert {r.seed for r in runs}.issubset(golden_seeds)
+
+    def test_dr_golden_specs_are_fault_free_with_detector(self, monkeypatch):
+        monkeypatch.setenv("MAVFI_RUNS", "1.0")
+        campaign = Campaign(CampaignConfig(environment="farm", num_golden=3))
+        specs = campaign.dr_golden_specs("gaussian")
+        assert len(specs) == 3
+        assert all(s.setting == RunSetting.DR_GOLDEN_GAUSSIAN for s in specs)
+        assert all(s.fault_plan is None for s in specs)
+        assert all(s.detector == "gaussian" for s in specs)
+        # Same mission seed pool as the golden runs (paired comparison).
+        golden_seeds = {s.seed for s in campaign.golden_specs()}
+        assert {s.seed for s in specs} == golden_seeds
+        aad = campaign.dr_golden_specs("autoencoder", count=2)
+        assert len(aad) == 2
+        assert all(s.setting == RunSetting.DR_GOLDEN_AUTOENCODER for s in aad)
+        with pytest.raises(ValueError, match="detector tag"):
+            campaign.dr_golden_specs("custom")
 
     def test_kernel_injections_grouped_by_label(self, monkeypatch):
         monkeypatch.setenv("MAVFI_RUNS", "1.0")

@@ -158,12 +158,29 @@ class TestAnomalyDetectionNode:
         assert len(received) == 1
         assert node.total_alarms == 1
 
+    def test_first_alarm_time_recorded(self, graph, trained_gad):
+        node = self._graph_with_detection(trained_gad, graph)
+        assert node.first_alarm_time is None
+        graph.clock.set(3.5)
+        graph.topic_bus.publish(topics.TRAJECTORY, _trajectory(range(0, 20, 2), corrupt_index=5))
+        assert node.first_alarm_time == 3.5
+        assert node.first_alarm_time_by_stage == {"planning": 3.5}
+        # A later alarm must not move the first-alarm stamps.
+        graph.clock.set(7.0)
+        graph.topic_bus.publish(topics.TRAJECTORY, _trajectory(range(0, 20, 2), corrupt_index=5))
+        assert node.total_alarms == 2
+        assert node.first_alarm_time == 3.5
+        assert node.first_alarm_time_by_stage["planning"] == 3.5
+
     def test_reset_detection(self, graph, trained_gad):
         node = self._graph_with_detection(trained_gad, graph)
         graph.topic_bus.publish(topics.TRAJECTORY, _trajectory(range(0, 20, 2), corrupt_index=5))
+        assert node.first_alarm_time is not None
         node.reset_detection()
         assert node.total_alarms == 0
         assert node.dropped_messages == 0
+        assert node.first_alarm_time is None
+        assert node.first_alarm_time_by_stage == {}
 
     def test_shutdown_removes_taps(self, graph, trained_gad):
         node = self._graph_with_detection(trained_gad, graph)
