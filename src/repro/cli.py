@@ -229,8 +229,9 @@ def _build_parser() -> argparse.ArgumentParser:
             "Time the vectorized hot-path kernels against their scalar "
             "references (default, schema repro-bench-v1), or -- with "
             "--campaign -- time the campaign engine's execution modes "
-            "(serial/parallel x scratch/cached/checkpointed) on the standard "
-            "injection-sweep workload (schema repro-campaign-bench-v1)."
+            "(serial scratch/cached/checkpointed plus a parallel scaling "
+            "curve) on the standard injection-sweep workload (schema "
+            "repro-campaign-bench-v2)."
         ),
     )
     bench.add_argument(
@@ -263,9 +264,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--workers",
-        type=int,
+        type=str,
         default=None,
-        help="worker count of the parallel campaign-bench modes (default 2)",
+        help=(
+            "worker counts of the campaign bench's scaling curve, as a "
+            "comma-separated list (e.g. '1,2,4'; default '1,2'); the "
+            "2-worker point doubles as the parallel_checkpointed mode"
+        ),
     )
     bench.add_argument(
         "--min-speedup",
@@ -274,6 +279,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "campaign bench gate: fail unless cached+checkpointed beats the "
             "scratch baseline by this factor"
+        ),
+    )
+    bench.add_argument(
+        "--min-parallel-efficiency",
+        type=float,
+        default=None,
+        help=(
+            "campaign bench gate: fail unless the best multi-worker scaling "
+            "point reaches this per-effective-worker efficiency (points "
+            "clamped to one worker are exempt)"
         ),
     )
     bench.add_argument(
@@ -548,7 +563,7 @@ def _validate_bench_report(path: Path) -> int:
     import json
 
     from repro.bench import (
-        CAMPAIGN_BENCH_SCHEMA,
+        SUPPORTED_CAMPAIGN_BENCH_SCHEMAS,
         validate_campaign_report_file,
         validate_report_file,
     )
@@ -557,7 +572,7 @@ def _validate_bench_report(path: Path) -> int:
         schema = json.loads(path.read_text()).get("schema")
     except (OSError, json.JSONDecodeError, AttributeError) as error:
         raise ValueError(f"cannot read bench report {path}: {error}") from error
-    if schema == CAMPAIGN_BENCH_SCHEMA:
+    if schema in SUPPORTED_CAMPAIGN_BENCH_SCHEMAS:
         report = validate_campaign_report_file(path)
         print(
             f"{path}: valid {report['schema']} report "
@@ -584,29 +599,42 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.validate is not None:
         return _validate_bench_report(args.validate)
-    if not args.campaign and (args.min_speedup is not None or args.workers is not None):
+    campaign_only = {
+        "--min-speedup": args.min_speedup,
+        "--workers": args.workers,
+        "--min-parallel-efficiency": args.min_parallel_efficiency,
+    }
+    misapplied = [name for name, value in campaign_only.items() if value is not None]
+    if not args.campaign and misapplied:
         # Refuse rather than silently ignore: a user adding --min-speedup to
         # the hot-path bench would believe a perf gate is enforced when the
         # flag only applies to the campaign bench.
         raise ValueError(
-            "--min-speedup and --workers apply to the campaign bench only; "
-            "add --campaign (the hot-path bench gates on occupancy_integration)"
+            f"{', '.join(misapplied)} appl{'ies' if len(misapplied) == 1 else 'y'} "
+            f"to the campaign bench only; add --campaign (the hot-path bench "
+            f"gates on occupancy_integration)"
         )
     if args.campaign:
         out = args.out if args.out is not None else Path(DEFAULT_CAMPAIGN_REPORT_NAME)
         start = time.perf_counter()
         report = run_campaign_bench(
             smoke=args.smoke,
-            workers=args.workers if args.workers is not None else 2,
+            workers=args.workers,
             out=out,
             min_speedup=args.min_speedup,
             repeats=args.repeats,
+            min_parallel_efficiency=args.min_parallel_efficiency,
         )
         elapsed = time.perf_counter() - start
         print(format_campaign_table(report))
         print(
             f"cached+checkpointed speedup vs scratch baseline: "
             f"{report['speedups']['cached_checkpointed_vs_baseline']:.2f}x"
+        )
+        headline = report["speedups"]["parallel_vs_serial_checkpointed"]
+        print(
+            f"parallel ({report['modes']['parallel_checkpointed']['workers']} "
+            f"workers) vs serial checkpointed: {headline:.2f}x"
         )
         print(f"report: {out} ({elapsed:.1f}s wall clock)")
         return 0

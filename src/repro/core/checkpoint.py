@@ -39,8 +39,9 @@ belt-and-braces mode used by the bit-identity gates in tests and CI.
 from __future__ import annotations
 
 import copy
+import pickle
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.core.injector import FaultInjectorNode
@@ -90,9 +91,32 @@ def supports_spec(spec: "RunSpec") -> bool:
 
 
 # ------------------------------------------------------------------ statistics
+#: The additive (raw) counter fields of :class:`CheckpointStats`; everything
+#: shipped across process boundaries and merged by :meth:`CheckpointStats.merge`.
+_RAW_COUNTERS = (
+    "cursors_built",
+    "cursor_restarts",
+    "cursor_hits",
+    "forks",
+    "golden_served",
+    "snapshots_restored",
+    "forked_prefix_sim_seconds",
+    "cursor_sim_seconds",
+)
+
+
 @dataclass
 class CheckpointStats:
-    """Per-process counters of the checkpoint engine (benchmark reporting)."""
+    """Per-process counters of the checkpoint engine (benchmark reporting).
+
+    Under the parallel executor each worker process has its own instance;
+    workers ship per-task *deltas* (:meth:`raw_dict` / :func:`diff_raw`) back
+    to the parent, which :meth:`merge`\\ s them into one campaign-wide view.
+    ``built_prefixes`` maps prefix keys to build counts so duplicate cursor
+    builds -- the same golden prefix re-flown by two workers, the scheduling
+    bug the prefix-affinity scheduler exists to prevent -- are countable
+    across the whole worker fleet.
+    """
 
     #: Cursors built from scratch (first spec of a prefix identity).
     cursors_built: int = 0
@@ -105,15 +129,48 @@ class CheckpointStats:
     forks: int = 0
     #: Golden (fault-free) runs served by forking a completed cursor.
     golden_served: int = 0
+    #: Cursors restored from a serialized snapshot (spawn-platform workers).
+    snapshots_restored: int = 0
     #: Simulated seconds the forks did *not* re-fly (sum of fork-point times).
     forked_prefix_sim_seconds: float = 0.0
     #: Simulated seconds the cursors themselves flew (the shared cost).
     cursor_sim_seconds: float = 0.0
+    #: Prefix key -> number of cursor builds for that prefix identity.
+    built_prefixes: Dict[str, int] = field(default_factory=dict)
 
     @property
     def prefix_sim_seconds_saved(self) -> float:
         """Net simulated seconds saved versus re-flying every prefix."""
         return self.forked_prefix_sim_seconds - self.cursor_sim_seconds
+
+    @property
+    def duplicate_cursor_builds(self) -> int:
+        """Cursor builds beyond the first per prefix identity.
+
+        Zero means every golden prefix was flown exactly once across the
+        campaign (the prefix-affinity scheduling invariant); positive values
+        mean workers re-flew a prefix another worker (or an earlier build in
+        the same process) had already paid for.
+        """
+        return sum(count - 1 for count in self.built_prefixes.values() if count > 1)
+
+    def record_build(self, prefix_key: str) -> None:
+        """Count one cursor build for ``prefix_key``."""
+        self.cursors_built += 1
+        self.built_prefixes[prefix_key] = self.built_prefixes.get(prefix_key, 0) + 1
+
+    def raw_dict(self) -> Dict:
+        """The additive counters (process-boundary / delta form)."""
+        raw: Dict = {name: getattr(self, name) for name in _RAW_COUNTERS}
+        raw["built_prefixes"] = dict(self.built_prefixes)
+        return raw
+
+    def merge(self, raw: Dict) -> None:
+        """Fold another process's (or task's) raw counters into this view."""
+        for name in _RAW_COUNTERS:
+            setattr(self, name, getattr(self, name) + raw.get(name, 0))
+        for key, count in raw.get("built_prefixes", {}).items():
+            self.built_prefixes[key] = self.built_prefixes.get(key, 0) + count
 
     def as_dict(self) -> Dict[str, float]:
         """JSON form (the ``checkpoint`` section of ``BENCH_campaign.json``)."""
@@ -123,10 +180,32 @@ class CheckpointStats:
             "cursor_hits": self.cursor_hits,
             "forks": self.forks,
             "golden_served": self.golden_served,
+            "snapshots_restored": self.snapshots_restored,
             "forked_prefix_sim_seconds": self.forked_prefix_sim_seconds,
             "cursor_sim_seconds": self.cursor_sim_seconds,
             "prefix_sim_seconds_saved": self.prefix_sim_seconds_saved,
+            "duplicate_cursor_builds": self.duplicate_cursor_builds,
         }
+
+
+def diff_raw(after: Dict, before: Dict) -> Dict:
+    """The counter delta between two :meth:`CheckpointStats.raw_dict` calls.
+
+    Worker tasks snapshot the per-process stats at task start and ship the
+    difference back, so the parent can aggregate per-campaign statistics
+    without double-counting state inherited across ``fork`` or accumulated by
+    earlier tasks on the same worker.
+    """
+    delta: Dict = {
+        name: after.get(name, 0) - before.get(name, 0) for name in _RAW_COUNTERS
+    }
+    before_prefixes = before.get("built_prefixes", {})
+    delta["built_prefixes"] = {
+        key: count - before_prefixes.get(key, 0)
+        for key, count in after.get("built_prefixes", {}).items()
+        if count - before_prefixes.get(key, 0) > 0
+    }
+    return delta
 
 
 # ---------------------------------------------------------------- the cursor
@@ -217,6 +296,28 @@ class GoldenPrefixCursor:
         handles = copy.deepcopy(self.handles, memo)
         return handles, self.t
 
+    # ------------------------------------------------------------ serializing
+    def snapshot_blob(self, prefix_key: str) -> bytes:
+        """The cursor as a compact pickled snapshot (spawn-platform shipping).
+
+        Snapshots are only taken for detector-free cursors: a cursor flown
+        with a live detector is guarded by *object identity*
+        (``detector_source``), which cannot survive a process boundary.  The
+        whole pipeline of a freshly-built cursor serializes to a few tens of
+        kilobytes, so shipping one per prefix group is far cheaper than
+        having every spawn-started worker rebuild (world generation, planner
+        construction) from scratch.
+        """
+        if self.detector_source is not None:
+            raise ValueError("detector-bearing cursors cannot be snapshotted")
+        return pickle.dumps((prefix_key, self), protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def restore_blob(blob: bytes) -> "tuple[str, GoldenPrefixCursor]":
+        """Inverse of :meth:`snapshot_blob`: ``(prefix_key, cursor)``."""
+        prefix_key, cursor = pickle.loads(blob)
+        return prefix_key, cursor
+
 
 # ---------------------------------------------------------------- the manager
 class CheckpointManager:
@@ -251,11 +352,38 @@ class CheckpointManager:
             self.stats.cursor_restarts += 1
         if cursor is None:
             cursor = GoldenPrefixCursor(spec, detector)
-            self.stats.cursors_built += 1
+            self.stats.record_build(key)
             self._cursors[key] = cursor
         else:
             self.stats.cursor_hits += 1
         self._cursors.move_to_end(key)
+        while len(self._cursors) > self.max_cursors:
+            self._cursors.popitem(last=False)
+        return cursor
+
+    def prebuild(self, spec: "RunSpec", detector: Optional[object]) -> GoldenPrefixCursor:
+        """Build (but do not advance) the cursor for ``spec``'s prefix.
+
+        Used by the parallel executor's fork warm-up: cursors built in the
+        parent before the pool forks are inherited copy-on-write by every
+        worker, so the first spec of each pre-built group starts from a ready
+        pipeline instead of rebuilding one per process.
+        """
+        return self._cursor_for(spec, detector, needed_before=float("inf"))
+
+    def seed_snapshot(self, blob: bytes) -> Optional[GoldenPrefixCursor]:
+        """Adopt a serialized cursor snapshot (spawn-platform warm-up).
+
+        The snapshot is ignored when a cursor for the same prefix already
+        exists (the worker has been warmed by an earlier task of the same
+        group -- its own cursor is at least as far along).
+        """
+        prefix_key, cursor = GoldenPrefixCursor.restore_blob(blob)
+        if prefix_key in self._cursors:
+            return self._cursors[prefix_key]
+        self._cursors[prefix_key] = cursor
+        self.stats.snapshots_restored += 1
+        self._cursors.move_to_end(prefix_key)
         while len(self._cursors) > self.max_cursors:
             self._cursors.popitem(last=False)
         return cursor

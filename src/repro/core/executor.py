@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import copy
 import hashlib
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, replace
@@ -48,6 +49,7 @@ from repro.pipeline.builder import (
     PipelineConfig,
     build_pipeline,
     construction_caches_enabled,
+    env_flag,
 )
 from repro.pipeline.runner import DEFAULT_ABORT_GRACE, MissionResult, MissionRunner
 from repro.scenarios import Scenario, resolve_scenario
@@ -327,11 +329,53 @@ def execute_spec(
     return result
 
 
-def _execute_chunk(
-    indexed_specs: Sequence[Tuple[int, RunSpec]]
-) -> List[Tuple[int, MissionResult]]:
-    """Worker entry point: run one chunk of (position, spec) pairs."""
-    return [(pos, execute_spec(spec)) for pos, spec in indexed_specs]
+#: One scheduled unit of parallel work: the (position, spec) pairs of one or
+#: more whole prefix groups, each optionally accompanied by a serialized
+#: golden-prefix cursor snapshot (spawn-platform warm-up; ``None`` on fork
+#: platforms, where cursors are inherited copy-on-write instead).
+GroupTask = Tuple[Sequence[Tuple[int, "RunSpec"]], Optional[bytes]]
+
+
+def _execute_group_task(
+    groups: Sequence[GroupTask],
+) -> Tuple[List[Tuple[int, MissionResult]], Dict]:
+    """Worker entry point: run whole prefix groups, report the stats delta.
+
+    Returns the (position, result) pairs plus the checkpoint-statistics delta
+    this task produced, so the parent can aggregate fleet-wide counters --
+    in particular ``duplicate_cursor_builds``, the scheduler's zero-duplicates
+    invariant -- without double-counting fork-inherited state or earlier
+    tasks on the same worker process.
+    """
+    from repro.core import checkpoint
+
+    before = checkpoint.checkpoint_stats().raw_dict()
+    out: List[Tuple[int, MissionResult]] = []
+    for pairs, blob in groups:
+        if blob is not None and checkpoint.checkpointing_enabled():
+            checkpoint.manager().seed_snapshot(blob)
+        for pos, spec in pairs:
+            out.append((pos, execute_spec(spec)))
+    delta = checkpoint.diff_raw(checkpoint.checkpoint_stats().raw_dict(), before)
+    return out, delta
+
+
+def _init_worker(payload: Optional[Dict]) -> None:
+    """Pool initializer: adopt the parent's shipped construction state.
+
+    ``payload`` is ``None`` on fork platforms (children inherit the parent's
+    caches copy-on-write, which is both cheaper and more complete); on spawn
+    platforms it carries the generated worlds and reconstructed detectors the
+    scheduled specs need, so workers skip world generation and detector
+    training entirely.
+    """
+    if payload is None:
+        return
+    from repro.pipeline import builder
+
+    builder.seed_world_cache(payload.get("worlds", {}))
+    if construction_caches_enabled():
+        _PROCESS_DETECTORS.update(payload.get("detectors", {}))
 
 
 def cache_order_key(spec: RunSpec):
@@ -354,6 +398,57 @@ def cache_friendly_order(specs: Sequence[RunSpec]) -> List[RunSpec]:
     return sorted(specs, key=cache_order_key)
 
 
+def prefix_groups(
+    indexed_specs: Sequence[Tuple[int, RunSpec]]
+) -> List[List[Tuple[int, RunSpec]]]:
+    """Partition (position, spec) pairs into whole prefix groups.
+
+    Each group holds every spec sharing one :meth:`RunSpec.prefix_key`, in
+    cache order (ascending fault-activation time, golden runs last) -- the
+    order in which one golden-prefix cursor serves the whole group with a
+    single monotonic pass.  Groups are the scheduling atoms of the parallel
+    executor: a group is never split across workers, so no two processes ever
+    fly the same fault-free prefix.
+    """
+    ordered = sorted(indexed_specs, key=lambda pair: cache_order_key(pair[1]))
+    groups: List[List[Tuple[int, RunSpec]]] = []
+    current_key: Optional[str] = None
+    for pos, spec in ordered:
+        key = spec.prefix_key()
+        if key != current_key:
+            groups.append([])
+            current_key = key
+        groups[-1].append((pos, spec))
+    return groups
+
+
+def estimate_group_cost(group: Sequence[Tuple[int, RunSpec]]) -> float:
+    """Estimated simulated-seconds cost of one prefix group.
+
+    The cursor flies the shared prefix once (up to the deepest fork point, or
+    the whole mission when the group holds a golden run), and every fork then
+    flies its own suffix.  The estimate is deliberately simple -- prefix depth
+    plus the summed suffixes, with a small per-spec constant for construction
+    and fork overhead -- because it only drives the longest-processing-time
+    ordering of group submission, not any correctness property.
+    """
+    if not group:
+        return 0.0
+    prefix_depth = 0.0
+    suffix_total = 0.0
+    for _, spec in group:
+        limit = float(spec.config.mission_time_limit)
+        plan = spec.fault_plan
+        if plan is None:
+            prefix_depth = max(prefix_depth, limit)
+            suffix_total += 0.5
+        else:
+            activation = min(float(plan.injection_time), limit)
+            prefix_depth = max(prefix_depth, activation)
+            suffix_total += limit - activation + 0.5
+    return prefix_depth + suffix_total
+
+
 def materialize_scenario(spec: RunSpec) -> RunSpec:
     """Pin the spec's effective scenario as a :class:`Scenario` object.
 
@@ -370,6 +465,20 @@ def materialize_scenario(spec: RunSpec) -> RunSpec:
 
 
 # ------------------------------------------------------------- worker counts
+#: Environment variable allowing more worker processes than CPUs.  By default
+#: the parallel executor clamps its effective worker count to ``os.cpu_count()``
+#: (process oversubscription makes campaigns *slower* than serial -- the
+#: committed ``BENCH_campaign.json`` history shows 0.87x for 2 workers on one
+#: CPU); set ``MAVFI_OVERSUBSCRIBE=1`` to lift the clamp, e.g. to exercise the
+#: real pool machinery on a single-core box.
+OVERSUBSCRIBE_ENV = "MAVFI_OVERSUBSCRIBE"
+
+
+def oversubscription_allowed() -> bool:
+    """Whether ``MAVFI_OVERSUBSCRIBE`` lifts the CPU-count worker clamp."""
+    return env_flag(OVERSUBSCRIBE_ENV)
+
+
 def env_worker_count() -> int:
     """Worker count requested via the ``MAVFI_WORKERS`` environment variable.
 
@@ -422,41 +531,152 @@ class SerialExecutor:
 
 
 class ParallelExecutor:
-    """Fans specs out over a process pool; falls back to serial for <=1 worker.
+    """Fans whole prefix groups out over a process pool.
 
     ``workers`` follows :func:`resolve_worker_count` semantics (``None`` reads
-    ``MAVFI_WORKERS``); ``chunk_size`` controls how many specs ride in one
-    pool task (default: enough chunks for ~4 rounds per worker, so stragglers
-    rebalance without drowning the queue in tiny tasks).  In-memory detector
-    mappings are deliberately **not** shipped to workers -- each worker
-    reconstructs the detectors its specs name from the campaign configuration,
-    so only plain data crosses the process boundary.
+    ``MAVFI_WORKERS``).  The scheduling atom is a *prefix group* -- every spec
+    sharing one :meth:`RunSpec.prefix_key` -- so a golden-prefix cursor is
+    built exactly once per group, never once per chunk boundary; ``chunk_size``
+    is the number of whole groups riding in one pool task (default 1).  Tasks
+    are submitted in descending estimated-cost order (longest processing time
+    first) and the pool hands them to whichever worker frees up, so straggler
+    rebalancing -- work-stealing of whole groups -- falls out of the queue
+    discipline.
+
+    The effective worker count is clamped to ``os.cpu_count()`` unless
+    ``oversubscribe`` (or ``MAVFI_OVERSUBSCRIBE=1``) lifts the clamp; when the
+    clamp leaves one worker, the batch runs serially in-process -- parallel
+    dispatch never loses to serial by oversubscribing cores.
+
+    Workers start warm: on ``fork`` platforms the parent pre-generates worlds,
+    reconstructs detectors and pre-builds golden cursors for the costliest
+    groups, all inherited copy-on-write; on spawn platforms the same state
+    ships explicitly (worlds and detectors via the pool initializer, cursors
+    as compact pickled snapshots riding with each group).  In-memory detector
+    mappings are deliberately **not** shipped -- each worker reconstructs the
+    detectors its specs name from the campaign configuration, so only plain
+    data crosses the process boundary.
+
+    After each :meth:`map`, ``last_effective_workers`` holds the worker count
+    actually used and ``last_checkpoint_stats`` the fleet-wide aggregated
+    :class:`~repro.core.checkpoint.CheckpointStats` (parent + every worker
+    task delta) -- the bench reads ``duplicate_cursor_builds`` off it to
+    assert the scheduler's zero-duplicates invariant.
     """
 
     name = "parallel"
     distributed = True
 
     def __init__(
-        self, workers: Optional[int] = None, chunk_size: Optional[int] = None
+        self,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        oversubscribe: Optional[bool] = None,
+        start_method: Optional[str] = None,
     ) -> None:
         self.workers = env_worker_count() if workers is None else resolve_worker_count(workers)
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         self.chunk_size = chunk_size
+        self.oversubscribe = (
+            oversubscription_allowed() if oversubscribe is None else bool(oversubscribe)
+        )
+        self.start_method = start_method
+        #: Workers actually used by the last :meth:`map` (1 = serial fallback).
+        self.last_effective_workers = 0
+        #: Fleet-wide checkpoint statistics of the last :meth:`map`.
+        self.last_checkpoint_stats = None
 
-    def _chunks(
-        self, specs: Sequence[RunSpec], workers: int
-    ) -> List[List[Tuple[int, RunSpec]]]:
-        size = self.chunk_size
-        if size is None:
-            size = max(1, len(specs) // (workers * 4))
-        # Group by construction-cache/prefix key (stable, ascending fault
-        # time, golden last) so each worker's chunk hits its per-process
-        # world/detector caches and golden-prefix cursors instead of
-        # interleaving unrelated pipelines.  Original positions ride along,
-        # so the result stream is still returned in submission order.
-        indexed = sorted(enumerate(specs), key=lambda pair: cache_order_key(pair[1]))
-        return [indexed[i : i + size] for i in range(0, len(indexed), size)]
+    def _group_tasks(self, specs: Sequence[RunSpec]) -> List[List[List[Tuple[int, RunSpec]]]]:
+        """Whole-prefix-group pool tasks, costliest first (LPT order).
+
+        Original positions ride along so the result stream is returned in
+        submission order regardless of completion order.
+        """
+        groups = prefix_groups(list(enumerate(specs)))
+        groups.sort(key=estimate_group_cost, reverse=True)
+        size = self.chunk_size or 1
+        return [groups[i : i + size] for i in range(0, len(groups), size)]
+
+    def _effective_workers(self, specs: Sequence[RunSpec]) -> int:
+        workers = min(self.workers, max(1, len(specs)))
+        if not self.oversubscribe:
+            workers = min(workers, os.cpu_count() or 1)
+        return workers
+
+    def _warm_fork_state(
+        self, specs: Sequence[RunSpec], tasks: Sequence[Sequence[Sequence[Tuple[int, RunSpec]]]]
+    ) -> None:
+        """Warm parent-process caches for copy-on-write inheritance (fork).
+
+        Worlds and detectors are warmed for every spec; golden cursors are
+        pre-built for the costliest groups up to the manager's LRU capacity
+        (tasks arrive LPT-ordered, so the first groups are the expensive
+        ones).  Each escape hatch disables its own layer: ``REPRO_NO_CACHE``
+        the world/detector warm-up, ``REPRO_NO_CHECKPOINT`` the cursors.
+        """
+        from repro.core import checkpoint
+        from repro.pipeline import builder
+
+        if construction_caches_enabled():
+            for spec in specs:
+                key = builder.world_key_for(pipeline_config_for(spec))
+                if key is not None:
+                    builder.world_for(*key)
+            for spec in specs:
+                if spec.detector in RECONSTRUCTIBLE_DETECTORS:
+                    _reconstruct_detector(spec)
+        if checkpoint.checkpointing_enabled():
+            budget = checkpoint.manager().max_cursors
+            groups = [group for task in tasks for group in task]
+            for group in groups[:budget]:
+                spec = group[0][1]
+                if not checkpoint.supports_spec(spec):
+                    continue
+                detector = _resolve_detector(spec, None)
+                checkpoint.manager().prebuild(spec, detector)
+
+    def _spawn_payload(self, specs: Sequence[RunSpec]) -> Dict:
+        """Construction state shipped to spawn-started workers.
+
+        Worlds are generated once in the parent and pickled to every worker;
+        detectors named by the specs are reconstructed (trained or loaded)
+        once and shipped the same way.  Empty when ``REPRO_NO_CACHE`` is set.
+        """
+        from repro.pipeline import builder
+
+        payload: Dict = {"worlds": {}, "detectors": {}}
+        if not construction_caches_enabled():
+            return payload
+        for spec in specs:
+            key = builder.world_key_for(pipeline_config_for(spec))
+            if key is not None and key not in payload["worlds"]:
+                payload["worlds"][key] = builder.world_for(*key)
+        for spec in specs:
+            if spec.detector in RECONSTRUCTIBLE_DETECTORS:
+                _reconstruct_detector(spec)
+        payload["detectors"] = dict(_PROCESS_DETECTORS)
+        return payload
+
+    def _group_snapshot(self, pairs: Sequence[Tuple[int, RunSpec]]) -> Optional[bytes]:
+        """Serialized golden-prefix cursor for one group (spawn warm-up).
+
+        Only detector-free groups are snapshotted: the checkpoint manager
+        guards detector-bearing cursors by *object identity*, which cannot
+        survive a spawn boundary (fork preserves it copy-on-write).  The
+        cursor is built directly -- outside the parent's manager -- so the
+        parent LRU is not churned and the build is not double-counted against
+        the worker that adopts the snapshot.
+        """
+        from repro.core import checkpoint
+
+        spec = pairs[0][1]
+        if not (checkpoint.checkpointing_enabled() and checkpoint.supports_spec(spec)):
+            return None
+        if spec.detector is not None:
+            return None
+        cursor = checkpoint.GoldenPrefixCursor(spec, None)
+        return cursor.snapshot_blob(spec.prefix_key())
 
     def map(
         self,
@@ -469,6 +689,8 @@ class ParallelExecutor:
         ``on_result`` fires as results arrive (completion order); the returned
         list is always in submission order, bit-identical to the serial path.
         """
+        from repro.core import checkpoint
+
         specs = list(specs)
         unshippable = {
             spec.detector
@@ -484,23 +706,82 @@ class ParallelExecutor:
                 f"objects that cannot be reconstructed in worker processes; "
                 f"use the serial executor for custom detectors"
             )
-        workers = min(self.workers, max(1, len(specs)))
+        workers = self._effective_workers(specs)
         if workers <= 1 or len(specs) <= 1:
-            return SerialExecutor().map(specs, on_result=on_result, detectors=detectors)
+            return self._serial_fallback(specs, on_result, detectors)
         # Scenario names resolve through the parent's registry; workers may
         # not have custom registrations, so ship resolved Scenario objects.
         specs = [materialize_scenario(spec) for spec in specs]
-        results: List[Optional[MissionResult]] = [None] * len(specs)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_execute_chunk, chunk)
-                for chunk in self._chunks(specs, workers)
+        tasks = self._group_tasks(specs)
+        workers = min(workers, len(tasks))
+        if workers <= 1:
+            return self._serial_fallback(specs, on_result, detectors)
+        self.last_effective_workers = workers
+
+        ctx = multiprocessing.get_context(self.start_method)
+        parent_before = checkpoint.checkpoint_stats().raw_dict()
+        if ctx.get_start_method() == "fork":
+            self._warm_fork_state(specs, tasks)
+            payload = None
+            shipped = [[(pairs, None) for pairs in task] for task in tasks]
+        else:
+            payload = self._spawn_payload(specs)
+            shipped = [
+                [(pairs, self._group_snapshot(pairs)) for pairs in task]
+                for task in tasks
             ]
+        stats = checkpoint.CheckpointStats()
+        results: List[Optional[MissionResult]] = [None] * len(specs)
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(payload,),
+        ) as pool:
+            futures = [pool.submit(_execute_group_task, task) for task in shipped]
             for future in as_completed(futures):
-                for pos, result in future.result():
+                task_results, delta = future.result()
+                stats.merge(delta)
+                for pos, result in task_results:
                     results[pos] = result
                     if on_result is not None:
                         on_result(specs[pos], result)
+        # Fold in what the parent itself did (fork warm-up cursor builds), so
+        # duplicate accounting spans the whole fleet, parent included.
+        stats.merge(
+            checkpoint.diff_raw(checkpoint.checkpoint_stats().raw_dict(), parent_before)
+        )
+        self.last_checkpoint_stats = stats
+        return list(results)  # type: ignore[arg-type]
+
+    def _serial_fallback(
+        self,
+        specs: Sequence[RunSpec],
+        on_result: Optional[ResultCallback],
+        detectors: Optional[Mapping[str, object]],
+    ) -> List[MissionResult]:
+        """Run in-process (clamped to one worker) with full stats accounting.
+
+        Specs execute in cache-friendly order -- the same per-group monotonic
+        order the pool path uses -- so the fallback keeps the zero
+        duplicate-cursor-builds invariant; results come back in submission
+        order, and ``on_result`` fires in execution order like the pool's
+        completion-order callbacks.
+        """
+        from repro.core import checkpoint
+
+        before = checkpoint.checkpoint_stats().raw_dict()
+        order = sorted(range(len(specs)), key=lambda i: cache_order_key(specs[i]))
+        results: List[Optional[MissionResult]] = [None] * len(specs)
+        for i in order:
+            result = execute_spec(specs[i], detectors)
+            results[i] = result
+            if on_result is not None:
+                on_result(specs[i], result)
+        stats = checkpoint.CheckpointStats()
+        stats.merge(checkpoint.diff_raw(checkpoint.checkpoint_stats().raw_dict(), before))
+        self.last_checkpoint_stats = stats
+        self.last_effective_workers = 1
         return list(results)  # type: ignore[arg-type]
 
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -12,6 +14,15 @@ from repro.pipeline.states import MONITORED_FEATURES
 from repro.rosmw.graph import NodeGraph
 from repro.sim.environments import make_environment
 from repro.sim.world import Cuboid, World
+
+
+def pytest_configure(config):
+    # The parallel executor clamps its worker count to the CPU count (process
+    # oversubscription only slows campaigns down), which on a single-core CI
+    # box would silently turn every pool test into a serial-fallback test.
+    # Lift the clamp for the suite so the tests exercise real worker pools;
+    # individual tests opt back in via ParallelExecutor(oversubscribe=False).
+    os.environ.setdefault("MAVFI_OVERSUBSCRIBE", "1")
 
 
 @pytest.fixture

@@ -444,8 +444,9 @@ class TestAbortGrace:
 
 class TestEndToEndEquivalence:
     def test_full_evaluation_identical_across_engines(self, monkeypatch, tmp_path):
-        """Serial scratch / serial cached+checkpointed / 2-worker parallel /
-        store-resumed streams are all bit-identical."""
+        """Serial scratch / serial cached+checkpointed / {1,2,4}-worker
+        parallel / store-resumed streams are all bit-identical, and the
+        prefix-affinity scheduler never rebuilds a golden prefix."""
         config = CampaignConfig(
             environment="farm",
             num_golden=2,
@@ -466,9 +467,17 @@ class TestEndToEndEquivalence:
         cached = Campaign(config).full_evaluation(executor=SerialExecutor())
         assert checkpoint.checkpoint_stats().forks > 0
 
-        parallel = Campaign(config).full_evaluation(
-            executor=ParallelExecutor(workers=2)
-        )
+        parallel_runs = {}
+        for workers in (1, 2, 4):
+            checkpoint.reset_checkpoint_caches()
+            executor = ParallelExecutor(workers=workers)
+            parallel_runs[workers] = Campaign(config).full_evaluation(
+                executor=executor
+            )
+            # The scheduler's invariant: whole prefix groups per worker, so
+            # no golden prefix is ever flown twice across the fleet.
+            assert executor.last_checkpoint_stats is not None
+            assert executor.last_checkpoint_stats.duplicate_cursor_builds == 0
 
         store = JsonlResultStore(tmp_path / "results.jsonl")
         streamed = Campaign(config).full_evaluation(
@@ -484,10 +493,13 @@ class TestEndToEndEquivalence:
             executor=SerialExecutor(), store=store
         )
 
-        assert scratch.settings() == cached.settings() == parallel.settings()
+        assert scratch.settings() == cached.settings()
+        for runs in parallel_runs.values():
+            assert runs.settings() == scratch.settings()
         for setting in scratch.settings():
             reference = scratch.results(setting)
-            for other in (cached, parallel, streamed, resumed):
+            others = (cached, streamed, resumed) + tuple(parallel_runs.values())
+            for other in others:
                 candidate = other.results(setting)
                 assert len(candidate) == len(reference)
                 for left, right in zip(reference, candidate):

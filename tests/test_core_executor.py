@@ -13,9 +13,12 @@ from repro.core.executor import (
     RunSpec,
     SerialExecutor,
     env_worker_count,
+    estimate_group_cost,
     execute_spec,
     execute_specs,
     get_executor,
+    oversubscription_allowed,
+    prefix_groups,
     resolve_worker_count,
 )
 from repro.core.injector import FaultPlan
@@ -159,6 +162,125 @@ class TestSerialParallelEquivalence:
             on_result=lambda spec, result: seen.append(spec.key()),
         )
         assert sorted(seen) == sorted(spec.key() for spec in specs)
+
+
+class TestPrefixAffinityScheduling:
+    @pytest.fixture(autouse=True)
+    def _engine_defaults(self, monkeypatch):
+        """Default engine knobs for every scheduling test.
+
+        The stats-aggregation and snapshot-adoption tests assert checkpoint
+        bookkeeping, which the ``REPRO_NO_CACHE``/``REPRO_NO_CHECKPOINT``
+        escape hatches (exercised suite-wide by a CI leg) would disable.
+        Worker processes inherit the cleaned environment on fork and spawn.
+        """
+        from repro.core import checkpoint
+        from repro.pipeline import builder
+
+        monkeypatch.delenv(checkpoint.NO_CHECKPOINT_ENV, raising=False)
+        monkeypatch.delenv(checkpoint.CHECKPOINT_VERIFY_ENV, raising=False)
+        monkeypatch.delenv(builder.NO_CACHE_ENV, raising=False)
+        checkpoint.reset_checkpoint_caches()
+        builder.reset_world_cache()
+        yield
+        checkpoint.reset_checkpoint_caches()
+        builder.reset_world_cache()
+
+    def test_prefix_groups_partition_and_order(self):
+        """Groups cover every spec once, never mix prefixes, and order each
+        group by ascending fault-activation time with golden runs last."""
+        campaign = _fast_campaign(num_golden=3, num_injections_per_stage=2)
+        specs = _small_specs(campaign)
+        groups = prefix_groups(list(enumerate(specs)))
+        positions = sorted(pos for group in groups for pos, _ in group)
+        assert positions == list(range(len(specs)))
+        keys = [{spec.prefix_key() for _, spec in group} for group in groups]
+        assert all(len(group_keys) == 1 for group_keys in keys)
+        flat = [group_keys.pop() for group_keys in keys]
+        assert len(set(flat)) == len(flat)
+        for group in groups:
+            activations = [
+                float(s.fault_plan.injection_time) if s.fault_plan else float("inf")
+                for _, s in group
+            ]
+            assert activations == sorted(activations)
+
+    def test_group_tasks_are_lpt_ordered_whole_groups(self):
+        campaign = _fast_campaign(num_golden=2, num_injections_per_stage=2)
+        specs = _small_specs(campaign)
+        executor = ParallelExecutor(workers=2)
+        tasks = executor._group_tasks(specs)
+        # Default chunk: one whole prefix group per pool task, costliest first
+        # (LPT), so the FIFO pool rebalances stragglers by whole groups.
+        assert all(len(task) == 1 for task in tasks)
+        costs = [estimate_group_cost(task[0]) for task in tasks]
+        assert costs == sorted(costs, reverse=True)
+        chunked = ParallelExecutor(workers=2, chunk_size=2)._group_tasks(specs)
+        assert all(len(task) <= 2 for task in chunked)
+        assert sum(len(task) for task in chunked) == len(tasks)
+
+    def test_estimate_group_cost_scales_with_suffix_work(self):
+        campaign = _fast_campaign(num_golden=1, num_injections_per_stage=1)
+        specs = _small_specs(campaign)
+        [group] = prefix_groups(list(enumerate(specs)))
+        assert estimate_group_cost(group) > estimate_group_cost(group[:1]) > 0
+        assert estimate_group_cost([]) == 0.0
+
+    def test_cpu_clamp_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        campaign = _fast_campaign(num_golden=2)
+        specs = campaign.golden_specs()
+        executor = ParallelExecutor(workers=4, oversubscribe=False)
+        results = campaign.run_specs(specs, executor=executor)
+        assert executor.last_effective_workers == 1
+        assert executor.last_checkpoint_stats is not None
+        assert executor.last_checkpoint_stats.duplicate_cursor_builds == 0
+        reference = campaign.run_specs(specs, executor=SerialExecutor())
+        for left, right in zip(reference, results):
+            assert mission_results_equal(left, right)
+
+    def test_oversubscribe_flag_and_env(self, monkeypatch):
+        monkeypatch.setenv("MAVFI_OVERSUBSCRIBE", "1")
+        assert oversubscription_allowed()
+        assert ParallelExecutor(workers=2).oversubscribe
+        monkeypatch.setenv("MAVFI_OVERSUBSCRIBE", "0")
+        assert not oversubscription_allowed()
+        assert not ParallelExecutor(workers=2).oversubscribe
+        # The constructor argument wins over the environment.
+        assert ParallelExecutor(workers=2, oversubscribe=True).oversubscribe
+
+    def test_fleet_stats_aggregate_across_workers(self):
+        campaign = _fast_campaign(num_golden=2, num_injections_per_stage=1)
+        specs = _small_specs(campaign)
+        executor = ParallelExecutor(workers=2, oversubscribe=True)
+        campaign.run_specs(specs, executor=executor)
+        stats = executor.last_checkpoint_stats
+        assert stats is not None
+        assert executor.last_effective_workers == 2
+        injections = sum(1 for s in specs if s.fault_plan is not None)
+        assert stats.forks == injections
+        assert stats.golden_served == 2
+        # The scheduler's invariant: no golden prefix flown twice anywhere in
+        # the fleet, and every prefix accounted for exactly once.
+        assert stats.duplicate_cursor_builds == 0
+        assert set(stats.built_prefixes) == {s.prefix_key() for s in specs}
+
+    def test_spawn_workers_adopt_snapshots(self):
+        """Spawn-started workers restore shipped cursor snapshots instead of
+        rebuilding, and still match the serial stream bit for bit."""
+        campaign = _fast_campaign(num_golden=2, num_injections_per_stage=1)
+        specs = _small_specs(campaign)
+        serial = campaign.run_specs(specs, executor=SerialExecutor())
+        executor = ParallelExecutor(
+            workers=2, start_method="spawn", oversubscribe=True
+        )
+        parallel = campaign.run_specs(specs, executor=executor)
+        for left, right in zip(serial, parallel):
+            assert mission_results_equal(left, right)
+        stats = executor.last_checkpoint_stats
+        assert stats is not None
+        assert stats.snapshots_restored >= 1
+        assert stats.duplicate_cursor_builds == 0
 
 
 class TestDetectorResolution:
