@@ -19,11 +19,11 @@ miniature campaign in minutes, which is what the CI smoke job runs.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest
 
+from repro.core import knobs
 from repro.core.campaign import Campaign, CampaignConfig, RunSetting
 from repro.core.executor import get_executor
 from repro.detection.training import train_detectors
@@ -36,7 +36,7 @@ CACHE_DIR = Path(__file__).parent / ".cache"
 #: tree; the committed reference files live one level up in ``results/`` and
 #: are refreshed deliberately by pointing ``REPRO_BENCH_RESULTS_DIR`` at it.
 RESULTS_DIR = Path(
-    os.environ.get(
+    knobs.raw_or(
         "REPRO_BENCH_RESULTS_DIR", str(Path(__file__).parent / "results" / "local")
     )
 )
@@ -61,7 +61,7 @@ def pytest_configure(config):
     # tests/conftest.py); the committed BENCH_campaign.json artifact is
     # generated via the CLI, where the clamp stays active and parallel
     # dispatch never loses to serial.
-    os.environ.setdefault("MAVFI_OVERSUBSCRIBE", "1")
+    knobs.setdefault_env("MAVFI_OVERSUBSCRIBE", "1")
 
 
 def print_artifact(title: str, body: str) -> None:

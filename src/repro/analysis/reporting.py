@@ -45,7 +45,7 @@ def format_success_rate_table(
 
     ``success_rates[setting][environment]`` is the success rate in [0, 1].
     """
-    headers = ["Setting"] + [env.capitalize() for env in environments]
+    headers = ["Setting", *(env.capitalize() for env in environments)]
     rows = []
     for setting in settings:
         label = setting_labels.get(setting, setting)

@@ -45,7 +45,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.analysis.reporting import format_table
 from repro.bench.harness import host_fingerprint
-from repro.core import checkpoint
+from repro.core import checkpoint, knobs
 from repro.core.campaign import Campaign, CampaignConfig
 from repro.core.executor import (
     ParallelExecutor,
@@ -101,7 +101,7 @@ def parse_worker_list(value: Union[int, str, Iterable[int], None]) -> List[int]:
         except ValueError:
             raise ValueError(
                 f"--workers must be a comma-separated list of integers, got {value!r}"
-            )
+            ) from None
     else:
         counts = [int(item) for item in value]
     if not counts:
@@ -115,20 +115,11 @@ def parse_worker_list(value: Union[int, str, Iterable[int], None]) -> List[int]:
 @contextmanager
 def _engine_env(no_cache: bool, no_checkpoint: bool):
     """Temporarily pin the engine's cache/checkpoint escape hatches."""
-    saved = {
-        name: os.environ.get(name)
-        for name in (builder.NO_CACHE_ENV, checkpoint.NO_CHECKPOINT_ENV)
-    }
-    try:
-        os.environ[builder.NO_CACHE_ENV] = "1" if no_cache else "0"
-        os.environ[checkpoint.NO_CHECKPOINT_ENV] = "1" if no_checkpoint else "0"
+    with knobs.temporary({
+        builder.NO_CACHE_ENV: "1" if no_cache else "0",
+        checkpoint.NO_CHECKPOINT_ENV: "1" if no_checkpoint else "0",
+    }):
         yield
-    finally:
-        for name, value in saved.items():
-            if value is None:
-                os.environ.pop(name, None)
-            else:
-                os.environ[name] = value
 
 
 def campaign_workload(
@@ -155,16 +146,9 @@ def campaign_workload(
         injection_window=(10.0, 15.0),
         mission_time_limit=60.0,
     )
-    saved_runs = os.environ.get("MAVFI_RUNS")
-    os.environ["MAVFI_RUNS"] = "1.0"
-    try:
+    with knobs.temporary({"MAVFI_RUNS": "1.0"}):
         campaign = Campaign(config)
         specs = campaign.golden_specs() + campaign.stage_injection_specs("injection")
-    finally:
-        if saved_runs is None:
-            os.environ.pop("MAVFI_RUNS", None)
-        else:
-            os.environ["MAVFI_RUNS"] = saved_runs
     description = {
         "environment": config.environment,
         "mission_seeds": config.num_golden,

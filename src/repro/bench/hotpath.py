@@ -11,7 +11,6 @@ writes the combined perf-trajectory artifact ``BENCH_hotpath.json``
 
 from __future__ import annotations
 
-import os
 import time
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -33,6 +32,7 @@ from repro.bench.scalar_ref import (
     scalar_sign_exponent,
 )
 from repro.bench.workloads import HotpathWorkload, build_workload
+from repro.core import knobs
 from repro.detection.preprocess import sign_exponent_transform
 from repro.perception.collision_check import CollisionChecker
 from repro.perception.occupancy import OccupancyMap
@@ -205,11 +205,9 @@ def run_bench(
         "schema": BENCH_SCHEMA,
         "created_unix": time.time(),
         "host": host_fingerprint(),
-        "env": {
-            "REPRO_SCALAR_KERNELS": os.environ.get("REPRO_SCALAR_KERNELS", ""),
-            "MAVFI_RUNS": os.environ.get("MAVFI_RUNS", ""),
-            "MAVFI_WORKERS": os.environ.get("MAVFI_WORKERS", ""),
-        },
+        "env": knobs.snapshot(
+            ("REPRO_SCALAR_KERNELS", "MAVFI_RUNS", "MAVFI_WORKERS")
+        ),
         "workload": workload.description,
         "repeats": repeats,
         "kernels": kernels,

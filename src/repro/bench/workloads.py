@@ -74,7 +74,7 @@ def _trained_detectors(seed: int) -> tuple:
     """Small deterministic GAD + AAD fitted on a synthetic error-free window."""
     rng = np.random.default_rng(seed)
     gad = GaussianDetector(GadConfig())
-    for index, (name, detector) in enumerate(gad.detectors.items()):
+    for index, (_name, detector) in enumerate(gad.detectors.items()):
         detector.model.merge_prior(
             mean=float(rng.normal(0.0, 0.5)),
             std=float(rng.uniform(1.5, 3.0)),

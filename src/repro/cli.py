@@ -302,6 +302,21 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="determinism & fork-safety static analysis (RL001..RL006)",
+        description=(
+            "AST lint of the engine for replay-breaking constructs: unseeded "
+            "randomness, wall-clock reads in sim paths, fork-unsafe "
+            "callbacks, order-sensitive accumulation, iteration-order "
+            "hazards and unregistered env knobs. Exit codes: 0 clean, "
+            "1 findings, 2 usage error."
+        ),
+    )
+    from repro.lint.cli import add_arguments as _add_lint_arguments
+
+    _add_lint_arguments(lint)
+
     subparsers.add_parser("version", help="print the package version")
     return parser
 
@@ -418,7 +433,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(_scenario_catalog())
         return 0
     if args.runs is not None:
-        os.environ["MAVFI_RUNS"] = str(args.runs)
+        from repro.core import knobs
+
+        knobs.set_env("MAVFI_RUNS", str(args.runs))
     settings = _settings_list(args.settings)
     scenarios = [s.strip() for s in (args.scenario or "").split(",") if s.strip()]
     for name in scenarios:
@@ -667,6 +684,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_report(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "lint":
+            from repro.lint.cli import run_from_args
+
+            return run_from_args(args)
     except (ValueError, KeyError) as error:
         # Invalid worker counts, MAVFI_RUNS values, environment names etc.
         # raise with descriptive messages; surface them as one clean line

@@ -13,6 +13,7 @@ the command is issued.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -20,7 +21,7 @@ import numpy as np
 
 from repro import topics
 from repro.control.pid import PidController, PidGains
-from repro.pipeline.kernel import KernelNode, PendingFault
+from repro.pipeline.kernel import KernelNode, PendingFault, _MessageFieldCorruption
 from repro.rosmw.message import (
     CollisionCheckMsg,
     FlightCommandMsg,
@@ -144,7 +145,7 @@ class PathTracker:
         position: np.ndarray,
         yaw: float,
         dt: float,
-        time_to_collision: float = float("inf"),
+        time_to_collision: float = math.inf,
     ) -> FlightCommandMsg:
         """Compute the flight command for the current control period."""
         cfg = self.config
@@ -296,13 +297,16 @@ class ControlNode(KernelNode):
             corruption = corrupt_message_field(self._latest_trajectory, rng, bit=bit)
             return f"{self.name}: tracked trajectory corrupted at {corruption}"
 
-        def corrupt(msg, fault_rng):
-            corruption = corrupt_message_field(msg, fault_rng, bit=bit)
-            if corruption is None:
-                return None
-            return f"{self.name}: corrupted command field {corruption}"
-
-        self.arm_output_fault(PendingFault(corrupt=corrupt, rng=rng, description="command"))
+        # A callable object, not a closure: the armed fault must survive
+        # golden-prefix deepcopy forks and cursor snapshots (see
+        # _MessageFieldCorruption).
+        self.arm_output_fault(
+            PendingFault(
+                corrupt=_MessageFieldCorruption(self, bit, label="command"),
+                rng=rng,
+                description="command",
+            )
+        )
         return f"{self.name}: pending command corruption (bit {bit})"
 
     def reset_kernel(self) -> None:

@@ -11,6 +11,7 @@ the control kernel internally.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass
@@ -32,7 +33,7 @@ class PidController:
     influence of any single term.
     """
 
-    def __init__(self, gains: PidGains = None) -> None:
+    def __init__(self, gains: Optional[PidGains] = None) -> None:
         self.gains = gains if gains is not None else PidGains()
         self.integral = 0.0
         self.previous_error = 0.0

@@ -12,14 +12,13 @@ campaigns.
 
 from __future__ import annotations
 
-import math
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core import knobs
 from repro.core.executor import (
     DETECTOR_AUTOENCODER,
     DETECTOR_CUSTOM,
@@ -54,7 +53,7 @@ class RunSetting:
     ALL = (GOLDEN, INJECTION, DR_GAUSSIAN, DR_AUTOENCODER)
     #: ALL plus the detector-on-golden false-positive settings (not part of
     #: the default campaign; opt in via ``--settings`` or the spec methods).
-    EXTENDED = ALL + (DR_GOLDEN_GAUSSIAN, DR_GOLDEN_AUTOENCODER)
+    EXTENDED = (*ALL, DR_GOLDEN_GAUSSIAN, DR_GOLDEN_AUTOENCODER)
 
 
 #: MissionResult is the per-run record type used throughout the campaigns.
@@ -68,20 +67,6 @@ RunRecord = MissionResult
 _RUNS_SCALE_CACHE: List[Optional[Tuple[Optional[str], float]]] = [None]
 
 
-def _parse_runs_scale(raw: str) -> float:
-    try:
-        value = float(raw)
-    except ValueError:
-        raise ValueError(
-            f"MAVFI_RUNS must be a number (campaign run-count scale), got {raw!r}"
-        )
-    if math.isnan(value) or math.isinf(value):
-        raise ValueError(f"MAVFI_RUNS must be finite, got {raw!r}")
-    if value < 0:
-        raise ValueError(f"MAVFI_RUNS must be non-negative, got {raw!r}")
-    return max(value, 0.01)
-
-
 def runs_scale() -> float:
     """Global scale factor for campaign run counts (``MAVFI_RUNS`` env var).
 
@@ -90,13 +75,16 @@ def runs_scale() -> float:
     runtime.  Non-numeric, negative, NaN or infinite values are rejected with
     a :class:`ValueError` (they used to be silently clamped or defaulted);
     values below the 0.01 floor are raised to it so a tiny scale still yields
-    at least one run per cell.
+    at least one run per cell.  Parsing and validation live with the knob
+    declaration in :mod:`repro.core.knobs`; this wrapper only adds the
+    per-raw-value cache.
     """
-    raw = os.environ.get("MAVFI_RUNS")
+    raw = knobs.raw("MAVFI_RUNS")
     cached = _RUNS_SCALE_CACHE[0]
     if cached is not None and cached[0] == raw:
         return cached[1]
-    value = 1.0 if raw is None else _parse_runs_scale(raw)
+    parsed = knobs.value("MAVFI_RUNS")
+    value = 1.0 if parsed is None else float(parsed)
     _RUNS_SCALE_CACHE[0] = (raw, value)
     return value
 

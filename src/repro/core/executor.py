@@ -44,12 +44,12 @@ from typing import (
     Union,
 )
 
+from repro.core import knobs
 from repro.core.injector import FaultInjectorNode, FaultPlan
 from repro.pipeline.builder import (
     PipelineConfig,
     build_pipeline,
     construction_caches_enabled,
-    env_flag,
 )
 from repro.pipeline.runner import DEFAULT_ABORT_GRACE, MissionResult, MissionRunner
 from repro.scenarios import Scenario, resolve_scenario
@@ -128,7 +128,7 @@ class RunSpec:
 
     def prefix_canonical(self) -> Tuple:
         """Canonical tuple of everything that shapes the fault-free prefix."""
-        return ("prefix-v1",) + self._prefix_fields()
+        return ("prefix-v1", *self._prefix_fields())
 
     def _prefix_fields(self) -> Tuple:
         cfg = self.config
@@ -166,7 +166,7 @@ class RunSpec:
                 plan.bit_field.value,
                 plan.seed,
             )
-        return ("runspec-v3", self.setting) + self._prefix_fields() + (plan_fields,)
+        return ("runspec-v3", self.setting, *self._prefix_fields(), plan_fields)
 
 
 # --------------------------------------------------------------- spec running
@@ -193,7 +193,7 @@ def _reconstruct_detector(spec: RunSpec) -> object:
         cfg.planner_name,
         str(getattr(cfg.platform, "name", cfg.platform)),
     )
-    cache_key = (spec.detector,) + base_key
+    cache_key = (spec.detector, *base_key)
     if cache_key not in _PROCESS_DETECTORS:
         training = train_detectors(
             num_environments=cfg.training_environments,
@@ -203,8 +203,8 @@ def _reconstruct_detector(spec: RunSpec) -> object:
         )
         # One training session yields both detectors; cache both so a mixed
         # D&R campaign trains at most once per worker process.
-        _PROCESS_DETECTORS[(DETECTOR_GAUSSIAN,) + base_key] = training.gad
-        _PROCESS_DETECTORS[(DETECTOR_AUTOENCODER,) + base_key] = training.aad
+        _PROCESS_DETECTORS[(DETECTOR_GAUSSIAN, *base_key)] = training.gad
+        _PROCESS_DETECTORS[(DETECTOR_AUTOENCODER, *base_key)] = training.aad
     return _PROCESS_DETECTORS[cache_key]
 
 
@@ -476,23 +476,20 @@ OVERSUBSCRIBE_ENV = "MAVFI_OVERSUBSCRIBE"
 
 def oversubscription_allowed() -> bool:
     """Whether ``MAVFI_OVERSUBSCRIBE`` lifts the CPU-count worker clamp."""
-    return env_flag(OVERSUBSCRIBE_ENV)
+    return knobs.flag(OVERSUBSCRIBE_ENV)
 
 
 def env_worker_count() -> int:
     """Worker count requested via the ``MAVFI_WORKERS`` environment variable.
 
     Unset or empty means 1 (serial); ``0`` means "one worker per CPU";
-    anything non-numeric or negative is rejected explicitly.
+    anything non-numeric or negative is rejected explicitly (the validation
+    lives with the knob declaration in :mod:`repro.core.knobs`).
     """
-    raw = os.environ.get("MAVFI_WORKERS", "").strip()
-    if not raw:
+    value = knobs.value("MAVFI_WORKERS")
+    if value is None:
         return 1
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ValueError(f"MAVFI_WORKERS must be a non-negative integer, got {raw!r}")
-    return resolve_worker_count(value)
+    return resolve_worker_count(int(value))
 
 
 def resolve_worker_count(workers: Optional[int]) -> int:

@@ -50,6 +50,39 @@ class FaultPlan:
             raise ValueError(f"injection_time must be positive, got {self.injection_time}")
 
 
+class _StateFieldTap:
+    """One-shot corruption tap armed on an inter-kernel state topic.
+
+    A callable object rather than a closure so that a pipeline with an armed
+    state tap stays deep-copyable and picklable: golden-prefix forking
+    rebinds the tap to the copied injector (and its RNG stream) through the
+    deepcopy memo, where the nested function this replaces pinned the
+    original injector through its closure cells.
+    """
+
+    def __init__(self, injector: "FaultInjectorNode", state_name: str, bit: int) -> None:
+        self.injector = injector
+        self.state_name = state_name
+        self.bit = bit
+        #: Leaf path actually corrupted; "" until the tap fires.
+        self.corrupted_path = ""
+
+    def __call__(self, topic: str, message: Message) -> Message:
+        # Only the first message after arming is corrupted.
+        if not self.corrupted_path:
+            state = state_by_name(self.state_name)
+            corruption = corrupt_message_field(
+                message, self.injector._rng, bit=self.bit,
+                field_name=state.inject_field,
+            )
+            if corruption is not None:
+                self.corrupted_path = corruption.path
+                self.injector.description = (
+                    f"state {self.state_name}: corrupted field {corruption}"
+                )
+        return message
+
+
 class FaultInjectorNode(Node):
     """Injects the single planned fault at its scheduled simulated time."""
 
@@ -150,21 +183,7 @@ class FaultInjectorNode(Node):
                 self.graph.topic_bus.publish(state.topic, corrupted)
                 return f"state {state_name}: corrupted live field {corruption}"
 
-        corrupted_path = {"value": ""}
-
-        def tap(topic: str, message: Message) -> Message:
-            # Only the first message after arming is corrupted.
-            if not corrupted_path["value"]:
-                corruption = corrupt_message_field(
-                    message, self._rng, bit=bit, field_name=state.inject_field
-                )
-                if corruption is not None:
-                    corrupted_path["value"] = corruption.path
-                    self.description = (
-                        f"state {state_name}: corrupted field {corruption}"
-                    )
-            return message
-
+        tap = _StateFieldTap(self, state_name, bit)
         self.graph.topic_bus.add_tap(state.topic, tap, prepend=True)
         self._state_tap = tap
         return f"state {state_name}: corruption armed on topic {state.topic} (bit {bit})"

@@ -1,0 +1,303 @@
+"""Central registry of the engine's environment knobs (``REPRO_*`` / ``MAVFI_*``).
+
+Every environment variable the engine reads is declared here, once, with its
+type, default semantics and documentation -- and every read goes through this
+module.  The discipline is enforced statically by ``repro lint`` checker
+RL006: an ``os.environ`` / ``os.getenv`` access of a ``REPRO_*`` or
+``MAVFI_*`` name anywhere else in the tree is a lint failure.  Before this
+registry existed the escape hatches were parsed at their point of use
+(``pipeline.builder``, ``perception.occupancy``, ``core.executor``,
+``core.campaign``, two bench modules and both conftests), each with its own
+truthiness rules and error messages.
+
+The module deliberately imports nothing from the rest of ``repro`` so that
+any module -- including the leaf perception/sim modules imported *during*
+``repro.core``'s own package initialisation -- can use it without creating an
+import cycle.  (Modules outside ``repro.core`` should still import it inside
+their accessor functions; importing ``repro.core.knobs`` at module scope
+triggers ``repro.core.__init__``, whose campaign import chain reaches back
+into most of the tree.)
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Mapping, Optional, Sequence, Tuple
+
+#: Name prefixes this registry governs.  RL006 flags any direct environment
+#: access of a name with one of these prefixes outside this module.
+KNOB_PREFIXES: Tuple[str, ...] = ("REPRO_", "MAVFI_")
+
+#: Truthiness contract shared by every boolean knob: unset, ``0``, ``false``
+#: and ``no`` (any capitalisation, surrounding whitespace ignored) are falsy,
+#: anything else is truthy.
+FALSY_FLAG_VALUES: Tuple[str, ...] = ("", "0", "false", "no")
+
+
+def _parse_flag(name: str, raw: str) -> bool:
+    return raw.strip().lower() not in FALSY_FLAG_VALUES
+
+
+def _parse_runs_scale(name: str, raw: str) -> float:
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a number (campaign run-count scale), got {raw!r}"
+        ) from None
+    if math.isnan(value) or math.isinf(value):
+        raise ValueError(f"{name} must be finite, got {raw!r}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {raw!r}")
+    return max(value, 0.01)
+
+
+def _parse_worker_count(name: str, raw: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a non-negative integer, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"{name} must be a non-negative integer, got {raw!r}")
+    return value
+
+
+def _parse_str(name: str, raw: str) -> str:
+    return raw
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One declared environment knob."""
+
+    name: str
+    kind: str  # "flag" | "float" | "int" | "path"
+    description: str
+    #: Human-readable statement of what an unset knob means.
+    default: str
+    #: Parser for a *set* raw value; raises ``ValueError`` on junk.
+    parse: Callable[[str, str], object] = field(default=_parse_str, repr=False)
+    #: Whether a set-but-empty (or whitespace) value counts as unset.  The
+    #: worker count historically treats ``MAVFI_WORKERS=""`` as "not
+    #: configured", while ``MAVFI_RUNS=""`` is rejected as junk.
+    empty_is_unset: bool = True
+
+
+#: The registry itself, in documentation order.
+KNOBS: Dict[str, Knob] = {}
+
+
+def _register(knob: Knob) -> Knob:
+    if knob.name in KNOBS:
+        raise ValueError(f"duplicate knob registration: {knob.name}")
+    KNOBS[knob.name] = knob
+    return knob
+
+
+NO_CACHE = _register(Knob(
+    name="REPRO_NO_CACHE",
+    kind="flag",
+    description=(
+        "Disable the per-process construction caches (worlds in "
+        "pipeline.builder, detector forks in core.executor); every run then "
+        "rebuilds its world and deep-copies its detector from scratch."
+    ),
+    default="caches enabled",
+    parse=_parse_flag,
+))
+
+NO_CHECKPOINT = _register(Knob(
+    name="REPRO_NO_CHECKPOINT",
+    kind="flag",
+    description=(
+        "Disable golden-prefix checkpoint/fork (core.checkpoint); every "
+        "injection spec then simulates its fault-free prefix from scratch."
+    ),
+    default="checkpointing enabled",
+    parse=_parse_flag,
+))
+
+CHECKPOINT_VERIFY = _register(Knob(
+    name="REPRO_CHECKPOINT_VERIFY",
+    kind="flag",
+    description=(
+        "Cross-check every forked run against a from-scratch reference and "
+        "raise CheckpointDivergenceError on any mismatch (slow; debugging)."
+    ),
+    default="verification off",
+    parse=_parse_flag,
+))
+
+SCALAR_KERNELS = _register(Knob(
+    name="REPRO_SCALAR_KERNELS",
+    kind="flag",
+    description=(
+        "Select the scalar (dict-backed) reference kernels instead of the "
+        "vectorized hot-path kernels (perception.occupancy and friends)."
+    ),
+    default="vectorized kernels",
+    parse=_parse_flag,
+))
+
+BENCH_RESULTS_DIR = _register(Knob(
+    name="REPRO_BENCH_RESULTS_DIR",
+    kind="path",
+    description=(
+        "Directory where benchmark runs persist regenerated figure/table "
+        "text; point it at benchmarks/results to refresh the committed "
+        "references."
+    ),
+    default="benchmarks/results/local (untracked)",
+))
+
+WORKERS = _register(Knob(
+    name="MAVFI_WORKERS",
+    kind="int",
+    description=(
+        "Default campaign worker-process count (0 = one per CPU, 1 = "
+        "serial); the --workers CLI flag overrides it."
+    ),
+    default="1 (serial)",
+    parse=_parse_worker_count,
+))
+
+OVERSUBSCRIBE = _register(Knob(
+    name="MAVFI_OVERSUBSCRIBE",
+    kind="flag",
+    description=(
+        "Lift the parallel executor's CPU-count worker clamp (process "
+        "oversubscription; used by the test suite to exercise real pools on "
+        "single-CPU hosts)."
+    ),
+    default="clamp active",
+    parse=_parse_flag,
+))
+
+RUNS = _register(Knob(
+    name="MAVFI_RUNS",
+    kind="float",
+    description=(
+        "Global scale factor for campaign run counts; 1.0 reproduces the "
+        "default counts, larger values approach the paper's campaigns. "
+        "Values below 0.01 are raised to that floor."
+    ),
+    default="1.0",
+    parse=_parse_runs_scale,
+    empty_is_unset=False,
+))
+
+
+def registered_names() -> Tuple[str, ...]:
+    """Every declared knob name, in registry order."""
+    return tuple(KNOBS)
+
+
+def get_knob(name: str) -> Knob:
+    """The :class:`Knob` declared under ``name`` (KeyError when undeclared)."""
+    try:
+        return KNOBS[name]
+    except KeyError:
+        raise KeyError(
+            f"unregistered engine knob {name!r}; declare it in repro.core.knobs"
+        ) from None
+
+
+def raw(name: str) -> Optional[str]:
+    """The raw environment value of a declared knob (``None`` when unset).
+
+    This is the single point where the engine touches ``os.environ`` for its
+    own knobs.
+    """
+    return os.environ.get(get_knob(name).name)
+
+
+def raw_or(name: str, default: str) -> str:
+    """Like :func:`raw` but substituting ``default`` when unset."""
+    value = raw(name)
+    return default if value is None else value
+
+
+def flag(name: str) -> bool:
+    """A boolean knob's value under the shared truthiness contract."""
+    knob = get_knob(name)
+    if knob.kind != "flag":
+        raise ValueError(f"knob {name} is a {knob.kind}, not a flag")
+    value = os.environ.get(knob.name)
+    return False if value is None else bool(knob.parse(knob.name, value))
+
+
+def value(name: str):
+    """A knob's parsed value, or ``None`` when unset/empty.
+
+    Parsing/validation lives in exactly one place (the knob's declared
+    parser); junk values raise ``ValueError`` with the knob's canonical
+    message.
+    """
+    knob = get_knob(name)
+    raw_value = os.environ.get(knob.name)
+    if raw_value is None:
+        return None
+    if knob.empty_is_unset and not raw_value.strip():
+        return None
+    return knob.parse(knob.name, raw_value)
+
+
+def set_env(name: str, new_value: str) -> None:
+    """Set a declared knob in the process environment."""
+    os.environ[get_knob(name).name] = str(new_value)
+
+
+def unset_env(name: str) -> None:
+    """Remove a declared knob from the process environment (if present)."""
+    os.environ.pop(get_knob(name).name, None)
+
+
+def setdefault_env(name: str, new_value: str) -> str:
+    """``os.environ.setdefault`` for a declared knob."""
+    return os.environ.setdefault(get_knob(name).name, str(new_value))
+
+
+@contextmanager
+def temporary(values: Mapping[str, Optional[str]]) -> Iterator[None]:
+    """Temporarily pin declared knobs; ``None`` pins *unset*.
+
+    Restores the previous environment on exit, including knobs that were
+    unset before.
+    """
+    names = [get_knob(name).name for name in values]
+    saved = {name: os.environ.get(name) for name in names}
+    try:
+        for name, pinned in zip(names, values.values()):
+            if pinned is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = str(pinned)
+        yield
+    finally:
+        for name, previous in saved.items():
+            if previous is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = previous
+
+
+def snapshot(names: Optional[Sequence[str]] = None) -> Dict[str, str]:
+    """Raw values of the given knobs (default: all), ``""`` for unset.
+
+    The shape the bench reports embed so artifacts record the knob state
+    they were produced under.
+    """
+    return {name: raw_or(name, "") for name in (names or registered_names())}
+
+
+def describe_rows() -> Tuple[Tuple[str, str, str, str], ...]:
+    """``(name, kind, default, description)`` rows for docs and CLI tables."""
+    return tuple(
+        (knob.name, knob.kind, knob.default, knob.description)
+        for knob in KNOBS.values()
+    )

@@ -286,7 +286,8 @@ class JsonlResultStore:
         self._tail_checked = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"JsonlResultStore({str(self.path)!r})"
+        path_text = str(self.path)
+        return f"JsonlResultStore({path_text!r})"
 
     def _iter_records(self) -> Iterable[Dict]:
         if not self.path.exists():
@@ -352,7 +353,9 @@ class JsonlResultStore:
         with self.path.open("a", encoding="utf-8") as handle:
             if needs_newline:
                 handle.write("\n")
-            handle.write(json.dumps(record) + "\n")
+            # sort_keys keeps shard bytes invariant to how the record dict
+            # was assembled (canonical serialization; see repro lint RL005).
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
             handle.flush()
 
     def __len__(self) -> int:

@@ -290,7 +290,7 @@ class AadDetector:
             "network": self.autoencoder.state_dict(),
             "threshold_margin": self.config.threshold_margin,
         }
-        Path(path).write_text(json.dumps(payload))
+        Path(path).write_text(json.dumps(payload, sort_keys=True))
 
     @classmethod
     def load(cls, path: Path) -> "AadDetector":

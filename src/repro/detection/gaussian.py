@@ -226,16 +226,20 @@ class GaussianDetector:
                 "min_std": self.config.min_std,
                 "online_update": self.config.online_update,
             },
+            # Feature order is semantic (it defines score_batch column order),
+            # so it is stored explicitly instead of riding on JSON key order.
+            "features": list(self.detectors),
             "models": {name: det.model.to_dict() for name, det in self.detectors.items()},
         }
-        Path(path).write_text(json.dumps(payload, indent=2))
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
 
     @classmethod
     def load(cls, path: Path) -> "GaussianDetector":
         """Load a detector previously stored with :meth:`save`."""
         payload = json.loads(Path(path).read_text())
         config = GadConfig(**payload["config"])
-        detector = cls(config=config, features=payload["models"].keys())
+        features = payload.get("features", list(payload["models"].keys()))
+        detector = cls(config=config, features=features)
         for name, stats in payload["models"].items():
             detector.detectors[name].model.merge_prior(
                 mean=stats["mean"], std=stats["std"], count=int(stats["count"])

@@ -1,0 +1,25 @@
+"""repro-lint: determinism & fork-safety static analysis for the engine.
+
+The reproduction's headline property is bit-identical campaign replay: the
+same specs produce the same shard bytes on any worker count, and a
+golden-prefix checkpoint can be deep-copied/pickled into any fork.  Most of
+the bugs that have historically broken that property (see docs/INVARIANTS.md)
+were *statically visible*: an unseeded RNG, a wall-clock read feeding sim
+state, a closure armed as a fault callback, an accumulation whose order rides
+on dict insertion.  This package is an AST linter that encodes each of those
+bug classes as a named checker (RL001..RL006) so CI can refuse them at
+review time instead of a flaky bisect finding them at replay time.
+
+Usage::
+
+    python -m repro lint                       # lint src/repro
+    python -m repro lint src tests benchmarks  # lint everything
+    python -m repro lint --format json         # machine-readable findings
+
+Exit codes: 0 clean, 1 findings, 2 usage error.
+"""
+
+from repro.lint.findings import Finding
+from repro.lint.engine import LintResult, run_lint
+
+__all__ = ["Finding", "LintResult", "run_lint"]

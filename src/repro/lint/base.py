@@ -1,0 +1,183 @@
+"""Checker framework: file context, import-alias resolution, AST helpers.
+
+Checkers see *canonical* dotted names: ``import numpy as np`` followed by
+``np.random.seed(0)`` resolves to ``numpy.random.seed`` before matching, so
+aliasing cannot smuggle a banned call past a checker.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.pragmas import Pragmas
+
+
+class ImportMap:
+    """Maps local names to the canonical dotted names they were imported as."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # ``import a.b`` binds ``a``; ``import a.b as c`` binds c=a.b.
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self._aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def canonical(self, dotted: str) -> str:
+        """Rewrite the first segment of ``dotted`` through the import table."""
+        head, _, rest = dotted.partition(".")
+        resolved = self._aliases.get(head, head)
+        return f"{resolved}.{rest}" if rest else resolved
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Reconstruct ``a.b.c`` from a Name/Attribute chain (None otherwise)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def call_name(ctx: "FileContext", call: ast.Call) -> Optional[str]:
+    """Canonical dotted name of a call's callee, if statically resolvable."""
+    raw = dotted_name(call.func)
+    return ctx.imports.canonical(raw) if raw else None
+
+
+def is_sorted_call(node: ast.AST) -> bool:
+    """Whether ``node`` is a ``sorted(...)`` call (neutralizes order hazards)."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "sorted"
+    )
+
+
+def dict_view_call(node: ast.AST) -> Optional[str]:
+    """``"keys"|"values"|"items"`` if node is ``<expr>.<view>()``, else None."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("keys", "values", "items")
+        and not node.args
+        and not node.keywords
+    ):
+        return node.func.attr
+    return None
+
+
+def is_set_expr(node: ast.AST) -> bool:
+    """Whether ``node`` is a set display, set comprehension or set() call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+@dataclass
+class FileContext:
+    """Everything a checker needs to know about one source file."""
+
+    path: Path  #: absolute path on disk
+    rel: str  #: path relative to the repo root, POSIX separators
+    module_rel: str  #: ``rel`` with a leading ``src/`` stripped
+    source: str
+    tree: ast.Module
+    pragmas: Pragmas
+    imports: ImportMap = field(init=False)
+    lines: List[str] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.imports = ImportMap(self.tree)
+        self.lines = self.source.splitlines()
+
+    def snippet(self, lineno: int) -> str:
+        """The stripped source text of ``lineno`` (1-indexed)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def in_engine(self) -> bool:
+        """Whether the file is part of the shipped ``repro`` package."""
+        return self.module_rel.startswith("repro/")
+
+
+class Checker:
+    """Base class: one named determinism/fork-safety invariant."""
+
+    code: str = "RL999"
+    name: str = "unnamed"
+    description: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether this checker runs on ``ctx`` at all (scope gate)."""
+        return ctx.in_engine()
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for ``ctx``; subclasses implement."""
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a Finding anchored at ``node``."""
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            code=self.code,
+            path=ctx.rel,
+            line=lineno,
+            col=col,
+            message=message,
+            snippet=ctx.snippet(lineno),
+        )
+
+
+def nested_function_names(func: ast.AST) -> Dict[str, int]:
+    """Names of functions defined directly inside ``func`` -> def line.
+
+    Used by RL003: a nested def referenced as a callback pins its closure
+    cells, which breaks deepcopy rebinding and pickling.
+    """
+    names: Dict[str, int] = {}
+    for child in ast.iter_child_nodes(func):
+        names.update(_collect_defs(child))
+    return names
+
+
+def _collect_defs(node: ast.AST) -> Dict[str, int]:
+    found: Dict[str, int] = {}
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        found[node.name] = node.lineno
+        return found  # don't descend: grandchildren belong to the inner scope
+    if isinstance(node, (ast.ClassDef, ast.Lambda)):
+        return found
+    for child in ast.iter_child_nodes(node):
+        found.update(_collect_defs(child))
+    return found
+
+
+def function_scopes(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.AST, Dict[str, int]]]:
+    """Every function in the module paired with its nested-def names."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, nested_function_names(node)

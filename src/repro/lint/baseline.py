@@ -1,0 +1,67 @@
+"""Committed finding baseline (``lint-baseline.json``).
+
+The baseline lets the lint gate be adopted on a tree with pre-existing
+findings: known findings are recorded by fingerprint and stop failing CI,
+while any *new* finding still fails.  Fingerprints hash line content, not
+line numbers, so unrelated edits do not churn the file.  The shipped
+baseline is empty -- every live finding was either fixed or excused with a
+reasoned pragma -- but the mechanism is load-bearing for future adoptions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set
+
+from repro.lint.findings import Finding
+
+BASELINE_SCHEMA = "repro-lint-baseline-v1"
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Fingerprints recorded in ``path`` (empty set if absent)."""
+    path = Path(path)
+    if not path.exists():
+        return set()
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ValueError(f"baseline {path} is not valid JSON: {error}") from error
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"baseline {path} has schema {payload.get('schema')!r}, "
+            f"expected {BASELINE_SCHEMA!r}"
+        )
+    return {entry["fingerprint"] for entry in payload.get("findings", [])}
+
+
+def save_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Write every finding's fingerprint to ``path`` (canonical JSON)."""
+    entries: List[dict] = [
+        {"code": f.code, "path": f.path, "fingerprint": f.fingerprint}
+        for f in findings
+    ]
+    entries.sort(key=lambda e: (e["path"], e["code"], e["fingerprint"]))
+    payload = {"schema": BASELINE_SCHEMA, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def apply_baseline(findings: List[Finding], fingerprints: Set[str]) -> List[Finding]:
+    """Mark findings whose fingerprint is baselined; returns a new list."""
+    marked: List[Finding] = []
+    for finding in findings:
+        if finding.fingerprint in fingerprints and not finding.baselined:
+            finding = Finding(
+                code=finding.code,
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                message=finding.message,
+                snippet=finding.snippet,
+                occurrence=finding.occurrence,
+                baselined=True,
+            )
+        marked.append(finding)
+    return marked

@@ -1,0 +1,24 @@
+"""The checker registry: one module per invariant, RL001..RL006."""
+
+from typing import Dict, List, Type
+
+from repro.lint.base import Checker
+from repro.lint.checkers.rl001_randomness import UnseededRandomness
+from repro.lint.checkers.rl002_wallclock import WallClockInSimPath
+from repro.lint.checkers.rl003_forksafety import ForkUnsafeCallback
+from repro.lint.checkers.rl004_accumulation import OrderSensitiveAccumulation
+from repro.lint.checkers.rl005_iterorder import IterationOrderHazard
+from repro.lint.checkers.rl006_knobs import UnregisteredEnvKnob
+
+ALL_CHECKERS: List[Type[Checker]] = [
+    UnseededRandomness,
+    WallClockInSimPath,
+    ForkUnsafeCallback,
+    OrderSensitiveAccumulation,
+    IterationOrderHazard,
+    UnregisteredEnvKnob,
+]
+
+CHECKERS_BY_CODE: Dict[str, Type[Checker]] = {c.code: c for c in ALL_CHECKERS}
+
+__all__ = ["ALL_CHECKERS", "CHECKERS_BY_CODE"]

@@ -1,0 +1,72 @@
+"""RL001: unseeded randomness.
+
+Every random draw in the engine must come from an explicitly seeded
+``numpy.random.Generator`` (or seeded ``random.Random`` instance) so that a
+campaign replays bit-identically.  Global-state randomness (``random.random``,
+``np.random.rand``, ``np.random.seed``) and a bare ``default_rng()`` both
+break replay: the former shares hidden state across call sites and workers,
+the latter seeds from the OS.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.base import Checker, FileContext, call_name
+from repro.lint.findings import Finding
+
+#: ``random`` module attributes that are NOT hidden-global-state draws.
+_RANDOM_MODULE_OK = {
+    "random.Random",
+    "random.SystemRandom",
+}
+
+#: ``numpy.random`` attributes that construct explicit generators/state.
+_NUMPY_RANDOM_OK = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.BitGenerator",
+    "numpy.random.RandomState",  # explicit legacy state object, still seeded
+}
+
+
+class UnseededRandomness(Checker):
+    code = "RL001"
+    name = "unseeded-randomness"
+    description = (
+        "global-state or OS-seeded randomness; use a seeded "
+        "numpy.random.default_rng(seed) / random.Random(seed)"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # The bench layer times real hardware and may use throwaway draws.
+        return ctx.in_engine() and not ctx.module_rel.startswith("repro/bench/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(ctx, node)
+            if name is None:
+                continue
+            if name.startswith("random.") and name not in _RANDOM_MODULE_OK:
+                yield self.finding(
+                    ctx, node,
+                    f"{name}() draws from the hidden module-global RNG; "
+                    f"thread a seeded random.Random / numpy Generator instead",
+                )
+            elif name.startswith("numpy.random.") and name not in _NUMPY_RANDOM_OK:
+                yield self.finding(
+                    ctx, node,
+                    f"{name}() uses numpy's global RNG state; "
+                    f"use a seeded numpy.random.default_rng(seed)",
+                )
+            elif name == "numpy.random.default_rng" and not node.args and not node.keywords:
+                yield self.finding(
+                    ctx, node,
+                    "default_rng() without a seed draws entropy from the OS; "
+                    "pass an explicit seed",
+                )

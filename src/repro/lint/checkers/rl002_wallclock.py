@@ -1,0 +1,66 @@
+"""RL002: wall-clock reads in simulation paths.
+
+Simulated time comes from the middleware clock (``repro.rosmw.clock``); a
+real wall-clock read anywhere in the sim/engine path makes results depend on
+host speed and destroys replay.  The bench layer, the CLI (which prints
+elapsed wall time) and the linter itself legitimately measure real time and
+are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.base import Checker, FileContext, call_name
+from repro.lint.findings import Finding
+
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    # unresolved-alias spellings (``from datetime import datetime``)
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+}
+
+_EXEMPT_PREFIXES = ("repro/bench/", "repro/lint/")
+_EXEMPT_FILES = ("repro/cli.py", "repro/__main__.py")
+
+
+class WallClockInSimPath(Checker):
+    code = "RL002"
+    name = "wall-clock-in-sim-path"
+    description = (
+        "real wall-clock read in a simulation path; simulated time must come "
+        "from the middleware clock"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if not ctx.in_engine():
+            return False
+        if ctx.module_rel.startswith(_EXEMPT_PREFIXES):
+            return False
+        return ctx.module_rel not in _EXEMPT_FILES
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(ctx, node)
+            if name in _WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx, node,
+                    f"{name}() reads the real wall clock; sim-path code must "
+                    f"use the middleware clock (or move the timing to "
+                    f"repro.bench)",
+                )

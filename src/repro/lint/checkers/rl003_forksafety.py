@@ -1,0 +1,123 @@
+"""RL003: fork-unsafe callbacks.
+
+Golden-prefix forking deep-copies a warmed pipeline and pickles cursor
+snapshots across workers.  A lambda or nested function registered as a
+callback (timer, subscription, service handler, topic tap, pending-fault
+corruption) pins the *original* object graph through its closure cells --
+deepcopy silently keeps the stale binding and pickle refuses outright.  The
+engine's idiom is a module-level callable object whose attributes rebind
+through the deepcopy memo (see ``_GuardedServiceHandler``,
+``_MessageFieldCorruption``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.base import (
+    Checker,
+    FileContext,
+    function_scopes,
+)
+from repro.lint.findings import Finding
+
+#: Callee attribute names whose callable arguments end up owned by the graph.
+_REGISTRATION_NAMES = {
+    "create_timer",
+    "create_subscription",
+    "advertise_service",
+    "add_tap",
+    "subscribe",
+    "PendingFault",
+    "arm_output_fault",
+}
+
+#: Modules reachable from a deep-copied / pickled pipeline.
+_FORK_REACHABLE_PREFIXES = (
+    "repro/rosmw/",
+    "repro/pipeline/",
+    "repro/perception/",
+    "repro/planning/",
+    "repro/control/",
+    "repro/sim/",
+    "repro/detection/",
+)
+_FORK_REACHABLE_FILES = (
+    "repro/core/injector.py",
+    "repro/core/checkpoint.py",
+)
+
+
+def _callee_basename(call: ast.Call) -> str:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return ""
+
+
+class ForkUnsafeCallback(Checker):
+    code = "RL003"
+    name = "fork-unsafe-callback"
+    description = (
+        "lambda/nested-function callback pins its defining frame through "
+        "closure cells; use a module-level callable object"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.module_rel.startswith(_FORK_REACHABLE_PREFIXES):
+            return True
+        return ctx.module_rel in _FORK_REACHABLE_FILES
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func, nested in function_scopes(ctx.tree):
+            for node in ast.walk(func):
+                if isinstance(node, ast.Call):
+                    yield from self._check_registration(ctx, node, nested)
+                elif isinstance(node, ast.Assign):
+                    yield from self._check_attribute_assign(ctx, node, nested)
+
+    def _check_registration(
+        self, ctx: FileContext, call: ast.Call, nested: "dict[str, int]"
+    ) -> Iterator[Finding]:
+        basename = _callee_basename(call)
+        if basename not in _REGISTRATION_NAMES:
+            return
+        candidates = list(call.args) + [kw.value for kw in call.keywords]
+        for arg in candidates:
+            if isinstance(arg, ast.Lambda):
+                yield self.finding(
+                    ctx, call,
+                    f"lambda passed to {basename}() closes over the defining "
+                    f"frame and breaks deepcopy/pickle of the pipeline; use a "
+                    f"module-level callable object",
+                )
+            elif isinstance(arg, ast.Name) and arg.id in nested:
+                yield self.finding(
+                    ctx, call,
+                    f"nested function '{arg.id}' (defined at line "
+                    f"{nested[arg.id]}) passed to {basename}() pins its "
+                    f"closure cells; use a module-level callable object",
+                )
+
+    def _check_attribute_assign(
+        self, ctx: FileContext, assign: ast.Assign, nested: "dict[str, int]"
+    ) -> Iterator[Finding]:
+        value = assign.value
+        is_lambda = isinstance(value, ast.Lambda)
+        is_nested = isinstance(value, ast.Name) and value.id in nested
+        if not (is_lambda or is_nested):
+            return
+        for target in assign.targets:
+            if isinstance(target, ast.Attribute):
+                what = (
+                    "a lambda" if is_lambda
+                    else f"nested function '{value.id}'"  # type: ignore[union-attr]
+                )
+                yield self.finding(
+                    ctx, assign,
+                    f"assigning {what} to attribute '{target.attr}' stores a "
+                    f"closure on a fork-reachable object; use a module-level "
+                    f"callable object",
+                )

@@ -1,0 +1,94 @@
+"""RL004: order-sensitive accumulation.
+
+Float addition is not associative: summing the same multiset of floats in a
+different order produces different bits.  The analysis layer aggregates
+per-run metrics that arrive in whatever order shards/workers produced them,
+so any ``sum()`` / ``+=``-in-a-loop over a dict view or other unsorted
+iterable silently couples the report's bytes to scheduling order.  Wrapping
+the iterable in ``sorted(...)`` pins the order and neutralizes the finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.base import (
+    Checker,
+    FileContext,
+    call_name,
+    dict_view_call,
+    is_set_expr,
+    is_sorted_call,
+)
+from repro.lint.findings import Finding
+
+_SUM_CALLS = {"sum", "numpy.sum", "math.fsum"}
+
+_SCOPE_PREFIXES = ("repro/analysis/",)
+_SCOPE_FILES = ("repro/core/qof.py",)
+
+
+def _unwrap_cast(node: ast.AST) -> ast.AST:
+    """See through ``list(...)`` / ``tuple(...)`` wrappers (order-preserving)."""
+    while (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("list", "tuple")
+        and len(node.args) == 1
+    ):
+        node = node.args[0]
+    return node
+
+
+def _is_order_hazard(node: ast.AST) -> bool:
+    """Whether ``node`` iterates in a potentially assembly-dependent order."""
+    node = _unwrap_cast(node)
+    if is_sorted_call(node):
+        return False
+    return dict_view_call(node) is not None or is_set_expr(node)
+
+
+class OrderSensitiveAccumulation(Checker):
+    code = "RL004"
+    name = "order-sensitive-accumulation"
+    description = (
+        "float accumulation over an unsorted dict view/set; wrap the "
+        "iterable in sorted(...) to pin summation order"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.module_rel.startswith(_SCOPE_PREFIXES):
+            return True
+        return ctx.module_rel in _SCOPE_FILES
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_sum(ctx, node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_loop(ctx, node)
+
+    def _check_sum(self, ctx: FileContext, call: ast.Call) -> Iterator[Finding]:
+        name = call_name(ctx, call)
+        if name not in _SUM_CALLS or not call.args:
+            return
+        if _is_order_hazard(call.args[0]):
+            yield self.finding(
+                ctx, call,
+                f"{name}() over an unsorted dict view/set: float summation "
+                f"order follows dict assembly order; wrap in sorted(...)",
+            )
+
+    def _check_loop(self, ctx: FileContext, loop: ast.For) -> Iterator[Finding]:
+        if not _is_order_hazard(loop.iter):
+            return
+        for inner in ast.walk(loop):
+            if isinstance(inner, ast.AugAssign) and isinstance(inner.op, ast.Add):
+                yield self.finding(
+                    ctx, inner,
+                    "'+=' accumulation inside a loop over an unsorted dict "
+                    "view/set couples the total to assembly order; iterate "
+                    "sorted(...) instead",
+                )
+                return  # one finding per loop is enough

@@ -1,0 +1,115 @@
+"""RL005: iteration-order hazards.
+
+Three shapes of the same bug -- program meaning riding on container order:
+
+* iterating a **set** (hash order differs across processes with different
+  ``PYTHONHASHSEED`` histories, and across insertion histories);
+* feeding a dict view or set to an **RNG selection** (``rng.choice``,
+  ``rng.shuffle``, ``rng.permutation``): even with a seeded generator, the
+  victim drawn depends on element order, not just the seed;
+* **serializing** a dict with ``json.dumps`` without ``sort_keys=True``:
+  the emitted bytes depend on how the dict was assembled, so shard bytes
+  stop being canonical.
+
+``sorted(...)`` around the iterable (or ``sort_keys=True``) pins the order
+and neutralizes the finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.base import (
+    Checker,
+    FileContext,
+    call_name,
+    dict_view_call,
+    is_set_expr,
+    is_sorted_call,
+)
+from repro.lint.findings import Finding
+
+_RNG_SELECTION_ATTRS = {"choice", "shuffle", "permutation"}
+
+
+def _unwrap_cast(node: ast.AST) -> ast.AST:
+    while (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("list", "tuple")
+        and len(node.args) == 1
+    ):
+        node = node.args[0]
+    return node
+
+
+def _order_hazard_kind(node: ast.AST) -> Optional[str]:
+    node = _unwrap_cast(node)
+    if is_sorted_call(node):
+        return None
+    if is_set_expr(node):
+        return "set"
+    view = dict_view_call(node)
+    if view is not None:
+        return f"dict .{view}() view"
+    return None
+
+
+class IterationOrderHazard(Checker):
+    code = "RL005"
+    name = "iteration-order-hazard"
+    description = (
+        "set iteration, RNG selection over unsorted containers, or "
+        "non-canonical json.dumps"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_set_loop(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_rng_selection(ctx, node)
+                yield from self._check_json_dumps(ctx, node)
+
+    def _check_set_loop(self, ctx: FileContext, loop: ast.For) -> Iterator[Finding]:
+        iterable = _unwrap_cast(loop.iter)
+        if is_set_expr(iterable):
+            yield self.finding(
+                ctx, loop,
+                "iterating a set: element order is not a program invariant; "
+                "iterate sorted(...) instead",
+            )
+
+    def _check_rng_selection(self, ctx: FileContext, call: ast.Call) -> Iterator[Finding]:
+        if not (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in _RNG_SELECTION_ATTRS
+            and call.args
+        ):
+            return
+        kind = _order_hazard_kind(call.args[0])
+        if kind is not None:
+            yield self.finding(
+                ctx, call,
+                f".{call.func.attr}() over a {kind}: the element drawn "
+                f"depends on container order, not just the seed; pass "
+                f"sorted(...)",
+            )
+
+    def _check_json_dumps(self, ctx: FileContext, call: ast.Call) -> Iterator[Finding]:
+        name = call_name(ctx, call)
+        if name not in ("json.dumps", "json.dump"):
+            return
+        for keyword in call.keywords:
+            if keyword.arg == "sort_keys":
+                value = keyword.value
+                if isinstance(value, ast.Constant) and value.value:
+                    return
+                if not isinstance(value, ast.Constant):
+                    return  # dynamically chosen; give the author the benefit
+        yield self.finding(
+            ctx, call,
+            f"{name}() without sort_keys=True: serialized bytes follow dict "
+            f"assembly order instead of being canonical",
+        )

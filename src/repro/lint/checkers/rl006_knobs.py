@@ -1,0 +1,134 @@
+"""RL006: unregistered engine knobs.
+
+Every ``REPRO_*`` / ``MAVFI_*`` environment variable is an engine knob with
+replay semantics (it changes what a campaign computes or how it is
+scheduled), so each one must be declared in the central registry
+``repro.core.knobs`` -- the registry documents the knob, owns its parsing
+and validation, and gives ``describe_rows()`` one authoritative table.
+Direct ``os.environ`` / ``os.getenv`` access to such a name anywhere else
+(including tests and benchmarks) bypasses the registry's validation and is
+flagged; reads of an undeclared name are flagged even through the knobs API.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Optional
+
+from repro.lint.base import Checker, FileContext, dotted_name
+from repro.lint.findings import Finding
+
+KNOB_PREFIXES = ("REPRO_", "MAVFI_")
+
+_ENVIRON_ATTRS = {"get", "setdefault", "pop", "__getitem__", "__setitem__"}
+
+
+def _registered_names() -> FrozenSet[str]:
+    """Names declared in repro.core.knobs (empty set if unimportable)."""
+    try:
+        from repro.core.knobs import registered_names
+    except Exception:  # pragma: no cover - only without src on sys.path
+        return frozenset()
+    return frozenset(registered_names())
+
+
+def _knob_literal(node: ast.AST) -> Optional[str]:
+    """The REPRO_*/MAVFI_* string literal in ``node``, if it is one."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        if node.value.startswith(KNOB_PREFIXES):
+            return node.value
+    return None
+
+
+class UnregisteredEnvKnob(Checker):
+    code = "RL006"
+    name = "unregistered-env-knob"
+    description = (
+        "direct os.environ access to a REPRO_*/MAVFI_* knob, or use of a "
+        "knob not declared in repro.core.knobs"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # Applies everywhere (src, tests, benchmarks); only the registry
+        # itself may touch os.environ for knob names.
+        return ctx.module_rel != "repro/core/knobs.py"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        registered = _registered_names()
+        for node in ast.walk(ctx.tree):
+            knob = self._direct_environ_knob(ctx, node)
+            if knob is not None:
+                yield self.finding(
+                    ctx, node,
+                    f"direct os.environ access to {knob!r}; route engine "
+                    f"knobs through repro.core.knobs",
+                )
+                continue
+            knob = self._any_knob_literal_in_env_call(ctx, node)
+            if knob is not None and registered and knob not in registered:
+                yield self.finding(
+                    ctx, node,
+                    f"{knob!r} is not declared in repro.core.knobs; register "
+                    f"the knob (name, kind, default, description) first",
+                )
+
+    def _direct_environ_knob(self, ctx: FileContext, node: ast.AST) -> Optional[str]:
+        """Knob name if ``node`` is a direct os.environ/os.getenv access."""
+        # os.environ[...] / os.environ.get/setdefault/pop(...)
+        if isinstance(node, ast.Subscript):
+            base = dotted_name(node.value)
+            if base and ctx.imports.canonical(base) == "os.environ":
+                return _knob_literal(node.slice)
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is None:
+                return None
+            canonical = ctx.imports.canonical(name)
+            if canonical == "os.getenv" and node.args:
+                return _knob_literal(node.args[0])
+            if (
+                canonical.startswith("os.environ.")
+                and canonical.rsplit(".", 1)[1] in _ENVIRON_ATTRS
+                and node.args
+            ):
+                return _knob_literal(node.args[0])
+        # `"MAVFI_X" in os.environ`
+        if isinstance(node, ast.Compare) and len(node.comparators) == 1:
+            if isinstance(node.ops[0], (ast.In, ast.NotIn)):
+                base = dotted_name(node.comparators[0])
+                if base and ctx.imports.canonical(base) == "os.environ":
+                    return _knob_literal(node.left)
+        return None
+
+    def _any_knob_literal_in_env_call(
+        self, ctx: FileContext, node: ast.AST
+    ) -> Optional[str]:
+        """Knob literal passed to a knobs-API call (to validate registration)."""
+        if not isinstance(node, ast.Call):
+            return None
+        name = dotted_name(node.func)
+        if name is None:
+            return None
+        canonical = ctx.imports.canonical(name)
+        if not (
+            canonical.startswith("repro.core.knobs.")
+            or canonical.startswith("knobs.")
+        ):
+            return None
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            knob = _knob_literal(arg)
+            if knob is not None:
+                return knob
+            # knobs.temporary({...}) / knobs.snapshot((...)): look one level in
+            if isinstance(arg, ast.Dict):
+                for key in arg.keys:
+                    if key is not None:
+                        found = _knob_literal(key)
+                        if found is not None and found not in _registered_names():
+                            return found
+            elif isinstance(arg, (ast.Tuple, ast.List)):
+                for element in arg.elts:
+                    found = _knob_literal(element)
+                    if found is not None and found not in _registered_names():
+                        return found
+        return None

@@ -1,0 +1,108 @@
+"""Argument surface of ``python -m repro lint``.
+
+Kept separate from ``repro.cli`` so the top-level CLI only pays for the
+linter when the subcommand is actually used.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.baseline import DEFAULT_BASELINE_NAME, save_baseline
+from repro.lint.checkers import ALL_CHECKERS
+from repro.lint.engine import (
+    UsageError,
+    find_repo_root,
+    format_result,
+    run_lint,
+)
+
+DEFAULT_PATHS = ("src/repro",)
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to ``parser`` (the ``lint`` subparser)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help=f"files/directories to lint (default: {', '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated checker codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        help="comma-separated checker codes to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        help="repo root (default: nearest ancestor with pyproject.toml)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-checkers",
+        action="store_true",
+        help="print the checker catalog and exit",
+    )
+
+
+def _split_codes(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [code.strip() for code in raw.split(",") if code.strip()]
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute the lint subcommand; returns the process exit code."""
+    if args.list_checkers:
+        for checker in ALL_CHECKERS:
+            print(f"{checker.code}  {checker.name}: {checker.description}")
+        return 0
+    root = find_repo_root() if args.root is None else args.root.resolve()
+    paths = list(args.paths) if args.paths else [Path(p) for p in DEFAULT_PATHS]
+    try:
+        result = run_lint(
+            paths,
+            root=root,
+            select=_split_codes(args.select),
+            ignore=_split_codes(args.ignore),
+            baseline_path=args.baseline,
+            use_baseline=not args.no_baseline,
+        )
+    except UsageError as error:
+        print(f"error: {error}", flush=True)
+        return 2
+    if args.write_baseline:
+        baseline_path = args.baseline or (root / DEFAULT_BASELINE_NAME)
+        save_baseline(baseline_path, result.findings)
+        print(
+            f"wrote {len(result.findings)} finding(s) to {baseline_path}"
+        )
+        return 0
+    print(format_result(result, fmt=args.format))
+    return result.exit_code

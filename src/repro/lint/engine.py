@@ -1,0 +1,207 @@
+"""The lint engine: file collection, checker dispatch, output, exit codes.
+
+Exit-code contract: 0 = clean (every finding fixed or baselined), 1 = at
+least one non-baselined finding, 2 = usage error (unknown checker code,
+unreadable path, broken baseline).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.lint.base import Checker, FileContext
+from repro.lint.baseline import apply_baseline, load_baseline
+from repro.lint.checkers import ALL_CHECKERS, CHECKERS_BY_CODE
+from repro.lint.findings import Finding, assign_occurrences
+from repro.lint.pragmas import PRAGMA_CODE, parse_pragmas, pragma_findings
+
+JSON_SCHEMA = "repro-lint-v1"
+
+#: Directory basenames never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".cache", ".venv", "results"}
+
+
+class UsageError(ValueError):
+    """A problem with how the linter was invoked (exit code 2)."""
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def new_findings(self) -> List[Finding]:
+        """Findings NOT excused by the baseline (these fail the run)."""
+        return [f for f in self.findings if not f.baselined]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.new_findings else 0
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": JSON_SCHEMA,
+            "files_checked": self.files_checked,
+            "findings": [f.to_dict() for f in self.findings],
+            "counts": {
+                "total": len(self.findings),
+                "new": len(self.new_findings),
+                "baselined": len(self.findings) - len(self.new_findings),
+            },
+        }
+
+
+def find_repo_root(start: Optional[Path] = None) -> Path:
+    """Nearest ancestor of ``start`` containing pyproject.toml."""
+    current = Path(start) if start is not None else Path.cwd()
+    current = current.resolve()
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return current
+
+
+def collect_files(paths: Sequence[Path], root: Path) -> List[Path]:
+    """Every ``*.py`` under ``paths``, sorted, skipping cache/result dirs."""
+    seen: Set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if not path.is_absolute():
+            path = root / path
+        if not path.exists():
+            raise UsageError(f"path does not exist: {path}")
+        if path.is_file():
+            if path.suffix == ".py":
+                seen.add(path.resolve())
+            continue
+        for candidate in path.rglob("*.py"):
+            if any(part in _SKIP_DIRS for part in candidate.parts):
+                continue
+            seen.add(candidate.resolve())
+    return sorted(seen)
+
+
+def resolve_checkers(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Checker]:
+    """Instantiate the requested checkers (all by default)."""
+    codes = [c.code for c in ALL_CHECKERS]
+    if select:
+        unknown = [code for code in select if code not in CHECKERS_BY_CODE]
+        if unknown:
+            raise UsageError(
+                f"unknown checker code(s) {', '.join(unknown)}; "
+                f"available: {', '.join(codes)}"
+            )
+        codes = [code for code in codes if code in set(select)]
+    if ignore:
+        unknown = [
+            code for code in ignore
+            if code not in CHECKERS_BY_CODE and code != PRAGMA_CODE
+        ]
+        if unknown:
+            raise UsageError(
+                f"unknown checker code(s) {', '.join(unknown)}; "
+                f"available: {', '.join(codes)}"
+            )
+        codes = [code for code in codes if code not in set(ignore)]
+    return [CHECKERS_BY_CODE[code]() for code in codes]
+
+
+def _module_rel(rel: str) -> str:
+    return rel[len("src/"):] if rel.startswith("src/") else rel
+
+
+def lint_file(
+    path: Path, root: Path, checkers: Sequence[Checker]
+) -> List[Finding]:
+    """All findings (pragma problems included) for one file."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise UsageError(f"cannot read {path}: {error}") from error
+    rel = path.resolve().relative_to(root).as_posix() if path.resolve().is_relative_to(root) else path.as_posix()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return [
+            Finding(
+                code=PRAGMA_CODE,
+                path=rel,
+                line=error.lineno or 1,
+                col=error.offset or 0,
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    pragmas = parse_pragmas(source)
+    ctx = FileContext(
+        path=path,
+        rel=rel,
+        module_rel=_module_rel(rel),
+        source=source,
+        tree=tree,
+        pragmas=pragmas,
+    )
+    findings: List[Finding] = list(pragma_findings(rel, source, pragmas))
+    for checker in checkers:
+        if not checker.applies_to(ctx):
+            continue
+        for finding in checker.check(ctx):
+            if pragmas.suppressed(finding.line, finding.code):
+                continue
+            findings.append(finding)
+    return assign_occurrences(findings)
+
+
+def run_lint(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    baseline_path: Optional[Path] = None,
+    use_baseline: bool = True,
+) -> LintResult:
+    """Lint ``paths`` and apply the baseline; the engine's main entry."""
+    root = find_repo_root() if root is None else Path(root).resolve()
+    checkers = resolve_checkers(select=select, ignore=ignore)
+    files = collect_files(paths, root)
+    findings: List[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path, root, checkers))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    if use_baseline:
+        if baseline_path is None:
+            from repro.lint.baseline import DEFAULT_BASELINE_NAME
+
+            baseline_path = root / DEFAULT_BASELINE_NAME
+        try:
+            fingerprints = load_baseline(baseline_path)
+        except ValueError as error:
+            raise UsageError(str(error)) from error
+        findings = apply_baseline(findings, fingerprints)
+    return LintResult(findings=findings, files_checked=len(files))
+
+
+def format_result(result: LintResult, fmt: str = "text") -> str:
+    """Render a LintResult as ``text`` or ``json``."""
+    if fmt == "json":
+        return json.dumps(result.to_dict(), indent=2, sort_keys=True)
+    lines = [f.format_text() for f in result.findings]
+    new = len(result.new_findings)
+    baselined = len(result.findings) - new
+    summary = (
+        f"{result.files_checked} files checked: "
+        f"{new} finding{'s' if new != 1 else ''}"
+    )
+    if baselined:
+        summary += f" ({baselined} baselined)"
+    lines.append(summary)
+    return "\n".join(lines)

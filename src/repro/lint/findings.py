@@ -1,0 +1,82 @@
+"""Finding records and stable fingerprints.
+
+A finding's fingerprint must survive unrelated edits to the same file (line
+drift) so the committed baseline does not churn.  It therefore hashes the
+*content* of the flagged line (whitespace-normalized) plus an occurrence
+index, never the line number.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation at a specific source location."""
+
+    code: str  #: checker code, e.g. "RL003"
+    path: str  #: path relative to the repo root, POSIX separators
+    line: int  #: 1-indexed source line
+    col: int  #: 0-indexed column
+    message: str  #: human-readable description of the violation
+    snippet: str = ""  #: the stripped source line the finding points at
+    #: Index of this finding among findings with the same (code, path,
+    #: normalized snippet) -- disambiguates repeated identical lines.
+    occurrence: int = 0
+    baselined: bool = field(default=False, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line-number independent)."""
+        normalized = " ".join(self.snippet.split())
+        payload = f"{self.code}|{self.path}|{normalized}|{self.occurrence}"
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (schema ``repro-lint-v1`` entry)."""
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+            "baselined": self.baselined,
+        }
+
+    def format_text(self) -> str:
+        """One-line ``path:line:col: CODE message`` rendering."""
+        suffix = "  [baselined]" if self.baselined else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}{suffix}"
+
+
+def assign_occurrences(findings: "list[Finding]") -> "list[Finding]":
+    """Number findings that share (code, path, normalized snippet).
+
+    Checkers emit findings with ``occurrence=0``; the engine calls this once
+    per file so that two identical violations on identical lines still get
+    distinct fingerprints.
+    """
+    counts: Dict[str, int] = {}
+    numbered = []
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code)):
+        normalized = " ".join(finding.snippet.split())
+        key = f"{finding.code}|{finding.path}|{normalized}"
+        index = counts.get(key, 0)
+        counts[key] = index + 1
+        if index:
+            finding = Finding(
+                code=finding.code,
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                message=finding.message,
+                snippet=finding.snippet,
+                occurrence=index,
+            )
+        numbered.append(finding)
+    return numbered

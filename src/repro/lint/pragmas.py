@@ -1,0 +1,118 @@
+"""Suppression pragmas: ``# repro-lint: disable=RL003 <reason>``.
+
+Two placements are recognised:
+
+* **trailing** -- the pragma shares the line with the code it excuses;
+* **preceding line** -- a standalone comment line excuses the next line
+  (for statements too long to carry a trailing comment).
+
+A file-level ``# repro-lint: disable-file=RL002 <reason>`` excuses the whole
+file.  Every pragma must carry a reason; a bare ``disable=RL003`` still
+suppresses but is itself reported as RL000 so CI forces the reason to be
+written down.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.lint.findings import Finding
+
+#: Pseudo-code reported for malformed pragmas (missing reason, bad code list).
+PRAGMA_CODE = "RL000"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable-file|disable)\s*=\s*"
+    r"(?P<codes>[A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)"
+    r"(?P<reason>[^#\n]*)"
+)
+
+
+@dataclass
+class Pragmas:
+    """Parsed suppression pragmas of one source file."""
+
+    #: line number -> codes suppressed on that line
+    line_disables: Dict[int, Set[str]] = field(default_factory=dict)
+    #: codes suppressed for the entire file
+    file_disables: Set[str] = field(default_factory=set)
+    #: malformed-pragma findings (reported as RL000)
+    problems: List[Tuple[int, str]] = field(default_factory=list)
+
+    def suppressed(self, line: int, code: str) -> bool:
+        """Whether ``code`` is excused at ``line`` (1-indexed)."""
+        if code in self.file_disables:
+            return True
+        return code in self.line_disables.get(line, set())
+
+
+def _comments(source: str):
+    """(lineno, column, text) of every real comment token in ``source``.
+
+    Tokenizing (rather than scanning raw lines) keeps string literals that
+    merely *mention* the pragma syntax -- like the ones in this module --
+    from being parsed as pragmas.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable files are reported by the engine; no pragmas here.
+        return
+
+
+def parse_pragmas(source: str) -> Pragmas:
+    """Extract every repro-lint pragma from ``source``."""
+    pragmas = Pragmas()
+    lines = source.splitlines()
+    for lineno, column, text in _comments(source):
+        if "repro-lint" not in text:
+            continue
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            # A comment mentioning repro-lint without the disable= form is
+            # fine prose; only flag attempted-but-malformed pragmas.
+            if re.search(r"#\s*repro-lint:", text):
+                pragmas.problems.append(
+                    (lineno, "malformed pragma: expected "
+                             "'# repro-lint: disable=RLnnn <reason>'")
+                )
+            continue
+        codes = {c.strip() for c in match.group("codes").split(",")}
+        reason = match.group("reason").strip()
+        if not reason:
+            pragmas.problems.append(
+                (lineno, f"pragma for {', '.join(sorted(codes))} is missing a "
+                         f"reason; write '# repro-lint: disable=... <why>'")
+            )
+        if match.group("kind") == "disable-file":
+            pragmas.file_disables.update(codes)
+            continue
+        # A trailing pragma excuses its own line; a comment on a line of its
+        # own excuses the next line.
+        is_standalone = column == 0 or lines[lineno - 1][:column].strip() == ""
+        target = lineno + 1 if is_standalone else lineno
+        pragmas.line_disables.setdefault(target, set()).update(codes)
+    return pragmas
+
+
+def pragma_findings(path: str, source: str, pragmas: Pragmas) -> List[Finding]:
+    """RL000 findings for every malformed pragma in the file."""
+    lines = source.splitlines()
+    return [
+        Finding(
+            code=PRAGMA_CODE,
+            path=path,
+            line=lineno,
+            col=0,
+            message=message,
+            snippet=lines[lineno - 1].strip() if lineno <= len(lines) else "",
+        )
+        for lineno, message in pragmas.problems
+    ]

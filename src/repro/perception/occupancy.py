@@ -27,7 +27,6 @@ matter which backend runs.
 
 from __future__ import annotations
 
-import os
 from types import MappingProxyType
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -49,9 +48,15 @@ _AXIS_MASK = (1 << _AXIS_BITS) - 1
 
 
 def use_scalar_kernels() -> bool:
-    """Whether the scalar reference kernels are selected via the environment."""
-    value = os.environ.get(SCALAR_KERNELS_ENV, "").strip().lower()
-    return value not in ("", "0", "false", "no")
+    """Whether the scalar reference kernels are selected via the environment.
+
+    Reads the declared ``REPRO_SCALAR_KERNELS`` knob through the central
+    registry; the import is function-level because this module is reached
+    during ``repro.core``'s own package initialisation.
+    """
+    from repro.core import knobs
+
+    return knobs.flag(SCALAR_KERNELS_ENV)
 
 
 def _pack_indices(idx: np.ndarray) -> np.ndarray:

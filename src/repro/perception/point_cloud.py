@@ -81,6 +81,23 @@ class PointCloudGenerator:
         return PointCloudMsg(points=points)
 
 
+class _PointElementCorruption:
+    """One-shot single-bit corruption of one point-cloud coordinate.
+
+    A callable object, not a closure, so a pipeline with an armed fault stays
+    deep-copyable and picklable under golden-prefix forking/snapshotting.
+    """
+
+    def __init__(self, bit: int) -> None:
+        self.bit = bit
+
+    def __call__(self, msg, fault_rng) -> None:
+        from repro.core.fault import corrupt_array_element
+
+        if isinstance(msg, PointCloudMsg) and msg.points.size:
+            corrupt_array_element(msg.points, fault_rng, bit=self.bit)
+
+
 class PointCloudNode(KernelNode):
     """Node wrapper for the point cloud generation kernel."""
 
@@ -110,15 +127,13 @@ class PointCloudNode(KernelNode):
 
     def corrupt_internal(self, rng: np.random.Generator, bit: int) -> str:
         """A transient fault in the (stateless) conversion corrupts one point."""
-        from repro.core.fault import corrupt_array_element
-
-        def corrupt(msg, fault_rng):
-            if isinstance(msg, PointCloudMsg) and msg.points.size:
-                corrupt_array_element(msg.points, fault_rng, bit=bit)
-
         from repro.pipeline.kernel import PendingFault
 
         self.arm_output_fault(
-            PendingFault(corrupt=corrupt, rng=rng, description="point cloud element")
+            PendingFault(
+                corrupt=_PointElementCorruption(bit),
+                rng=rng,
+                description="point cloud element",
+            )
         )
         return f"{self.name}: corrupt one point coordinate (bit {bit})"

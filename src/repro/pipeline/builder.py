@@ -14,7 +14,6 @@ performance model -- which is how the TX2 comparison of Fig. 9 is reproduced.
 
 from __future__ import annotations
 
-import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple, Union
@@ -47,15 +46,17 @@ NO_CACHE_ENV = "REPRO_NO_CACHE"
 
 
 def env_flag(name: str) -> bool:
-    """Whether environment variable ``name`` is set truthy.
+    """Whether the *declared* boolean knob ``name`` is set truthy.
 
-    The one shared parse for the engine's escape hatches (``REPRO_NO_CACHE``
-    here, ``REPRO_NO_CHECKPOINT``/``REPRO_CHECKPOINT_VERIFY`` in
-    :mod:`repro.core.checkpoint`): unset, ``0``, ``false`` and ``no`` are
-    falsy, anything else is truthy.
+    Thin wrapper over the central knob registry (:mod:`repro.core.knobs`),
+    kept for the engine's historical call sites; the registry owns the
+    truthiness contract (unset, ``0``, ``false`` and ``no`` are falsy,
+    anything else is truthy).  Imported lazily: this module is reached during
+    ``repro.core``'s own package initialisation.
     """
-    value = os.environ.get(name, "").strip().lower()
-    return value not in ("", "0", "false", "no")
+    from repro.core import knobs
+
+    return knobs.flag(name)
 
 
 def construction_caches_enabled() -> bool:

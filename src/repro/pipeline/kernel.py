@@ -103,6 +103,33 @@ class PendingFault:
     applied: bool = False
 
 
+class _MessageFieldCorruption:
+    """One-shot single-bit corruption of a kernel's next published message.
+
+    A callable object rather than a closure so that a pipeline with an armed
+    fault stays deep-copyable *and* picklable: golden-prefix forking rebinds
+    the corruption to the copied node through the deepcopy memo, and cursor
+    snapshots (spawn-platform worker handoff) can serialize it.  The nested
+    function this replaces pinned the original node through its closure cell
+    and could not be pickled at all.
+    """
+
+    def __init__(self, node: "KernelNode", bit: int, label: str = "output") -> None:
+        self.node = node
+        self.bit = bit
+        self.label = label
+
+    def __call__(
+        self, msg: Message, fault_rng: np.random.Generator
+    ) -> Optional[str]:
+        from repro.core.fault import corrupt_message_field
+
+        corruption = corrupt_message_field(msg, fault_rng, bit=self.bit)
+        if corruption is None:
+            return None
+        return f"{self.node.name}: corrupted {self.label} field {corruption}"
+
+
 class KernelNode(Node):
     """A single PPC compute kernel wrapped as a middleware node."""
 
@@ -141,15 +168,13 @@ class KernelNode(Node):
         planner way-point buffers) override this.  Returns a human-readable
         description of the corrupted site.
         """
-        from repro.core.fault import corrupt_message_field
-
-        def corrupt(msg: Message, fault_rng: np.random.Generator) -> Optional[str]:
-            corruption = corrupt_message_field(msg, fault_rng, bit=bit)
-            if corruption is None:
-                return None
-            return f"{self.name}: corrupted output field {corruption}"
-
-        self.arm_output_fault(PendingFault(corrupt=corrupt, rng=rng, description="output"))
+        self.arm_output_fault(
+            PendingFault(
+                corrupt=_MessageFieldCorruption(self, bit),
+                rng=rng,
+                description="output",
+            )
+        )
         return f"{self.name}: pending output corruption (bit {bit})"
 
     # --------------------------------------------------------------- compute
@@ -166,10 +191,11 @@ class KernelNode(Node):
         if profiler is None:
             yield
             return
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro-lint: disable=RL002 profiler measures real wall time, never sim state
         try:
             yield
         finally:
+            # repro-lint: disable=RL002 profiler measures real wall time, never sim state
             profiler.record(self.name, time.perf_counter() - start)
 
     def charge_invocation(self, category: str = "compute", scale: float = 1.0) -> None:

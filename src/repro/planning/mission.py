@@ -47,7 +47,7 @@ class MissionPlannerNode(KernelNode):
         self.goal_tolerance = float(goal_tolerance)
         self.update_rate = update_rate
         #: Full target sequence: intermediate waypoints, then the final goal.
-        self.route = [np.asarray(p, dtype=float) for p in waypoints] + [self.goal]
+        self.route = [*(np.asarray(p, dtype=float) for p in waypoints), self.goal]
         self.route_index = 0
         self.completed = False
         self._latest_odometry: Optional[OdometryMsg] = None

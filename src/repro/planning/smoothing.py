@@ -11,7 +11,7 @@ multi-DOF trajectory whose way-points (x, y, z, yaw) and velocities
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -33,7 +33,7 @@ class SmootherConfig:
 class PathSmoother:
     """Shortcut smoothing plus velocity/yaw profile generation."""
 
-    def __init__(self, config: SmootherConfig = None) -> None:
+    def __init__(self, config: Optional[SmootherConfig] = None) -> None:
         self.config = config if config is not None else SmootherConfig()
 
     # -------------------------------------------------------------- shortcut

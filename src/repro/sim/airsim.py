@@ -73,8 +73,9 @@ class MissionConfig:
 
     def route(self) -> Sequence[np.ndarray]:
         """Full target sequence: intermediate waypoints, then the final goal."""
-        return [np.asarray(p, dtype=float) for p in self.waypoints] + [
-            np.asarray(self.goal, dtype=float)
+        return [
+            *(np.asarray(p, dtype=float) for p in self.waypoints),
+            np.asarray(self.goal, dtype=float),
         ]
 
 

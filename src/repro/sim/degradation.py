@@ -14,7 +14,7 @@ generators, keeping missions bit-reproducible across processes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -115,7 +115,7 @@ class SensorDegradation:
         return msg
 
     # ------------------------------------------------------------ imu/odometry
-    def imu_config(self, base: ImuConfig = None) -> ImuConfig:
+    def imu_config(self, base: Optional[ImuConfig] = None) -> ImuConfig:
         """IMU noise configuration with this degradation's scaling applied."""
         base = base if base is not None else ImuConfig()
         scale = self.config.imu_noise_scale
@@ -124,7 +124,7 @@ class SensorDegradation:
             gyro_noise_std=base.gyro_noise_std * scale,
         )
 
-    def odometry_config(self, base: OdometryConfig = None) -> OdometryConfig:
+    def odometry_config(self, base: Optional[OdometryConfig] = None) -> OdometryConfig:
         """Odometry noise configuration with this degradation's noise added."""
         base = base if base is not None else OdometryConfig()
         return OdometryConfig(

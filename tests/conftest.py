@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 import pytest
 
+from repro.core import knobs
 from repro.detection.autoencoder import AadDetector, AutoencoderConfig
 from repro.detection.gaussian import GadConfig, GaussianDetector
 from repro.pipeline.builder import PipelineConfig, build_pipeline
@@ -22,7 +21,7 @@ def pytest_configure(config):
     # box would silently turn every pool test into a serial-fallback test.
     # Lift the clamp for the suite so the tests exercise real worker pools;
     # individual tests opt back in via ParallelExecutor(oversubscribe=False).
-    os.environ.setdefault("MAVFI_OVERSUBSCRIBE", "1")
+    knobs.setdefault_env("MAVFI_OVERSUBSCRIBE", "1")
 
 
 @pytest.fixture

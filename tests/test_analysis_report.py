@@ -191,7 +191,7 @@ class TestDetectionMetrics:
             ),
             _fake_result(fault_target="planning", injection_time=4.0),
         ]
-        acc = detection_accuracy(list(golden) + [noisy_golden], injected, "gaussian")
+        acc = detection_accuracy([*golden, noisy_golden], injected, "gaussian")
         assert acc.golden_runs == 4
         assert acc.injected_runs == 2
         assert acc.run_fpr == pytest.approx(0.25)

@@ -498,7 +498,7 @@ class TestEndToEndEquivalence:
             assert runs.settings() == scratch.settings()
         for setting in scratch.settings():
             reference = scratch.results(setting)
-            others = (cached, streamed, resumed) + tuple(parallel_runs.values())
+            others = (cached, streamed, resumed, *parallel_runs.values())
             for other in others:
                 candidate = other.results(setting)
                 assert len(candidate) == len(reference)

@@ -187,8 +187,8 @@ class TestQofMetrics:
 
     def test_failure_recovery_rate(self):
         golden = summarize_runs(self._fake_results([10] * 10, [True] * 10))
-        faulty = summarize_runs(self._fake_results([10] * 10, [True] * 8 + [False] * 2))
-        recovered = summarize_runs(self._fake_results([10] * 10, [True] * 9 + [False]))
+        faulty = summarize_runs(self._fake_results([10] * 10, [*[True] * 8, False, False]))
+        recovered = summarize_runs(self._fake_results([10] * 10, [*[True] * 9, False]))
         assert failure_recovery_rate(golden, faulty, recovered) == pytest.approx(0.5)
 
     def test_failure_recovery_rate_no_induced_failures(self):
@@ -225,7 +225,7 @@ class TestResultsHelpers:
         assert recovery_percentage(10, 10, 10) == 1.0
 
     def test_iqr_outliers(self):
-        values = [10.0] * 20 + [100.0]
+        values = [*[10.0] * 20, 100.0]
         assert iqr_outlier_count(values) == 1
         assert iqr_outlier_count([1, 2]) == 0
 

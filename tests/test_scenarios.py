@@ -79,7 +79,7 @@ class TestRegistry:
         assert resolve_scenario(STRESS_SCENARIO) is STRESS_SCENARIO
 
     def test_scenarios_pickle_unchanged(self):
-        for scenario in list(iter_scenarios()) + [STRESS_SCENARIO]:
+        for scenario in [*iter_scenarios(), STRESS_SCENARIO]:
             assert pickle.loads(pickle.dumps(scenario)) == scenario
 
     def test_canonical_is_deterministic_and_content_sensitive(self):
