@@ -1,0 +1,192 @@
+"""Adaptive vs exhaustive: same conclusions from at most half the runs.
+
+The ISSUE-8 acceptance gate: on the standard injection-sweep workload the
+adaptive driver must reach the same per-cell success-rate conclusions as the
+exhaustive grid -- every adaptive Wilson CI overlapping the exhaustive
+estimate -- while flying at most 50% of the grid's missions, with early
+stopping demonstrably doing the saving.
+
+The comparison is fully deterministic (seeded missions, seeded sampling, no
+wall-clock anywhere in the artifact), so the regenerated report is
+byte-comparable against the committed ``BENCH_adaptive.json`` at the repo
+root.  Refresh the committed reference deliberately with::
+
+    REPRO_BENCH_RESULTS_DIR=. PYTHONPATH=src \
+        python -m pytest benchmarks/test_adaptive_campaign.py -q
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.adaptive import (
+    STOP_CONVERGED,
+    AdaptiveConfig,
+    AdaptiveDriver,
+)
+from repro.core.campaign import Campaign, CampaignConfig, RunSetting, runs_scale
+from repro.core.qof import wilson_interval
+
+from conftest import RESULTS_DIR
+
+BENCH_SCHEMA = "repro-adaptive-bench-v1"
+ARTIFACT_NAME = "BENCH_adaptive.json"
+
+#: The standard injection-sweep workload: a mixed-outcome environment where
+#: stage injections actually fail some missions, small enough for CI smoke.
+WORKLOAD = dict(
+    environment="dense",
+    num_golden=6,
+    num_injections_per_stage=6,
+    mission_time_limit=60.0,
+    seed=0,
+)
+
+#: The acceptance gate: adaptive may use at most this fraction of the grid.
+MAX_RUNS_RATIO = 0.5
+
+ADAPTIVE_SETTINGS = (RunSetting.GOLDEN, RunSetting.INJECTION)
+
+
+def _cell_label(setting: str, stage: str) -> str:
+    return f"{setting}/-/{stage or '-'}"
+
+
+def _exhaustive_cells(campaign: Campaign):
+    """Fly the full grid and tally per-(setting, stage) Wilson intervals."""
+    specs = campaign.golden_specs() + campaign.stage_injection_specs(
+        RunSetting.INJECTION
+    )
+    results = campaign.run_specs(specs)
+    tallies = {}
+    for spec, result in zip(specs, results):
+        stage = spec.fault_plan.target if spec.fault_plan is not None else ""
+        successes, runs = tallies.get((spec.setting, stage), (0, 0))
+        tallies[(spec.setting, stage)] = (successes + int(result.success), runs + 1)
+    cells = []
+    for (setting, stage), (successes, runs) in sorted(tallies.items()):
+        ci = wilson_interval(successes, runs)
+        cells.append(
+            {
+                "cell": _cell_label(setting, stage),
+                "runs": runs,
+                "successes": successes,
+                "wilson": {"lower": ci.lower, "upper": ci.upper},
+            }
+        )
+    return cells, len(specs)
+
+
+def build_comparison() -> dict:
+    """Run both drivers on the standard workload and build the bench report."""
+    campaign = Campaign(CampaignConfig(**WORKLOAD))
+    exhaustive_cells, exhaustive_runs = _exhaustive_cells(campaign)
+
+    budget = int(exhaustive_runs * MAX_RUNS_RATIO)
+    # ci_width matched to the smoke workload's sample sizes: 0.35 is what a
+    # 3-of-4 cell's Wilson half-width (0.327) converges under, so the gate
+    # demonstrates early stopping without needing paper-scale run counts.
+    adaptive_config = AdaptiveConfig(
+        budget=budget,
+        ci_width=0.35,
+        round_size=2,
+        min_runs=4,
+        bisect=False,  # boundary refinement is gated separately (CI smoke job)
+    )
+    plan = AdaptiveDriver(
+        campaign, adaptive_config, settings=ADAPTIVE_SETTINGS
+    ).run()
+
+    exhaustive_by_label = {cell["cell"]: cell for cell in exhaustive_cells}
+    comparison_cells = []
+    for cell in plan["cells"]:
+        reference = exhaustive_by_label[cell["cell"]]
+        overlap = (
+            cell["wilson"]["lower"] <= reference["wilson"]["upper"]
+            and reference["wilson"]["lower"] <= cell["wilson"]["upper"]
+        )
+        comparison_cells.append(
+            {
+                "cell": cell["cell"],
+                "overlap": overlap,
+                "exhaustive": [
+                    reference["wilson"]["lower"],
+                    reference["wilson"]["upper"],
+                ],
+                "adaptive": [cell["wilson"]["lower"], cell["wilson"]["upper"]],
+                "exhaustive_runs": reference["runs"],
+                "adaptive_runs": cell["runs"],
+            }
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "workload": {
+            **WORKLOAD,
+            "settings": list(ADAPTIVE_SETTINGS),
+            "exhaustive_runs": exhaustive_runs,
+        },
+        "exhaustive": {"cells": exhaustive_cells},
+        "adaptive": {
+            "config": plan["config"],
+            "totals": plan["totals"],
+            "cells": [
+                {
+                    "cell": cell["cell"],
+                    "runs": cell["runs"],
+                    "successes": cell["successes"],
+                    "wilson": {
+                        "lower": cell["wilson"]["lower"],
+                        "upper": cell["wilson"]["upper"],
+                    },
+                    "stop_reason": cell["stop_reason"],
+                }
+                for cell in plan["cells"]
+            ],
+        },
+        "comparison": {
+            "max_runs_ratio": MAX_RUNS_RATIO,
+            "runs_ratio": plan["totals"]["runs_used"] / exhaustive_runs,
+            "cells": comparison_cells,
+            "all_overlap": all(cell["overlap"] for cell in comparison_cells),
+            "early_stop_fired": plan["totals"]["early_stopped"] >= 1,
+        },
+    }
+
+
+def assert_gates(report: dict) -> None:
+    """The acceptance gates enforced here and by the adaptive-smoke CI job."""
+    assert report["schema"] == BENCH_SCHEMA
+    comparison = report["comparison"]
+    assert comparison["runs_ratio"] <= comparison["max_runs_ratio"], (
+        f"adaptive used {comparison['runs_ratio']:.0%} of the exhaustive grid; "
+        f"gate is {comparison['max_runs_ratio']:.0%}"
+    )
+    assert comparison["early_stop_fired"], "no cell early-stopped"
+    missed = [cell["cell"] for cell in comparison["cells"] if not cell["overlap"]]
+    assert not missed, f"adaptive CI does not overlap exhaustive CI for: {missed}"
+
+
+@pytest.mark.smoke
+def test_adaptive_halves_the_grid_with_overlapping_conclusions():
+    report = build_comparison()
+    assert_gates(report)
+
+    serialized = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / ARTIFACT_NAME).write_text(serialized)
+
+    committed = Path(__file__).parent.parent / ARTIFACT_NAME
+    if committed.exists() and runs_scale() == 1.0:
+        # The committed reference must describe this exact workload and must
+        # itself satisfy every acceptance gate.  (No byte comparison: the
+        # committed file is a reference demonstration, like the other BENCH_*
+        # artifacts, and mission floats may differ across platforms.)
+        reference = json.loads(committed.read_text())
+        assert reference["workload"] == report["workload"], (
+            f"{committed} describes a stale workload; refresh it with "
+            f"REPRO_BENCH_RESULTS_DIR=. pytest {Path(__file__).name}"
+        )
+        assert_gates(reference)

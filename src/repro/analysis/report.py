@@ -44,6 +44,7 @@ from repro.analysis.trajectory import analyze_trajectory
 from repro.core.overhead import KERNEL_STAGES, OverheadReport
 from repro.core.qof import (
     QofSummary,
+    derive_seed,
     failure_recovery_rate,
     qof_pool_confidence_intervals,
     worst_case_recovery,
@@ -374,11 +375,18 @@ class StreamingAggregator:
 
 # -------------------------------------------------------------- report builder
 def _group_seed(base_seed: int, key: GroupKey) -> int:
-    """Deterministic per-group bootstrap seed (shard-order independent)."""
-    digest = hashlib.sha1(
-        f"{key.setting}|{key.scenario}|{key.environment}".encode("utf-8")
-    ).hexdigest()
-    return (int(digest[:8], 16) + int(base_seed)) % (2**31)
+    """Deterministic per-group bootstrap seed (shard-order independent).
+
+    Delegates to :func:`repro.core.qof.derive_seed`, which hashes the key
+    parts as a canonical JSON list.  The historical ``"|".join`` payload was
+    ambiguous (a ``|`` inside a setting label could alias two distinct groups
+    onto one resample stream); the canonical encoding guarantees every group
+    draws an independent stream that depends only on its own key, so adding a
+    group to a campaign never perturbs another group's resamples.
+    """
+    return derive_seed(
+        "report-group", key.setting, key.scenario, key.environment, base=base_seed
+    )
 
 
 def _group_confidence(

@@ -155,6 +155,62 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--quiet", action="store_true", help="suppress per-run progress output"
     )
+    adaptive = campaign.add_argument_group(
+        "adaptive search",
+        description=(
+            "With --adaptive the campaign *searches* the fault space instead "
+            "of sweeping it: a budgeted sampler allocates runs across "
+            "(setting, scenario, stage) cells and early-stops each cell once "
+            "its Wilson CI on the success rate converges, then bisects each "
+            "stage's injection-time vulnerability boundary.  The audit trail "
+            "(schema adaptive-plan-v1) records every allocation and stop "
+            "decision."
+        ),
+    )
+    adaptive.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="search the fault space with CI-gated early stopping",
+    )
+    adaptive.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="total mission budget (sampling runs + bisection probes)",
+    )
+    adaptive.add_argument(
+        "--ci-width",
+        type=float,
+        default=None,
+        help="target Wilson half-width at which a cell early-stops",
+    )
+    adaptive.add_argument(
+        "--round-size",
+        type=int,
+        default=None,
+        help="runs allocated per cell per sampling round",
+    )
+    adaptive.add_argument(
+        "--no-bisect",
+        action="store_true",
+        help="skip the activation-window boundary bisection phase",
+    )
+    adaptive.add_argument(
+        "--plan-out",
+        type=Path,
+        default=None,
+        help=(
+            "audit-trail JSON file to write (schema adaptive-plan-v1; "
+            "default adaptive-plan.json)"
+        ),
+    )
+    adaptive.add_argument(
+        "--validate-plan",
+        type=Path,
+        default=None,
+        metavar="PLAN",
+        help="validate an existing adaptive-plan-v1 file and exit (no runs)",
+    )
 
     summarize = subparsers.add_parser(
         "summarize",
@@ -428,10 +484,162 @@ def _spec_label(spec: RunSpec) -> str:
     return _scenario_label(spec.setting, scenario.name if scenario else "")
 
 
+def _adaptive_cell_table(plan: Dict, title: str) -> str:
+    """Per-cell convergence summary of an ``adaptive-plan-v1`` audit trail."""
+    rows = []
+    for cell in plan["cells"]:
+        wilson = cell["wilson"]
+        if cell["runs"]:
+            rate = f"{cell['success_rate'] * 100:.0f}%"
+            interval = f"[{wilson['lower']:.2f}, {wilson['upper']:.2f}]"
+        else:
+            rate, interval = "-", "-"
+        stop = cell["stop_reason"]
+        if cell["stop_round"] is not None:
+            stop = f"{stop} (r{cell['stop_round']})"
+        rows.append([cell["cell"], cell["runs"], rate, interval, stop])
+    return format_table(
+        ["Cell", "Runs", "Success", "Wilson CI", "Stop"], rows, title=title
+    )
+
+
+def _adaptive_boundary_table(plan: Dict) -> str:
+    """Vulnerability-boundary summary of an ``adaptive-plan-v1`` audit trail."""
+    rows = []
+    for boundary in plan["boundaries"]:
+        bracket = boundary["bracket"]
+        estimate = (
+            f"{boundary['boundary']:.2f}" if boundary["boundary"] is not None else "-"
+        )
+        rows.append(
+            [
+                boundary["cell"],
+                f"[{bracket[0]:.2f}, {bracket[1]:.2f}]",
+                estimate,
+                boundary["probes"],
+                boundary["reason"],
+            ]
+        )
+    return format_table(
+        ["Cell", "Bracket [s]", "Boundary [s]", "Probes", "Reason"],
+        rows,
+        title="Activation-window bisection",
+    )
+
+
+def _run_adaptive_campaign(
+    args: argparse.Namespace,
+    campaign: Campaign,
+    settings: Sequence[str],
+    scenarios: Sequence[str],
+) -> int:
+    """The ``repro campaign --adaptive`` path: search instead of sweep."""
+    from repro.core.adaptive import (
+        DEFAULT_PLAN_NAME,
+        AdaptiveConfig,
+        AdaptiveDriver,
+        write_plan,
+    )
+
+    overrides: Dict[str, object] = {}
+    if args.budget is not None:
+        overrides["budget"] = args.budget
+    if args.ci_width is not None:
+        overrides["ci_width"] = args.ci_width
+    if args.round_size is not None:
+        overrides["round_size"] = args.round_size
+    if args.no_bisect:
+        overrides["bisect"] = False
+    adaptive_config = AdaptiveConfig(**overrides)  # type: ignore[arg-type]
+    driver = AdaptiveDriver(
+        campaign,
+        adaptive_config,
+        settings=settings,
+        scenarios=scenarios or None,
+    )
+    executor = get_executor(args.workers)
+    store = JsonlResultStore(args.out) if args.out is not None else None
+    print(
+        f"adaptive campaign: env={args.env} "
+        + (f"scenarios={','.join(scenarios)} " if scenarios else "")
+        + f"settings={','.join(settings)} cells={len(driver.cell_keys())} "
+        f"budget={adaptive_config.budget} ci-width={adaptive_config.ci_width} "
+        f"executor={executor.name}"
+        + (f" workers={executor.workers}" if hasattr(executor, "workers") else "")
+    )
+
+    done = [0]
+
+    def progress(spec: RunSpec, record) -> None:
+        done[0] += 1
+        flag = "ok" if record.success else "FAIL"
+        print(
+            f"  [{done[0]}] {spec.setting:<24s} seed={spec.seed:<4d} "
+            f"{flag} flight={record.flight_time:.1f}s",
+            flush=True,
+        )
+
+    start = time.perf_counter()
+    plan = driver.run(
+        executor=executor,
+        store=store,
+        resume=not args.no_resume,
+        on_result=None if args.quiet else progress,
+    )
+    elapsed = time.perf_counter() - start
+
+    totals = plan["totals"]
+    print(
+        _adaptive_cell_table(
+            plan,
+            title=(
+                f"Adaptive search ({totals['runs_used']}/{totals['budget']} budget, "
+                f"{totals['early_stopped']}/{totals['cells']} cells converged, "
+                f"{elapsed:.1f}s wall clock)"
+            ),
+        )
+    )
+    if plan["boundaries"]:
+        print(_adaptive_boundary_table(plan))
+    plan_path = args.plan_out if args.plan_out is not None else Path(DEFAULT_PLAN_NAME)
+    write_plan(plan, plan_path)
+    print(f"plan: {plan_path} (schema {plan['schema']})")
+    if store is not None:
+        print(f"results: {store.path} ({len(store.load_results())} missions)")
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.list_scenarios:
         print(_scenario_catalog())
         return 0
+    if args.validate_plan is not None:
+        from repro.core.adaptive import validate_plan_file
+
+        plan = validate_plan_file(args.validate_plan)
+        totals = plan["totals"]
+        print(
+            f"{args.validate_plan}: valid {plan['schema']} plan "
+            f"({totals['runs_used']}/{totals['budget']} budget, "
+            f"{totals['cells']} cells, {totals['early_stopped']} converged)"
+        )
+        return 0
+    adaptive_only = {
+        "--budget": args.budget,
+        "--ci-width": args.ci_width,
+        "--round-size": args.round_size,
+        "--plan-out": args.plan_out,
+    }
+    if args.no_bisect:
+        adaptive_only["--no-bisect"] = True
+    misapplied = [name for name, value in adaptive_only.items() if value is not None]
+    if not args.adaptive and misapplied:
+        # Refuse rather than silently ignore: without --adaptive the campaign
+        # sweeps the full grid and none of the search knobs apply.
+        raise ValueError(
+            f"{', '.join(misapplied)} appl{'ies' if len(misapplied) == 1 else 'y'} "
+            f"to the adaptive driver only; add --adaptive"
+        )
     if args.runs is not None:
         from repro.core import knobs
 
@@ -456,6 +664,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.per_stage is not None:
         config.num_injections_per_stage = args.per_stage
     campaign = Campaign(config)
+    if args.adaptive:
+        return _run_adaptive_campaign(args, campaign, settings, scenarios)
     if len(scenarios) > 1:
         # Scenario sweep: every requested setting, once per scenario.
         specs = []

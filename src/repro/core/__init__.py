@@ -12,6 +12,10 @@ analysis framework for ROS-based autonomous systems.  The package contains
   (flight time, success rate, mission energy),
 * :mod:`repro.core.campaign` -- campaign management: golden runs, fault
   injection runs and detection-and-recovery runs across environments,
+* :mod:`repro.core.adaptive` -- the adaptive campaign driver: budgeted
+  Wilson-CI-gated sampling over (setting, scenario, stage) cells,
+  activation-window boundary bisection and the ``adaptive-plan-v1`` audit
+  trail,
 * :mod:`repro.core.executor` -- the campaign execution engine: picklable
   :class:`RunSpec` mission descriptions dispatched through serial or
   process-pool executors with streaming JSONL persistence and resume,
@@ -22,6 +26,16 @@ analysis framework for ROS-based autonomous systems.  The package contains
   benchmark harnesses.
 """
 
+from repro.core.adaptive import (
+    AdaptiveConfig,
+    AdaptiveDriver,
+    BisectionOutcome,
+    CellKey,
+    bisect_boundary,
+    validate_plan,
+    validate_plan_file,
+    write_plan,
+)
 from repro.core.campaign import (
     Campaign,
     CampaignConfig,
@@ -54,9 +68,11 @@ from repro.core.qof import (
     QofMetrics,
     QofSummary,
     bootstrap_ci,
+    derive_seed,
     qof_confidence_intervals,
     qof_pool_confidence_intervals,
     summarize_runs,
+    wilson_interval,
 )
 from repro.core.results import (
     DistributionStats,
@@ -93,6 +109,16 @@ __all__ = [
     "QofSummary",
     "ConfidenceInterval",
     "bootstrap_ci",
+    "derive_seed",
+    "wilson_interval",
+    "AdaptiveConfig",
+    "AdaptiveDriver",
+    "BisectionOutcome",
+    "CellKey",
+    "bisect_boundary",
+    "validate_plan",
+    "validate_plan_file",
+    "write_plan",
     "qof_confidence_intervals",
     "qof_pool_confidence_intervals",
     "summarize_runs",

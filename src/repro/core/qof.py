@@ -9,6 +9,9 @@ aggregation over a set of mission runs.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence
 
@@ -115,16 +118,55 @@ def summarize_runs(
     )
 
 
+# --------------------------------------------------------------- seed hygiene
+def derive_seed(*parts: object, base: int = 0) -> int:
+    """Canonical RNG seed derived from a tuple of key parts.
+
+    The parts are stringified and encoded as a canonical JSON *list* before
+    hashing, so the derivation is free of separator ambiguity: unlike the
+    historical ``"|".join(parts)`` scheme, ``derive_seed("a|b", "c")`` and
+    ``derive_seed("a", "b|c")`` hash different payloads and therefore draw
+    different resample streams.  Each seed depends only on its own parts (and
+    ``base``), never on how many other keys exist or in what order they are
+    processed -- adding a cell or report group to a campaign can never perturb
+    another cell's bootstrap resamples.
+
+    The result is in ``[0, 2**31)``, directly usable with
+    :func:`numpy.random.default_rng` and :func:`bootstrap_ci`.
+    """
+    payload = json.dumps(
+        [str(part) for part in parts],
+        separators=(",", ":"),
+        ensure_ascii=True,
+        sort_keys=True,
+    )
+    digest = hashlib.sha1(payload.encode("utf-8")).digest()
+    return (int.from_bytes(digest[:8], "big") + int(base)) % (2**31)
+
+
 # ------------------------------------------------------- confidence intervals
 @dataclass(frozen=True)
 class ConfidenceInterval:
-    """Seeded percentile-bootstrap confidence interval of one statistic."""
+    """Confidence interval of one statistic (bootstrap or closed-form)."""
 
     value: float
     lower: float
     upper: float
     confidence: float
     samples: int
+
+    @property
+    def half_width(self) -> float:
+        """Half the interval width (NaN for degenerate intervals)."""
+        return (self.upper - self.lower) / 2.0
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval (False when degenerate)."""
+        return bool(self.lower <= value <= self.upper)
+
+    def overlaps(self, other: "ConfidenceInterval") -> bool:
+        """Whether two intervals intersect (False when either is degenerate)."""
+        return bool(self.lower <= other.upper and other.lower <= self.upper)
 
     def to_dict(self) -> dict:
         """JSON form of the interval."""
@@ -135,6 +177,57 @@ class ConfidenceInterval:
             "confidence": self.confidence,
             "samples": self.samples,
         }
+
+
+def wilson_interval(
+    num_success: int, num_runs: int, confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Wilson score interval of a binomial success rate.
+
+    Closed-form and deterministic (no resampling), with sensible behaviour at
+    the boundaries: an all-success or all-failure sample still gets a
+    nonzero-width interval (unlike the normal approximation), which is what
+    makes the half-width usable as an early-stopping power rule -- a cell
+    whose interval has converged below a target half-width has enough samples
+    regardless of how extreme its rate is.  An empty sample yields NaN bounds
+    (``samples == 0``), matching :func:`bootstrap_ci`'s degenerate handling.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    num_runs = int(num_runs)
+    num_success = int(num_success)
+    if num_runs < 0:
+        raise ValueError(f"num_runs must be non-negative, got {num_runs}")
+    if not 0 <= num_success <= num_runs:
+        raise ValueError(
+            f"num_success must be in [0, {num_runs}], got {num_success}"
+        )
+    if num_runs == 0:
+        nan = float("nan")
+        return ConfidenceInterval(nan, nan, nan, confidence, 0)
+    from scipy.stats import norm
+
+    z = float(norm.ppf(0.5 * (1.0 + confidence)))
+    phat = num_success / num_runs
+    denom = 1.0 + z * z / num_runs
+    center = (phat + z * z / (2.0 * num_runs)) / denom
+    spread = (
+        z
+        * math.sqrt(
+            phat * (1.0 - phat) / num_runs + z * z / (4.0 * num_runs * num_runs)
+        )
+        / denom
+    )
+    # The Wilson interval contains the point estimate by construction; the
+    # min/max against ``phat`` only repairs floating-point rounding at the
+    # 0/n and n/n boundaries (e.g. an upper bound of 0.999... for 10/10).
+    return ConfidenceInterval(
+        value=phat,
+        lower=max(0.0, min(center - spread, phat)),
+        upper=min(1.0, max(center + spread, phat)),
+        confidence=float(confidence),
+        samples=num_runs,
+    )
 
 
 def bootstrap_ci(

@@ -1,0 +1,223 @@
+"""Property tests for the statistics layer behind the adaptive driver.
+
+The adaptive campaign driver early-stops sampling cells on Wilson/bootstrap
+confidence intervals, so the statistical machinery has to be trustworthy
+before the driver's budget savings mean anything.  This module pins:
+
+* half-widths shrink (monotonically in expectation) as sample sizes grow,
+  for both the closed-form Wilson interval and the seeded bootstrap;
+* coverage sanity on Bernoulli fixtures with known ``p``;
+* ``bootstrap_ci`` degenerate pools (0/1 samples, all-identical values);
+* the canonical :func:`repro.core.qof.derive_seed` derivation -- free of
+  separator ambiguity and insensitive to which *other* keys exist, so adding
+  a cell or report group can never perturb another cell's resamples.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.report import GroupKey, _group_seed
+from repro.core.qof import (
+    ConfidenceInterval,
+    bootstrap_ci,
+    derive_seed,
+    wilson_interval,
+)
+
+
+class TestConfidenceIntervalGeometry:
+    def test_half_width_and_contains(self):
+        ci = ConfidenceInterval(value=0.5, lower=0.25, upper=0.85, samples=10, confidence=0.95)
+        assert ci.half_width == pytest.approx(0.3)
+        assert ci.contains(0.25) and ci.contains(0.85) and ci.contains(0.5)
+        assert not ci.contains(0.24) and not ci.contains(0.86)
+
+    def test_overlaps_is_symmetric(self):
+        a = ConfidenceInterval(value=0.4, lower=0.2, upper=0.6, samples=5, confidence=0.95)
+        b = ConfidenceInterval(value=0.7, lower=0.55, upper=0.9, samples=5, confidence=0.95)
+        c = ConfidenceInterval(value=0.95, lower=0.91, upper=1.0, samples=5, confidence=0.95)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c) and not c.overlaps(a)
+        # Shared endpoint counts as overlap.
+        d = ConfidenceInterval(value=0.8, lower=0.6, upper=1.0, samples=5, confidence=0.95)
+        assert a.overlaps(d) and d.overlaps(a)
+
+
+class TestWilsonInterval:
+    def test_empty_sample_is_nan(self):
+        ci = wilson_interval(0, 0)
+        assert math.isnan(ci.value) and math.isnan(ci.lower) and math.isnan(ci.upper)
+        assert ci.samples == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 4)
+        with pytest.raises(ValueError):
+            wilson_interval(1, -4)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 4, confidence=1.0)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 4, confidence=0.0)
+
+    @given(
+        num_runs=st.integers(min_value=1, max_value=500),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_interval_brackets_the_estimate(self, num_runs, data):
+        num_success = data.draw(st.integers(min_value=0, max_value=num_runs))
+        ci = wilson_interval(num_success, num_runs)
+        phat = num_success / num_runs
+        assert ci.value == pytest.approx(phat)
+        assert 0.0 <= ci.lower <= phat <= ci.upper <= 1.0
+        assert ci.samples == num_runs
+
+    @given(
+        num_runs=st.integers(min_value=1, max_value=250),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_half_width_shrinks_with_sample_size(self, num_runs, data):
+        """4x the evidence at the same rate => strictly narrower interval.
+
+        This is the driver's early-stopping power rule: a cell that keeps its
+        success rate while accumulating runs must converge, so budget always
+        flows onward eventually.
+        """
+        num_success = data.draw(st.integers(min_value=0, max_value=num_runs))
+        small = wilson_interval(num_success, num_runs)
+        large = wilson_interval(4 * num_success, 4 * num_runs)
+        assert large.half_width < small.half_width
+
+    def test_half_width_monotone_along_fixed_rate_ladder(self):
+        widths = [wilson_interval(k, 2 * k).half_width for k in (1, 2, 4, 8, 16, 32)]
+        assert widths == sorted(widths, reverse=True)
+
+    @given(confidence=st.floats(min_value=0.5, max_value=0.995))
+    @settings(max_examples=25, deadline=None)
+    def test_wider_confidence_wider_interval(self, confidence):
+        narrow = wilson_interval(7, 10, confidence=confidence)
+        wide = wilson_interval(7, 10, confidence=0.999)
+        assert wide.half_width >= narrow.half_width
+
+    def test_coverage_on_known_bernoulli(self):
+        """Deterministic coverage sanity: ~95% of intervals contain p."""
+        p = 0.3
+        num_runs = 50
+        datasets = 400
+        rng = np.random.default_rng(1234)
+        covered = 0
+        for _ in range(datasets):
+            successes = int(rng.binomial(num_runs, p))
+            if wilson_interval(successes, num_runs, confidence=0.95).contains(p):
+                covered += 1
+        coverage = covered / datasets
+        # The Wilson interval's coverage oscillates around the nominal level;
+        # the assertion is a (generous, fully seeded) sanity band, not an
+        # exact calibration claim.
+        assert 0.88 <= coverage <= 1.0
+
+
+class TestBootstrapHalfWidths:
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_half_width_shrinks_in_expectation(self, seed):
+        """Mean bootstrap half-width over seeds shrinks from n to 4n."""
+        rng = np.random.default_rng(seed)
+        population = rng.normal(10.0, 2.0, size=400)
+        small_widths = []
+        large_widths = []
+        for offset in range(8):
+            small = population[: 25]
+            large = population[: 100]
+            small_widths.append(
+                bootstrap_ci(small, np.mean, n_resamples=200, seed=offset).half_width
+            )
+            large_widths.append(
+                bootstrap_ci(large, np.mean, n_resamples=200, seed=offset).half_width
+            )
+        assert float(np.mean(large_widths)) < float(np.mean(small_widths))
+
+    def test_degenerate_pools_pinned(self):
+        """0/1 samples -> NaN interval; identical values -> zero width."""
+        empty = bootstrap_ci([], np.mean)
+        assert math.isnan(empty.value) and math.isnan(empty.lower)
+        assert empty.samples == 0
+
+        single = bootstrap_ci([3.5], np.mean)
+        assert math.isnan(single.lower) and math.isnan(single.upper)
+        assert single.samples == 1
+
+        identical = bootstrap_ci([2.0] * 12, np.mean)
+        assert identical.value == pytest.approx(2.0)
+        assert identical.lower == pytest.approx(2.0)
+        assert identical.upper == pytest.approx(2.0)
+        assert identical.half_width == pytest.approx(0.0)
+
+    def test_bootstrap_coverage_on_known_bernoulli(self):
+        """Seeded bootstrap CI on Bernoulli(p) means covers p most of the time."""
+        p = 0.4
+        rng = np.random.default_rng(99)
+        covered = 0
+        datasets = 100
+        for i in range(datasets):
+            flags = rng.binomial(1, p, size=60).astype(float)
+            ci = bootstrap_ci(sorted(flags), np.mean, n_resamples=300, seed=i)
+            if ci.lower <= p <= ci.upper:
+                covered += 1
+        assert covered / datasets >= 0.80
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_in_range(self):
+        a = derive_seed("adaptive", "injection", "planning")
+        assert a == derive_seed("adaptive", "injection", "planning")
+        assert 0 <= a < 2**31
+
+    def test_separator_ambiguity_resolved(self):
+        """The historical '|'.join scheme collided on these; sha-of-JSON-list
+        must not."""
+        assert derive_seed("a|b", "c") != derive_seed("a", "b|c")
+        assert derive_seed("a", "b", "c") != derive_seed("a|b", "c")
+        assert derive_seed("ab", "c") != derive_seed("a", "bc")
+
+    def test_base_offsets_stream(self):
+        assert derive_seed("x", base=0) != derive_seed("x", base=1)
+
+    def test_independent_of_other_keys(self):
+        """A key's seed depends only on its own parts: adding a cell to a
+        campaign can never perturb another cell's resamples."""
+        before = derive_seed("cell", "injection", "planning", "3")
+        # "Add" arbitrarily many other cells -- derive their seeds too.
+        for stage in ("perception", "control", "ekf", "imu"):
+            derive_seed("cell", "injection", stage, "3")
+        after = derive_seed("cell", "injection", "planning", "3")
+        assert before == after
+
+    @given(
+        parts=st.lists(st.text(min_size=0, max_size=8), min_size=1, max_size=4),
+        base=st.integers(min_value=0, max_value=2**20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_always_a_valid_rng_seed(self, parts, base):
+        seed = derive_seed(*parts, base=base)
+        assert 0 <= seed < 2**31
+        np.random.default_rng(seed)  # must be accepted verbatim
+
+    def test_report_group_seed_uses_canonical_derivation(self):
+        """Regression for the report layer's group-seed fix: group seeds are
+        the canonical derivation, so ambiguous name splits cannot collide."""
+        base = 7
+        key = GroupKey(setting="injection", scenario="windy-a", environment="farm")
+        assert _group_seed(base, key) == derive_seed(
+            "report-group", "injection", "windy-a", "farm", base=base
+        )
+        shifted = GroupKey(setting="injection", scenario="windy", environment="a|farm")
+        assert _group_seed(base, key) != _group_seed(base, shifted)
