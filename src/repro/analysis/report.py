@@ -274,6 +274,11 @@ class StreamingAggregator:
     Both passes see shards as *sets*, so the outcome is invariant to the
     order the shards are supplied in, and identical duplicate records (the
     same mission appended by two campaign passes) aggregate exactly once.
+
+    Harness-failure records (``{"key", "failure"}`` lines written by the
+    resilience engine) are routed out of the mission election entirely: they
+    never compete with result records for a spec key, and are deduplicated
+    across shards by canonical digest into :attr:`failures`.
     """
 
     def __init__(self, stores: Sequence[StorePath]) -> None:
@@ -288,6 +293,15 @@ class StreamingAggregator:
         self.groups: Dict[GroupKey, GroupAggregate] = {}
         #: One detection accumulator per (environment, scenario, detector).
         self.detection: Dict[Tuple[str, str, str], DetectionAccumulator] = {}
+        #: Unique harness-failure payloads, canonically ordered.
+        self.failures: List[Dict] = []
+        #: Spec keys that still have a surviving mission record.
+        self.winner_keys: set = set()
+        #: ``(path, ShardHealth)`` per shard, sorted by path.
+        self.shard_healths = sorted(
+            ((str(store.path), store.shard_health()) for store in self.stores),
+            key=lambda item: item[0],
+        )
         self._aggregate()
 
     @property
@@ -306,10 +320,29 @@ class StreamingAggregator:
         # superseded[key] = digests some shard shows an override for.
         candidates: Dict[str, set] = {}
         superseded: Dict[str, set] = {}
+        failure_digests: set = set()
+        failure_records: List[Tuple[Tuple, Dict]] = []
         for store in self.stores:
             shard_digests: Dict[str, set] = {}
             shard_last: Dict[str, str] = {}
             for record in store.iter_records():
+                if "failure" in record:
+                    digest = self._digest(record)
+                    if digest not in failure_digests:
+                        failure_digests.add(digest)
+                        payload = record["failure"]
+                        failure_records.append(
+                            (
+                                (
+                                    record["key"],
+                                    payload.get("attempt", 0),
+                                    payload.get("error_type", ""),
+                                    digest,
+                                ),
+                                payload,
+                            )
+                        )
+                    continue
                 self.total_records += 1
                 key = record["key"]
                 digest = self._digest(record)
@@ -330,12 +363,17 @@ class StreamingAggregator:
             # cycle): fall back to the pure tie-break over all of them.
             winners[key] = max(eligible) if eligible else max(shard_lasts)
         self.unique_missions = len(winners)
+        self.winner_keys = set(winners)
+        failure_records.sort(key=lambda item: item[0])
+        self.failures = [payload for _, payload in failure_records]
 
         # Pass 2: aggregate each key's winner exactly once.  Only contested
         # keys need their digests recomputed to identify the winning record.
         consumed = set()
         for store in self.stores:
             for record in store.iter_records():
+                if "failure" in record:
+                    continue
                 key = record["key"]
                 if key in consumed:
                     continue
@@ -517,6 +555,48 @@ def _recovery_rows(aggregator: StreamingAggregator) -> List[Dict]:
     return rows
 
 
+def _harness_failure_section(aggregator: StreamingAggregator) -> Dict:
+    """Summarise captured harness failures for the report bundle.
+
+    ``rows`` counts unique failure records per (setting, error type, outcome);
+    the totals count *specs*: quarantined (hit the strike limit), failed
+    (exhausted their attempts), recovered (had failures but a surviving
+    mission record exists -- the retry ladder won).
+    """
+    rows: Dict[Tuple[str, str, str], int] = {}
+    keys_seen = set()
+    quarantined = set()
+    failed = set()
+    for payload in aggregator.failures:
+        spec_key = payload.get("spec_key", "")
+        setting = payload.get("setting", "")
+        error_type = payload.get("error_type", "")
+        outcome = payload.get("outcome", "")
+        rows[(setting, error_type, outcome)] = rows.get(
+            (setting, error_type, outcome), 0
+        ) + 1
+        keys_seen.add(spec_key)
+        if outcome == "quarantined":
+            quarantined.add(spec_key)
+        elif outcome == "failed":
+            failed.add(spec_key)
+    return {
+        "total": len(aggregator.failures),
+        "rows": [
+            {
+                "setting": setting,
+                "error_type": error_type,
+                "outcome": outcome,
+                "count": count,
+            }
+            for (setting, error_type, outcome), count in sorted(rows.items())
+        ],
+        "specs_quarantined": len(quarantined),
+        "specs_failed": len(failed - quarantined),
+        "specs_recovered": len(keys_seen & aggregator.winner_keys),
+    }
+
+
 def build_report(
     stores: Sequence[StorePath],
     confidence: float = 0.95,
@@ -564,6 +644,11 @@ def build_report(
         "groups": groups,
         "detection_accuracy": accuracy_rows,
         "recovery": _recovery_rows(aggregator),
+        "harness_failures": _harness_failure_section(aggregator),
+        "shard_health": [
+            {"path": path, **health.to_dict()}
+            for path, health in aggregator.shard_healths
+        ],
     }
     validate_report(report)
     return report
@@ -711,6 +796,44 @@ def validate_report(report: Dict) -> None:
             )
         for field_name in ("worst_case_recovery", "failure_recovery_rate"):
             _check_optional_number(row.get(field_name), f"{label}.{field_name}")
+
+    failures = report.get("harness_failures")
+    _require(isinstance(failures, dict), "missing 'harness_failures' object")
+    for field_name in ("total", "specs_quarantined", "specs_failed", "specs_recovered"):
+        _require(
+            isinstance(failures.get(field_name), int) and failures[field_name] >= 0,
+            f"harness_failures.{field_name} must be a non-negative integer",
+        )
+    failure_rows = failures.get("rows")
+    _require(isinstance(failure_rows, list), "harness_failures.rows must be a list")
+    for i, row in enumerate(failure_rows):
+        label = f"harness_failures.rows[{i}]"
+        _require(isinstance(row, dict), f"{label} must be an object")
+        for field_name in ("setting", "error_type", "outcome"):
+            _require(
+                isinstance(row.get(field_name), str),
+                f"{label}.{field_name} must be a string",
+            )
+        _require(
+            isinstance(row.get("count"), int) and row["count"] > 0,
+            f"{label}.count must be a positive integer",
+        )
+    _require(
+        sum(row["count"] for row in failure_rows) == failures["total"],
+        "harness_failures.total must equal the sum of row counts",
+    )
+
+    health = report.get("shard_health")
+    _require(isinstance(health, list), "missing 'shard_health' list")
+    for i, row in enumerate(health):
+        label = f"shard_health[{i}]"
+        _require(isinstance(row, dict), f"{label} must be an object")
+        _require(isinstance(row.get("path"), str), f"{label}.path must be a string")
+        for field_name in ("intact", "failures", "torn", "corrupt"):
+            _require(
+                isinstance(row.get(field_name), int) and row[field_name] >= 0,
+                f"{label}.{field_name} must be a non-negative integer",
+            )
 
 
 def validate_report_file(path: Union[str, Path]) -> Dict:
@@ -942,6 +1065,23 @@ def _render_recovery(recovery_rows: List[Dict]) -> str:
     )
 
 
+def _render_failures(failures: Dict) -> str:
+    rows = [
+        [row["setting"], row["error_type"], row["outcome"], str(row["count"])]
+        for row in failures["rows"]
+    ]
+    table = format_table(
+        ["Setting", "Error type", "Outcome", "Count"],
+        rows,
+        title="Harness failures (resilience engine)",
+    )
+    return table + (
+        f"\n  specs: {failures['specs_recovered']} recovered by retry, "
+        f"{failures['specs_failed']} failed, "
+        f"{failures['specs_quarantined']} quarantined"
+    )
+
+
 def render_report(report: Dict) -> str:
     """The full paper bundle of a report dict as one text block."""
     groups = report["groups"]
@@ -955,6 +1095,14 @@ def render_report(report: Dict) -> str:
             f"{report['records']['duplicates_dropped']} duplicates dropped)"
         ),
     ]
+    corrupt = [
+        row for row in report.get("shard_health", []) if row["corrupt"] > 0
+    ]
+    for row in corrupt:
+        header.append(
+            f"WARNING: shard {row['path']} has {row['corrupt']} corrupt "
+            f"record(s) (mid-file, not a torn tail) -- results may be missing"
+        )
     sections = [
         "\n".join(header),
         _render_table1(groups),
@@ -965,6 +1113,9 @@ def render_report(report: Dict) -> str:
         _render_detection(report["detection_accuracy"]),
         _render_recovery(report["recovery"]),
     ]
+    failures = report.get("harness_failures")
+    if failures and failures["total"] > 0:
+        sections.append(_render_failures(failures))
     return "\n\n".join(sections)
 
 

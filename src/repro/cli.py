@@ -29,7 +29,7 @@ import sys
 import time
 from dataclasses import replace
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_table
 from repro.core.campaign import (
@@ -154,6 +154,40 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--quiet", action="store_true", help="suppress per-run progress output"
+    )
+    resilience = campaign.add_argument_group(
+        "resilience",
+        description=(
+            "Failure capture, bounded retry, wall-clock watchdog and "
+            "quarantine (on by default).  Harness failures become structured "
+            "records in the JSONL store instead of crashing the campaign; "
+            "retried specs are bit-identical to an unfailed run.  Flags "
+            "override the REPRO_MAX_ATTEMPTS / REPRO_TASK_TIMEOUT / "
+            "REPRO_QUARANTINE_STRIKES / REPRO_POOL_RESPAWNS knobs."
+        ),
+    )
+    resilience.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help="attempts per spec before it is recorded as failed (default 3)",
+    )
+    resilience.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-task wall-clock watchdog in seconds (default: off)",
+    )
+    resilience.add_argument(
+        "--quarantine-strikes",
+        type=int,
+        default=None,
+        help="hang/timeout strikes before a spec is quarantined (default 2)",
+    )
+    resilience.add_argument(
+        "--no-resilience",
+        action="store_true",
+        help="legacy behaviour: first harness failure crashes the campaign",
     )
     adaptive = campaign.add_argument_group(
         "adaptive search",
@@ -360,7 +394,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     lint = subparsers.add_parser(
         "lint",
-        help="determinism & fork-safety static analysis (RL001..RL006)",
+        help="determinism & fork-safety static analysis (RL001..RL007)",
         description=(
             "AST lint of the engine for replay-breaking constructs: unseeded "
             "randomness, wall-clock reads in sim paths, fork-unsafe "
@@ -648,6 +682,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     scenarios = [s.strip() for s in (args.scenario or "").split(",") if s.strip()]
     for name in scenarios:
         get_scenario(name)  # Fail fast on a typo, before anything flies.
+    if not scenarios and args.env not in EXTENDED_ENVIRONMENT_NAMES:
+        # Fail fast here too: the resilience engine would otherwise retry
+        # and record the deterministic per-spec KeyError instead of
+        # surfacing the configuration error.
+        raise ValueError(
+            f"unknown environment '{args.env}'; "
+            f"expected one of {tuple(EXTENDED_ENVIRONMENT_NAMES)}"
+        )
     config = CampaignConfig(
         environment=args.env,
         env_seed=args.env_seed,
@@ -677,6 +719,35 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         specs = _campaign_specs(campaign, settings)
     executor = get_executor(args.workers)
     store = JsonlResultStore(args.out) if args.out is not None else None
+
+    policy = None
+    failures: List = []
+    if not args.no_resilience:
+        from repro.core.resilience import ResiliencePolicy
+
+        base = ResiliencePolicy.from_knobs()
+        policy = ResiliencePolicy(
+            max_attempts=(
+                args.max_attempts if args.max_attempts is not None else base.max_attempts
+            ),
+            task_timeout=(
+                args.task_timeout if args.task_timeout is not None else base.task_timeout
+            ),
+            quarantine_strikes=(
+                args.quarantine_strikes
+                if args.quarantine_strikes is not None
+                else base.quarantine_strikes
+            ),
+            max_pool_respawns=base.max_pool_respawns,
+        )
+    elif any(
+        value is not None
+        for value in (args.max_attempts, args.task_timeout, args.quarantine_strikes)
+    ):
+        raise ValueError(
+            "--max-attempts/--task-timeout/--quarantine-strikes configure the "
+            "resilience engine; drop --no-resilience to use them"
+        )
 
     already = 0
     if store is not None and not args.no_resume:
@@ -711,11 +782,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         store=store,
         resume=not args.no_resume,
         on_result=None if args.quiet else progress,
+        policy=policy,
+        on_failure=failures.append,
     )
     elapsed = time.perf_counter() - start
 
     by_setting: Dict[str, List] = {}
     for spec, record in zip(specs, results):
+        if record is None:
+            continue  # failed/quarantined under the resilience policy
         by_setting.setdefault(_spec_label(spec), []).append(record)
     scope = ",".join(scenarios) if scenarios else args.env
     print(
@@ -724,9 +799,28 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             title=f"Campaign summary ({scope}, {elapsed:.1f}s wall clock)",
         )
     )
+    if failures:
+        print(_failure_table(failures))
     if store is not None:
         print(f"results: {store.path} ({len(store.load_results())} missions)")
     return 0
+
+
+def _failure_table(failures: Sequence) -> str:
+    """Render captured harness failures grouped by (error type, outcome)."""
+    lines = [f"Harness failures ({len(failures)} captured):"]
+    groups: Dict[Tuple[str, str], int] = {}
+    lost = set()
+    for record in failures:
+        groups[(record.error_type, record.outcome)] = (
+            groups.get((record.error_type, record.outcome), 0) + 1
+        )
+        if record.outcome in ("failed", "quarantined"):
+            lost.add(record.spec_key)
+    for (error_type, outcome), count in sorted(groups.items()):
+        lines.append(f"  {error_type:<24s} {outcome:<12s} x{count}")
+    lines.append(f"  specs without a surviving result: {len(lost)}")
+    return "\n".join(lines)
 
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
@@ -774,6 +868,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
         bootstrap_seed=args.seed,
         title=args.title,
     )
+    for row in report.get("shard_health", []):
+        if row["corrupt"] > 0:
+            print(
+                f"WARNING: shard {row['path']} has {row['corrupt']} corrupt "
+                f"record(s); the surviving records were aggregated",
+                file=sys.stderr,
+            )
     if not report["records"]["unique"]:
         print(f"no intact records in {', '.join(str(p) for p in args.results)}")
         return 1

@@ -285,6 +285,8 @@ class Campaign:
         resume: bool = True,
         extra_detectors: Optional[Mapping[str, object]] = None,
         on_result=None,
+        policy=None,
+        on_failure=None,
     ) -> List[RunRecord]:
         """Dispatch a batch of run specs through the execution engine.
 
@@ -300,6 +302,11 @@ class Campaign:
         dispatching with in-memory ``gad``/``aad`` objects but no
         ``detector_cache_dir`` to pin them raises, because the workers'
         reconstruction could silently diverge from the serial result.
+
+        A ``policy`` (:class:`~repro.core.resilience.ResiliencePolicy`)
+        enables failure capture/retry/quarantine; failed or quarantined
+        specs come back as ``None`` entries and their failure records land
+        in the store and the ``on_failure`` callback.
         """
         specs = list(specs)
         if executor is None:
@@ -343,6 +350,8 @@ class Campaign:
             resume=resume,
             on_result=on_result,
             known_results=known,
+            policy=policy,
+            on_failure=on_failure,
         )
 
     def _fault_plan(

@@ -393,6 +393,16 @@ class CheckpointManager:
         cursor.advance_before(limit_time)
         self.stats.cursor_sim_seconds += cursor.t - before
 
+    def discard(self, prefix_key: str) -> None:
+        """Drop the cursor for one prefix (no-op when absent).
+
+        The resilience engine calls this after a failed execution attempt: a
+        mission that raised mid-flight may have advanced its group's cursor
+        past states the retry needs, and a rebuilt cursor is bit-identical by
+        construction, so dropping it makes retries deterministic.
+        """
+        self._cursors.pop(prefix_key, None)
+
     def reset(self) -> None:
         """Drop every cursor and zero the statistics."""
         self._cursors.clear()

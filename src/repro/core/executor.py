@@ -29,23 +29,44 @@ import copy
 import hashlib
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    as_completed,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import (
     TYPE_CHECKING,
     Callable,
+    Deque,
     Dict,
     Iterable,
     List,
     Mapping,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Union,
 )
 
 from repro.core import knobs
 from repro.core.injector import FaultInjectorNode, FaultPlan
+from repro.core.resilience import (
+    OUTCOME_QUARANTINED,
+    OUTCOME_RETRIED,
+    ChaosSchedule,
+    FailureCallback,
+    FailureRecord,
+    ResiliencePolicy,
+    attribute_lost_task,
+    guarded_execute,
+    hang_failure,
+    run_spec_resilient,
+)
 from repro.pipeline.builder import (
     PipelineConfig,
     build_pipeline,
@@ -360,6 +381,51 @@ def _execute_group_task(
     return out, delta
 
 
+class _WatchdogTimeout(Exception):
+    """Internal: a pool task overran the resilience policy's wall-clock budget."""
+
+
+def _execute_group_task_resilient(
+    groups: Sequence[GroupTask],
+    policy: ResiliencePolicy,
+    schedule: Optional[ChaosSchedule],
+    bases: Dict[str, int],
+) -> Tuple[List[Tuple[int, str, Optional[MissionResult]]], List[FailureRecord], Dict]:
+    """Worker entry point under a resilience policy.
+
+    Like :func:`_execute_group_task`, but every spec goes through the
+    capture/retry ladder: the return carries ``(position, status, result)``
+    triples (status ``"ok"``/``"failed"``/``"hang"``) plus the failure
+    records the attempts produced.  Failure events ride back with the task
+    result rather than being persisted worker-side, so the parent remains
+    the only writer; a task lost to a crash or watchdog kill loses them too,
+    and the parent reconstructs them via
+    :func:`repro.core.resilience.attribute_lost_task`.  ``bases`` maps spec
+    keys to already-consumed attempt counts (requeues after a crash).
+    """
+    from repro.core import checkpoint
+
+    before = checkpoint.checkpoint_stats().raw_dict()
+    entries: List[Tuple[int, str, Optional[MissionResult]]] = []
+    events: List[FailureRecord] = []
+    for pairs, blob in groups:
+        if blob is not None and checkpoint.checkpointing_enabled():
+            checkpoint.manager().seed_snapshot(blob)
+        for pos, spec in pairs:
+            status, result, _ = guarded_execute(
+                spec,
+                None,
+                policy,
+                schedule,
+                bases.get(spec.key(), 0),
+                events.append,
+                in_worker=True,
+            )
+            entries.append((pos, status, result))
+    delta = checkpoint.diff_raw(checkpoint.checkpoint_stats().raw_dict(), before)
+    return entries, events, delta
+
+
 def _init_worker(payload: Optional[Dict]) -> None:
     """Pool initializer: adopt the parent's shipped construction state.
 
@@ -510,15 +576,36 @@ class SerialExecutor:
 
     name = "serial"
     distributed = False
+    supports_resilience = True
 
     def map(
         self,
         specs: Iterable[RunSpec],
         on_result: Optional[ResultCallback] = None,
         detectors: Optional[Mapping[str, object]] = None,
-    ) -> List[MissionResult]:
-        """Execute ``specs`` in order; returns results in the same order."""
-        results: List[MissionResult] = []
+        policy: Optional[ResiliencePolicy] = None,
+        on_failure: Optional[FailureCallback] = None,
+    ) -> List[Optional[MissionResult]]:
+        """Execute ``specs`` in order; returns results in the same order.
+
+        Without a ``policy`` the historical contract holds: any mission
+        exception propagates and every returned entry is a result.  With one,
+        each spec goes through the capture/retry/quarantine ladder
+        (:mod:`repro.core.resilience`); failed or quarantined specs yield
+        ``None`` entries and their :class:`FailureRecord`\\ s flow through
+        ``on_failure``.  This executor is the determinism reference the
+        parallel resilient path must match record for record.
+        """
+        results: List[Optional[MissionResult]] = []
+        if policy is not None:
+            schedule = ChaosSchedule.from_knobs()
+            emit = on_failure if on_failure is not None else (lambda record: None)
+            for spec in specs:
+                result = run_spec_resilient(spec, detectors, policy, schedule, emit)
+                if result is not None and on_result is not None:
+                    on_result(spec, result)
+                results.append(result)
+            return results
         for spec in specs:
             result = execute_spec(spec, detectors)
             if on_result is not None:
@@ -563,6 +650,7 @@ class ParallelExecutor:
 
     name = "parallel"
     distributed = True
+    supports_resilience = True
 
     def __init__(
         self,
@@ -680,14 +768,29 @@ class ParallelExecutor:
         specs: Iterable[RunSpec],
         on_result: Optional[ResultCallback] = None,
         detectors: Optional[Mapping[str, object]] = None,
-    ) -> List[MissionResult]:
+        policy: Optional[ResiliencePolicy] = None,
+        on_failure: Optional[FailureCallback] = None,
+    ) -> List[Optional[MissionResult]]:
         """Execute ``specs`` across the pool; returns results in spec order.
 
         ``on_result`` fires as results arrive (completion order); the returned
         list is always in submission order, bit-identical to the serial path.
+
+        With a ``policy``, dispatch is resilient: mission exceptions become
+        retried/persisted :class:`FailureRecord`\\ s instead of dead pools, a
+        wall-clock watchdog bounds each pool task, hanging specs are
+        quarantined after ``quarantine_strikes``, and a broken pool is
+        rebuilt up to ``max_pool_respawns`` times (only unfinished work is
+        requeued) before the batch degrades to in-process serial execution.
+        Failed/quarantined specs yield ``None`` entries.
         """
         from repro.core import checkpoint
 
+        # Reset per-map telemetry up front: a misuse error below or an early
+        # serial fallback must not leave stale stats from the previous map()
+        # visible to callers.
+        self.last_effective_workers = 0
+        self.last_checkpoint_stats = None
         specs = list(specs)
         unshippable = {
             spec.detector
@@ -705,14 +808,14 @@ class ParallelExecutor:
             )
         workers = self._effective_workers(specs)
         if workers <= 1 or len(specs) <= 1:
-            return self._serial_fallback(specs, on_result, detectors)
+            return self._serial_fallback(specs, on_result, detectors, policy, on_failure)
         # Scenario names resolve through the parent's registry; workers may
         # not have custom registrations, so ship resolved Scenario objects.
         specs = [materialize_scenario(spec) for spec in specs]
         tasks = self._group_tasks(specs)
         workers = min(workers, len(tasks))
         if workers <= 1:
-            return self._serial_fallback(specs, on_result, detectors)
+            return self._serial_fallback(specs, on_result, detectors, policy, on_failure)
         self.last_effective_workers = workers
 
         ctx = multiprocessing.get_context(self.start_method)
@@ -727,6 +830,11 @@ class ParallelExecutor:
                 [(pairs, self._group_snapshot(pairs)) for pairs in task]
                 for task in tasks
             ]
+        if policy is not None:
+            return self._resilient_pool_map(
+                specs, shipped, workers, ctx, payload,
+                on_result, on_failure, policy, parent_before,
+            )
         stats = checkpoint.CheckpointStats()
         results: List[Optional[MissionResult]] = [None] * len(specs)
         with ProcessPoolExecutor(
@@ -749,37 +857,282 @@ class ParallelExecutor:
             checkpoint.diff_raw(checkpoint.checkpoint_stats().raw_dict(), parent_before)
         )
         self.last_checkpoint_stats = stats
-        return list(results)  # type: ignore[arg-type]
+        return list(results)
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Terminate a broken/overrunning pool without waiting on it.
+
+        ``shutdown(cancel_futures=True)`` alone never kills *running* workers
+        -- a hung task would wedge the shutdown forever -- so the worker
+        processes are terminated directly first.
+        """
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            except OSError:
+                continue
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _resilient_pool_map(
+        self,
+        specs: Sequence[RunSpec],
+        shipped: Sequence[List[GroupTask]],
+        workers: int,
+        ctx,
+        payload: Optional[Dict],
+        on_result: Optional[ResultCallback],
+        on_failure: Optional[FailureCallback],
+        policy: ResiliencePolicy,
+        parent_before: Dict,
+    ) -> List[Optional[MissionResult]]:
+        """Pool dispatch with the capture/retry/quarantine/degrade ladder.
+
+        Submission is windowed (at most ``workers`` futures in flight) so the
+        per-task wall-clock watchdog measures *running* tasks, not queue
+        time.  On ``BrokenProcessPool`` or a watchdog overrun the pool is
+        killed and rebuilt, lost in-flight work is reconstructed via
+        :func:`~repro.core.resilience.attribute_lost_task` (chaos faults) or
+        the singleton-suspect heuristic (genuine timeouts), and only
+        unfinished specs are requeued -- as singleton tasks, so the next
+        overrun isolates its culprit.  After ``max_pool_respawns`` rebuilds
+        the remaining work degrades to in-process serial execution (chaos
+        faults are then simulated cooperatively, so degradation always
+        terminates; a *genuine* hang in degraded mode would stall the parent
+        -- raise ``REPRO_POOL_RESPAWNS`` if that is a live risk).
+
+        Checkpoint statistics are best-effort under resilience: deltas of
+        lost tasks die with their pool and are not re-counted on requeue.
+        """
+        import time  # harness watchdog only; sim time stays on the middleware clock
+
+        from repro.core import checkpoint
+
+        schedule = ChaosSchedule.from_knobs()
+        stats = checkpoint.CheckpointStats()
+        results: List[Optional[MissionResult]] = [None] * len(specs)
+        attempts: Dict[str, int] = {}
+        strikes: Dict[str, int] = {}
+        quarantined: Set[str] = set()
+        emitted: Set[Tuple[str, int, str, str]] = set()
+
+        def emit(record: FailureRecord) -> None:
+            # Requeued work can re-derive an event a prior incarnation already
+            # produced; the identity dedup keeps the shard single-voiced.
+            identity = record.identity()
+            if identity in emitted:
+                return
+            emitted.add(identity)
+            if on_failure is not None:
+                on_failure(record)
+
+        def hang_strike(spec: RunSpec) -> bool:
+            """Record one hang strike; True when the spec is now quarantined."""
+            key = spec.key()
+            if key in quarantined:
+                return True
+            strikes[key] = strikes.get(key, 0) + 1
+            final = strikes[key] >= policy.quarantine_strikes
+            emit(hang_failure(
+                spec, strikes[key],
+                OUTCOME_QUARANTINED if final else OUTCOME_RETRIED,
+            ))
+            if final:
+                quarantined.add(key)
+            return final
+
+        def requeue(pos: int, spec: RunSpec, base: int) -> None:
+            attempts[spec.key()] = base
+            pending.append(([([(pos, spec)], None)], {spec.key(): base}))
+
+        def live_task(task: List[GroupTask]) -> List[GroupTask]:
+            kept: List[GroupTask] = []
+            for pairs, blob in task:
+                alive = [(pos, spec) for pos, spec in pairs if spec.key() not in quarantined]
+                if alive:
+                    kept.append((alive, blob))
+            return kept
+
+        def harvest(value: Tuple) -> None:
+            entries, events, delta = value
+            stats.merge(delta)
+            for record in events:
+                emit(record)
+            for pos, status, result in entries:
+                if status == "ok" and result is not None:
+                    results[pos] = result
+                    if on_result is not None:
+                        on_result(specs[pos], result)
+                elif status == "hang":
+                    # Cooperative hang report (no watchdog configured, or the
+                    # sleep outlived it); same ladder as a watchdog kill.
+                    spec = specs[pos]
+                    if not hang_strike(spec):
+                        requeue(pos, spec, attempts.get(spec.key(), 0))
+                # "failed": every attempt's record already rode in events.
+
+        pending: Deque[Tuple[List[GroupTask], Dict[str, int]]] = deque(
+            (list(task), {}) for task in shipped
+        )
+        respawns = 0
+        degraded = False
+        while pending:
+            if respawns > policy.max_pool_respawns:
+                degraded = True
+                break
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(payload,),
+            )
+            in_flight: Dict = {}
+            try:
+                while pending or in_flight:
+                    while pending and len(in_flight) < workers:
+                        task, bases = pending.popleft()
+                        task = live_task(task)
+                        if not task:
+                            continue
+                        future = pool.submit(
+                            _execute_group_task_resilient,
+                            task, policy, schedule, bases,
+                        )
+                        deadline = None
+                        if policy.task_timeout is not None:
+                            # repro-lint: disable=RL002 harness watchdog deadline, not simulated time
+                            deadline = time.monotonic() + policy.task_timeout
+                        in_flight[future] = (task, bases, deadline)
+                    if not in_flight:
+                        break
+                    deadlines = [d for (_, _, d) in in_flight.values() if d is not None]
+                    timeout = None
+                    if deadlines:
+                        # repro-lint: disable=RL002 harness watchdog deadline, not simulated time
+                        timeout = max(0.0, min(deadlines) - time.monotonic())
+                    done, _ = wait(set(in_flight), timeout=timeout, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        # Harvest before dropping the bookkeeping: .result()
+                        # raises BrokenProcessPool when a worker died, and the
+                        # task must still be in in_flight for the attribution
+                        # pass below to see (and requeue) it.
+                        harvest(future.result())
+                        in_flight.pop(future)
+                    if not done and deadlines:
+                        # repro-lint: disable=RL002 harness watchdog deadline, not simulated time
+                        now = time.monotonic()
+                        if any(d is not None and now >= d for (_, _, d) in in_flight.values()):
+                            raise _WatchdogTimeout()
+            except (BrokenProcessPool, _WatchdogTimeout) as failure:
+                respawns += 1
+                self._kill_pool(pool)
+                timed_out = isinstance(failure, _WatchdogTimeout)
+                # repro-lint: disable=RL002 harness watchdog deadline, not simulated time
+                now = time.monotonic()
+                for future, (task, bases, deadline) in list(in_flight.items()):
+                    if future.done() and future.exception() is None:
+                        # Completed between the failure and the kill; its
+                        # results are real -- harvest, don't re-run.
+                        harvest(future.result())
+                        continue
+                    pairs = [(pos, spec) for group, _ in task for pos, spec in group]
+                    dispositions = attribute_lost_task(
+                        pairs, policy, schedule, attempts, emit,
+                        crashed=not timed_out,
+                    )
+                    expired = timed_out and deadline is not None and now >= deadline
+                    culprit = any(kind != "requeue" for kind, _, _, _ in dispositions)
+                    for kind, pos, spec, base in dispositions:
+                        key = spec.key()
+                        if kind == "hang":
+                            if not hang_strike(spec):
+                                requeue(pos, spec, attempts.get(key, 0))
+                        elif kind == "exhausted":
+                            attempts[key] = base
+                        elif kind == "crash-requeue":
+                            requeue(pos, spec, base)
+                        else:  # innocent requeue
+                            if expired and not culprit and len(dispositions) == 1:
+                                # Singleton suspect: this task alone overran
+                                # the watchdog and chaos explains nothing --
+                                # treat it as a genuine hang strike.
+                                if hang_strike(spec):
+                                    continue
+                            requeue(pos, spec, base)
+                in_flight.clear()
+            else:
+                pool.shutdown()
+                break
+        if degraded and pending:
+            # Graceful degradation: finish the remaining work in-process.
+            # Chaos crashes/hangs are simulated cooperatively here, so a
+            # chaos-ridden campaign always converges.
+            for task, bases in pending:
+                for pairs, _blob in live_task(task):
+                    for pos, spec in pairs:
+                        key = spec.key()
+                        if schedule is not None and schedule.hangs(key):
+                            while not hang_strike(spec):
+                                pass
+                            continue
+                        status, result, _ = guarded_execute(
+                            spec, None, policy, schedule,
+                            attempts.get(key, bases.get(key, 0)),
+                            emit, in_worker=False,
+                        )
+                        if status == "ok" and result is not None:
+                            results[pos] = result
+                            if on_result is not None:
+                                on_result(specs[pos], result)
+            pending.clear()
+        stats.merge(
+            checkpoint.diff_raw(checkpoint.checkpoint_stats().raw_dict(), parent_before)
+        )
+        self.last_checkpoint_stats = stats
+        return list(results)
 
     def _serial_fallback(
         self,
         specs: Sequence[RunSpec],
         on_result: Optional[ResultCallback],
         detectors: Optional[Mapping[str, object]],
-    ) -> List[MissionResult]:
+        policy: Optional[ResiliencePolicy] = None,
+        on_failure: Optional[FailureCallback] = None,
+    ) -> List[Optional[MissionResult]]:
         """Run in-process (clamped to one worker) with full stats accounting.
 
         Specs execute in cache-friendly order -- the same per-group monotonic
         order the pool path uses -- so the fallback keeps the zero
         duplicate-cursor-builds invariant; results come back in submission
         order, and ``on_result`` fires in execution order like the pool's
-        completion-order callbacks.
+        completion-order callbacks.  With a ``policy`` the specs go through
+        the same serial resilience ladder as :class:`SerialExecutor`.
         """
         from repro.core import checkpoint
 
         before = checkpoint.checkpoint_stats().raw_dict()
         order = sorted(range(len(specs)), key=lambda i: cache_order_key(specs[i]))
         results: List[Optional[MissionResult]] = [None] * len(specs)
-        for i in order:
-            result = execute_spec(specs[i], detectors)
-            results[i] = result
-            if on_result is not None:
-                on_result(specs[i], result)
+        if policy is not None:
+            schedule = ChaosSchedule.from_knobs()
+            emit = on_failure if on_failure is not None else (lambda record: None)
+            for i in order:
+                result = run_spec_resilient(specs[i], detectors, policy, schedule, emit)
+                results[i] = result
+                if result is not None and on_result is not None:
+                    on_result(specs[i], result)
+        else:
+            for i in order:
+                result = execute_spec(specs[i], detectors)
+                results[i] = result
+                if on_result is not None:
+                    on_result(specs[i], result)
         stats = checkpoint.CheckpointStats()
         stats.merge(checkpoint.diff_raw(checkpoint.checkpoint_stats().raw_dict(), before))
         self.last_checkpoint_stats = stats
         self.last_effective_workers = 1
-        return list(results)  # type: ignore[arg-type]
+        return list(results)
 
 
 def get_executor(workers: Optional[int] = None):
@@ -799,7 +1152,9 @@ def execute_specs(
     resume: bool = True,
     on_result: Optional[ResultCallback] = None,
     known_results: Optional[Dict[str, MissionResult]] = None,
-) -> List[MissionResult]:
+    policy: Optional[ResiliencePolicy] = None,
+    on_failure: Optional[FailureCallback] = None,
+) -> List[Optional[MissionResult]]:
     """Run ``specs`` through ``executor`` with optional JSONL persistence.
 
     When ``store`` is given, every completed run is appended to it as soon as
@@ -809,6 +1164,13 @@ def execute_specs(
     ``known_results`` lets a caller that already parsed the store (e.g.
     :meth:`Campaign.run_specs`) pass the key->result map in instead of having
     it re-read from disk.
+
+    With a ``policy`` the run goes through the resilience ladder: failures
+    become structured :class:`~repro.core.resilience.FailureRecord` lines in
+    the store (and ``on_failure`` callbacks), retries/timeouts/quarantine
+    apply, and the returned list holds ``None`` for specs that produced no
+    surviving result.  Without a policy behaviour is unchanged: any mission
+    exception propagates and the list has no ``None`` entries.
     """
     specs = list(specs)
     if executor is None:
@@ -831,6 +1193,8 @@ def execute_specs(
     # executor -- is affected.
     pending = cache_friendly_order(pending)
 
+    schedule = ChaosSchedule.from_knobs() if policy is not None else None
+
     def record(spec: RunSpec, result: MissionResult) -> None:
         if store is not None:
             store.append(
@@ -838,20 +1202,54 @@ def execute_specs(
                 result,
                 meta={"setting": spec.setting, "seed": spec.seed, "index": spec.index},
             )
+            if schedule is not None:
+                # Chaos shard faults: splice junk *after* the real record so
+                # the record itself survives; resume/report must tolerate it.
+                action = schedule.shard_action(spec.key())
+                if action is not None:
+                    store.append_junk(action)
         if on_result is not None:
             on_result(spec, result)
 
-    fresh = executor.map(pending, on_result=record, detectors=detectors)
+    def capture(record_obj: FailureRecord) -> None:
+        if store is not None:
+            store.append_failure(
+                record_obj.spec_key,
+                record_obj.to_dict(),
+                meta={
+                    "setting": record_obj.setting,
+                    "seed": record_obj.seed,
+                    "index": record_obj.index,
+                },
+            )
+        if on_failure is not None:
+            on_failure(record_obj)
+
+    if policy is not None and getattr(executor, "supports_resilience", False):
+        fresh = executor.map(
+            pending,
+            on_result=record,
+            detectors=detectors,
+            policy=policy,
+            on_failure=capture,
+        )
+    else:
+        fresh = executor.map(pending, on_result=record, detectors=detectors)
     for spec, result in zip(pending, fresh):
-        known[spec.key()] = result
+        if result is not None:
+            known[spec.key()] = result
     # Duplicate keys (same mission requested twice) are flown once but must
     # yield independent records, so callers mutating one entry don't silently
     # mutate its twin.
     emitted = set()
-    ordered: List[MissionResult] = []
+    ordered: List[Optional[MissionResult]] = []
     for spec in specs:
         spec_key = spec.key()
-        result = known[spec_key]
-        ordered.append(copy.deepcopy(result) if spec_key in emitted else result)
+        result = known.get(spec_key)
+        ordered.append(
+            copy.deepcopy(result)
+            if result is not None and spec_key in emitted
+            else result
+        )
         emitted.add(spec_key)
     return ordered

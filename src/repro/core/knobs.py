@@ -71,12 +71,84 @@ def _parse_str(name: str, raw: str) -> str:
     return raw
 
 
+def _parse_nonneg_int(name: str, raw: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a non-negative integer, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"{name} must be a non-negative integer, got {raw!r}")
+    return value
+
+
+def _parse_positive_int(name: str, raw: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(f"{name} must be a positive integer, got {raw!r}")
+    return value
+
+
+def _parse_timeout_seconds(name: str, raw: str) -> float:
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a number of seconds, got {raw!r}"
+        ) from None
+    if math.isnan(value) or math.isinf(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {raw!r}")
+    return value
+
+
+#: Fault kinds a chaos schedule may inject, in documentation order.
+CHAOS_FAULT_KINDS: Tuple[str, ...] = ("raise", "crash", "hang", "torn", "garbage")
+
+
+def _parse_chaos_spec(name: str, raw: str) -> Dict[str, float]:
+    """Parse ``"raise=0.3,crash=0.15,..."`` into a rate-per-kind dict."""
+    rates: Dict[str, float] = {}
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        kind, sep, rate_text = part.partition("=")
+        kind = kind.strip()
+        if not sep or kind not in CHAOS_FAULT_KINDS:
+            raise ValueError(
+                f"{name} entries must be kind=rate with kind in "
+                f"{'/'.join(CHAOS_FAULT_KINDS)}, got {part!r}"
+            )
+        if kind in rates:
+            raise ValueError(f"{name} repeats fault kind {kind!r}")
+        try:
+            rate = float(rate_text)
+        except ValueError:
+            raise ValueError(
+                f"{name} rate for {kind!r} must be a number, got {rate_text!r}"
+            ) from None
+        if math.isnan(rate) or not 0.0 <= rate <= 1.0:
+            raise ValueError(
+                f"{name} rate for {kind!r} must be in [0, 1], got {rate_text!r}"
+            )
+        rates[kind] = rate
+    if not rates:
+        raise ValueError(f"{name} must name at least one kind=rate entry")
+    return rates
+
+
 @dataclass(frozen=True)
 class Knob:
     """One declared environment knob."""
 
     name: str
-    kind: str  # "flag" | "float" | "int" | "path"
+    kind: str  # "flag" | "float" | "int" | "path" | "str"
     description: str
     #: Human-readable statement of what an unset knob means.
     default: str
@@ -189,6 +261,75 @@ RUNS = _register(Knob(
     default="1.0",
     parse=_parse_runs_scale,
     empty_is_unset=False,
+))
+
+CHAOS = _register(Knob(
+    name="REPRO_CHAOS",
+    kind="str",
+    description=(
+        "Chaos-harness fault schedule as comma-separated kind=rate entries "
+        "(kinds: raise/crash/hang/torn/garbage, rates in [0, 1]); faults are "
+        "drawn deterministically per spec key from REPRO_CHAOS_SEED."
+    ),
+    default="chaos harness off",
+    parse=_parse_chaos_spec,
+))
+
+CHAOS_SEED = _register(Knob(
+    name="REPRO_CHAOS_SEED",
+    kind="int",
+    description=(
+        "Seed mixed into every chaos-harness fault draw; the same schedule, "
+        "seed and spec set replays the exact same faults."
+    ),
+    default="0",
+    parse=_parse_nonneg_int,
+))
+
+MAX_ATTEMPTS = _register(Knob(
+    name="REPRO_MAX_ATTEMPTS",
+    kind="int",
+    description=(
+        "Maximum execution attempts per spec under a resilience policy "
+        "(first run plus retries) before the spec is recorded as failed."
+    ),
+    default="3",
+    parse=_parse_positive_int,
+))
+
+TASK_TIMEOUT = _register(Knob(
+    name="REPRO_TASK_TIMEOUT",
+    kind="float",
+    description=(
+        "Wall-clock watchdog, in seconds, applied per pool task by the "
+        "resilient parallel executor; an overrunning task's worker is killed "
+        "and the task's specs are retried or quarantined."
+    ),
+    default="watchdog off",
+    parse=_parse_timeout_seconds,
+))
+
+QUARANTINE_STRIKES = _register(Knob(
+    name="REPRO_QUARANTINE_STRIKES",
+    kind="int",
+    description=(
+        "Hang/crash strikes a single spec may accumulate before the "
+        "resilience policy quarantines it for the rest of the campaign."
+    ),
+    default="2",
+    parse=_parse_positive_int,
+))
+
+POOL_RESPAWNS = _register(Knob(
+    name="REPRO_POOL_RESPAWNS",
+    kind="int",
+    description=(
+        "Process-pool rebuilds the resilient parallel executor attempts "
+        "after BrokenProcessPool/timeout before degrading to the serial "
+        "path (0 = degrade on the first pool loss)."
+    ),
+    default="2",
+    parse=_parse_nonneg_int,
 ))
 
 

@@ -1,0 +1,509 @@
+"""Campaign resilience engine: failure capture, retry policy and chaos.
+
+The paper's methodology is thousands of fault-injected missions flown to
+completion; a campaign driver that dies wholesale when *one* mission raises,
+one worker process is OOM-killed or one spec hangs cannot fly them.  This
+module supplies the monitor half that the checkpoint/resume machinery always
+assumed existed:
+
+* :class:`FailureRecord` -- the structured, JSONL-persisted form of a mission
+  that did not produce a result (exception, worker crash, hang), carrying the
+  spec key, error identity, attempt number and final outcome so the report
+  engine can account for every spec the campaign touched.
+* :class:`ResiliencePolicy` -- bounded deterministic retry, a per-task
+  wall-clock watchdog, poisoned-spec quarantine after N hang strikes, and a
+  bounded pool-respawn budget before the parallel executor degrades to the
+  serial path.
+* :class:`ChaosSchedule` -- a seeded fault schedule that injects worker
+  crashes, mission exceptions, hangs and torn/garbage shard writes into the
+  harness itself.  Every chaos decision is a pure function of (schedule seed,
+  spec key, attempt), so the serial and parallel executors draw the *same*
+  faults for the same specs and a chaos-ridden campaign converges to
+  bit-identical surviving results vs a clean run.
+
+The capture -> retry -> quarantine -> degrade ladder lives here; the
+executors (:mod:`repro.core.executor`) thread it through their dispatch
+paths, and :class:`~repro.core.results.JsonlResultStore` persists the
+failure records next to the mission results they explain.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import knobs
+from repro.core.qof import derive_seed
+
+# Failure outcomes, in ladder order.
+OUTCOME_RETRIED = "retried"
+OUTCOME_FAILED = "failed"
+OUTCOME_QUARANTINED = "quarantined"
+
+#: Normalised error types for harness-level (non-exception) failures.  Fixed
+#: strings -- never wall-clock values -- so the serial and parallel executors
+#: emit byte-identical failure records for the same chaos draw.
+HANG_ERROR_TYPE = "HangTimeout"
+CRASH_ERROR_TYPE = "WorkerCrash"
+HANG_MESSAGE = "task exceeded its wall-clock watchdog"
+CRASH_MESSAGE = "worker process died mid-task"
+
+#: Exit status a chaos-crashed worker dies with (visible in pool post-mortems).
+CHAOS_CRASH_EXIT_CODE = 17
+
+
+class ChaosMissionError(RuntimeError):
+    """Chaos-injected mission exception (``REPRO_CHAOS`` ``raise`` kind)."""
+
+
+def _raise_chaos(attempt: int) -> None:
+    """Single raise site for chaos mission exceptions.
+
+    Both the live execution path and the parent's lost-task replay raise
+    through this helper, so the captured innermost traceback frame -- part of
+    the failure digest -- is identical wherever the record is produced.
+    """
+    raise ChaosMissionError(f"chaos: injected mission exception (attempt {attempt})")
+
+
+# ------------------------------------------------------------ failure records
+def failure_digest(
+    error_type: str, message: str, frame: Optional[Tuple[str, int, str]] = None
+) -> str:
+    """Stable identity of one failure mode (canonical JSON, sha1 prefix)."""
+    payload = json.dumps(
+        [error_type, message, list(frame) if frame is not None else None],
+        sort_keys=True,
+    )
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """Structured record of one failed execution attempt of one spec.
+
+    ``attempt`` is 1-based; for hang records it counts quarantine *strikes*
+    rather than execution attempts (a hanging spec never completes an
+    attempt).  ``outcome`` states what the policy did next: ``retried`` (the
+    spec ran again), ``failed`` (attempts exhausted) or ``quarantined``
+    (strikes exhausted; the spec is withheld for the rest of the campaign).
+    """
+
+    spec_key: str
+    setting: str
+    seed: int
+    index: int
+    error_type: str
+    message: str
+    traceback_digest: str
+    attempt: int
+    outcome: str
+
+    def identity(self) -> Tuple[str, int, str, str]:
+        """Dedup identity: one attempt of one spec fails at most once."""
+        return (self.spec_key, self.attempt, self.error_type, self.traceback_digest)
+
+    def to_dict(self) -> Dict:
+        return {
+            "spec_key": self.spec_key,
+            "setting": self.setting,
+            "seed": int(self.seed),
+            "index": int(self.index),
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback_digest": self.traceback_digest,
+            "attempt": int(self.attempt),
+            "outcome": self.outcome,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FailureRecord":
+        return cls(
+            spec_key=str(data["spec_key"]),
+            setting=str(data.get("setting", "")),
+            seed=int(data.get("seed", 0)),
+            index=int(data.get("index", 0)),
+            error_type=str(data["error_type"]),
+            message=str(data.get("message", "")),
+            traceback_digest=str(data.get("traceback_digest", "")),
+            attempt=int(data.get("attempt", 1)),
+            outcome=str(data.get("outcome", OUTCOME_FAILED)),
+        )
+
+
+#: Callback invoked once per captured failure record.
+FailureCallback = Callable[[FailureRecord], None]
+
+
+def failure_from_exception(
+    spec, exc: BaseException, attempt: int, outcome: str
+) -> FailureRecord:
+    """Normalised record of a raising mission attempt.
+
+    The digest hashes the exception type, message and innermost traceback
+    frame (basename, line, function) -- all of which are identical whether
+    the spec raised in the parent or in a worker, so serial and parallel
+    campaigns produce identical failure-record sets.
+    """
+    frame: Optional[Tuple[str, int, str]] = None
+    tb = exc.__traceback__
+    while tb is not None:
+        code = tb.tb_frame.f_code
+        frame = (os.path.basename(code.co_filename), tb.tb_lineno, code.co_name)
+        tb = tb.tb_next
+    error_type = type(exc).__name__
+    message = str(exc)
+    return FailureRecord(
+        spec_key=spec.key(),
+        setting=spec.setting,
+        seed=int(spec.seed),
+        index=int(spec.index),
+        error_type=error_type,
+        message=message,
+        traceback_digest=failure_digest(error_type, message, frame),
+        attempt=int(attempt),
+        outcome=outcome,
+    )
+
+
+def hang_failure(spec, strike: int, outcome: str) -> FailureRecord:
+    """Normalised record of one hang strike (watchdog kill or chaos hang)."""
+    return FailureRecord(
+        spec_key=spec.key(),
+        setting=spec.setting,
+        seed=int(spec.seed),
+        index=int(spec.index),
+        error_type=HANG_ERROR_TYPE,
+        message=HANG_MESSAGE,
+        traceback_digest=failure_digest(HANG_ERROR_TYPE, HANG_MESSAGE),
+        attempt=int(strike),
+        outcome=outcome,
+    )
+
+
+def crash_failure(spec, attempt: int, outcome: str) -> FailureRecord:
+    """Normalised record of a worker-crash attempt."""
+    return FailureRecord(
+        spec_key=spec.key(),
+        setting=spec.setting,
+        seed=int(spec.seed),
+        index=int(spec.index),
+        error_type=CRASH_ERROR_TYPE,
+        message=CRASH_MESSAGE,
+        traceback_digest=failure_digest(CRASH_ERROR_TYPE, CRASH_MESSAGE),
+        attempt=int(attempt),
+        outcome=outcome,
+    )
+
+
+# ---------------------------------------------------------------------- policy
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Bounded-retry / watchdog / quarantine / degradation configuration.
+
+    Picklable plain data so the parallel executor can ship it to workers.
+    ``task_timeout`` of ``None`` disables the wall-clock watchdog (hangs are
+    then only caught when chaos simulates them cooperatively).
+    """
+
+    max_attempts: int = 3
+    task_timeout: Optional[float] = None
+    quarantine_strikes: int = 2
+    max_pool_respawns: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.quarantine_strikes < 1:
+            raise ValueError(
+                f"quarantine_strikes must be >= 1, got {self.quarantine_strikes}"
+            )
+        if self.max_pool_respawns < 0:
+            raise ValueError(
+                f"max_pool_respawns must be >= 0, got {self.max_pool_respawns}"
+            )
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(
+                f"task_timeout must be positive or None, got {self.task_timeout}"
+            )
+
+    @classmethod
+    def from_knobs(cls) -> "ResiliencePolicy":
+        """Policy as configured by the ``REPRO_*`` resilience knobs."""
+        max_attempts = knobs.value("REPRO_MAX_ATTEMPTS")
+        timeout = knobs.value("REPRO_TASK_TIMEOUT")
+        strikes = knobs.value("REPRO_QUARANTINE_STRIKES")
+        respawns = knobs.value("REPRO_POOL_RESPAWNS")
+        return cls(
+            max_attempts=3 if max_attempts is None else int(max_attempts),
+            task_timeout=None if timeout is None else float(timeout),
+            quarantine_strikes=2 if strikes is None else int(strikes),
+            max_pool_respawns=2 if respawns is None else int(respawns),
+        )
+
+
+# ------------------------------------------------------------------ chaos plan
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """Seeded fault schedule injected into the harness itself.
+
+    Every decision is a deterministic function of (seed, fault kind, spec
+    key[, attempt]): the same schedule replays the same faults regardless of
+    executor, worker count or completion order.  ``hangs`` is deliberately
+    *attempt-independent* -- a hang models a persistent pathology that only
+    the quarantine ladder resolves -- while ``crashes`` and
+    ``mission_raises`` are per-(key, attempt), modelling transient faults a
+    retry can clear.
+    """
+
+    raise_rate: float = 0.0
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    torn_rate: float = 0.0
+    garbage_rate: float = 0.0
+    seed: int = 0
+
+    @classmethod
+    def from_knobs(cls) -> Optional["ChaosSchedule"]:
+        """The ``REPRO_CHAOS`` schedule, or ``None`` when chaos is off."""
+        rates = knobs.value("REPRO_CHAOS")
+        if rates is None:
+            return None
+        assert isinstance(rates, dict)
+        seed = knobs.value("REPRO_CHAOS_SEED")
+        return cls(
+            raise_rate=float(rates.get("raise", 0.0)),
+            crash_rate=float(rates.get("crash", 0.0)),
+            hang_rate=float(rates.get("hang", 0.0)),
+            torn_rate=float(rates.get("torn", 0.0)),
+            garbage_rate=float(rates.get("garbage", 0.0)),
+            seed=0 if seed is None else int(seed),
+        )
+
+    def _draw(self, kind: str, *parts: object) -> float:
+        seed = derive_seed("chaos", kind, *parts, base=self.seed)
+        return float(np.random.default_rng(seed).random())
+
+    def mission_raises(self, key: str, attempt: int) -> bool:
+        """Whether this spec's ``attempt`` raises a :class:`ChaosMissionError`."""
+        return self._draw("raise", key, attempt) < self.raise_rate
+
+    def crashes(self, key: str, attempt: int) -> bool:
+        """Whether this spec's ``attempt`` kills its worker process."""
+        return self._draw("crash", key, attempt) < self.crash_rate
+
+    def hangs(self, key: str) -> bool:
+        """Whether this spec hangs (persistently; attempt-independent)."""
+        return self._draw("hang", key) < self.hang_rate
+
+    def shard_action(self, key: str) -> Optional[str]:
+        """Shard damage to inject after this spec's record: torn/garbage/None."""
+        if self._draw("torn", key) < self.torn_rate:
+            return "torn"
+        if self._draw("garbage", key) < self.garbage_rate:
+            return "garbage"
+        return None
+
+
+# ------------------------------------------------------------ guarded running
+def discard_checkpoint_cursor(spec) -> None:
+    """Drop the golden-prefix cursor a failed attempt may have corrupted.
+
+    A mission that raised mid-flight can leave its group's cursor advanced
+    past states the retry needs; dropping it forces a clean rebuild, and
+    cursor rebuilds are bit-deterministic, so the retried result is
+    bit-identical to a first-try run.
+    """
+    from repro.core import checkpoint
+
+    if checkpoint.checkpointing_enabled():
+        checkpoint.manager().discard(spec.prefix_key())
+
+
+def _hang_in_worker(policy: ResiliencePolicy) -> None:
+    """Cooperatively simulate a hang inside a worker process.
+
+    With a watchdog configured the sleep overshoots it by 4x, so the parent
+    observes a real timeout and kills the pool mid-sleep.  Without one the
+    sleep returns and the worker reports the hang cooperatively -- the
+    quarantine ladder works either way.
+    """
+    import time
+
+    if policy.task_timeout is not None:
+        time.sleep(policy.task_timeout * 4.0)
+    else:
+        time.sleep(0.05)
+
+
+def guarded_execute(
+    spec,
+    detectors: Optional[Mapping[str, object]],
+    policy: ResiliencePolicy,
+    schedule: Optional[ChaosSchedule],
+    base_attempt: int,
+    emit: FailureCallback,
+    in_worker: bool = False,
+) -> Tuple[str, Optional[object], int]:
+    """One spec through the capture/retry ladder; returns (status, result, attempts).
+
+    Status is ``"ok"`` (result attached), ``"failed"`` (attempts exhausted;
+    every attempt emitted a :class:`FailureRecord`) or ``"hang"`` (the chaos
+    schedule marks the spec as hanging; strike accounting is the *caller's*
+    job, because strikes accumulate across pool respawns).  ``base_attempt``
+    is how many attempts previous incarnations (e.g. before a worker crash)
+    already consumed; numbering continues from there so the serial and
+    parallel executors emit identical attempt sequences.
+
+    In a worker (``in_worker=True``) a chaos crash is a real ``os._exit`` --
+    the parent reconstructs the record via :func:`attribute_lost_task` -- and
+    a chaos hang really sleeps into the watchdog.  In the parent, both are
+    simulated cooperatively with identical records.
+    """
+    from repro.core.executor import execute_spec
+
+    key = spec.key()
+    if schedule is not None and schedule.hangs(key):
+        if in_worker:
+            _hang_in_worker(policy)
+        return ("hang", None, base_attempt)
+    attempt = base_attempt
+    while attempt < policy.max_attempts:
+        attempt += 1
+        last = attempt >= policy.max_attempts
+        outcome = OUTCOME_FAILED if last else OUTCOME_RETRIED
+        if schedule is not None and schedule.crashes(key, attempt):
+            if in_worker:
+                os._exit(CHAOS_CRASH_EXIT_CODE)
+            emit(crash_failure(spec, attempt, outcome))
+            continue
+        try:
+            if schedule is not None and schedule.mission_raises(key, attempt):
+                _raise_chaos(attempt)
+            result = execute_spec(spec, detectors)
+            return ("ok", result, attempt)
+        except Exception as exc:
+            # Deliberate broad capture: this is the one place harness-level
+            # failure capture happens, and every exception becomes a
+            # persisted FailureRecord rather than a dead campaign.
+            discard_checkpoint_cursor(spec)
+            emit(failure_from_exception(spec, exc, attempt, outcome))
+    return ("failed", None, attempt)
+
+
+def run_spec_resilient(
+    spec,
+    detectors: Optional[Mapping[str, object]],
+    policy: ResiliencePolicy,
+    schedule: Optional[ChaosSchedule],
+    emit: FailureCallback,
+) -> Optional[object]:
+    """Serial-reference resilient execution of one spec (hang ladder included).
+
+    A hanging spec walks the full quarantine ladder immediately (strike
+    records 1..quarantine_strikes, the last marked ``quarantined``) -- the
+    exact record sequence the parallel executor accumulates across watchdog
+    kills -- and yields no result.
+    """
+    if schedule is not None and schedule.hangs(spec.key()):
+        for strike in range(1, policy.quarantine_strikes + 1):
+            last = strike == policy.quarantine_strikes
+            emit(hang_failure(spec, strike, OUTCOME_QUARANTINED if last else OUTCOME_RETRIED))
+        return None
+    _, result, _ = guarded_execute(
+        spec, detectors, policy, schedule, 0, emit, in_worker=False
+    )
+    return result
+
+
+# ------------------------------------------------- lost-pool-task attribution
+def attribute_lost_task(
+    ordered_pairs: Sequence[Tuple[int, object]],
+    policy: ResiliencePolicy,
+    schedule: Optional[ChaosSchedule],
+    attempts: Mapping[str, int],
+    emit: FailureCallback,
+    crashed: bool = True,
+) -> List[Tuple[str, int, object, int]]:
+    """Reconstruct what a lost pool task was doing when its pool died.
+
+    A broken/timed-out pool loses every in-flight task wholesale -- results,
+    failure events and all.  Because chaos decisions are pure functions of
+    (seed, key, attempt), the parent can replay the schedule over the task's
+    ``(position, spec)`` pairs *in execution order* and recover exactly which
+    spec hung or crashed, which raise attempts preceded the crash (their
+    records are re-emitted here, since the requeue resumes past them), and
+    which specs were innocent bystanders to requeue untouched.
+
+    Returns ``(kind, position, spec, base_attempt)`` dispositions in task
+    order, with ``kind`` one of ``"hang"`` (caller strikes/quarantines),
+    ``"crash-requeue"`` (the crash culprit; re-run from past the crash
+    attempt), ``"requeue"`` (innocent; re-run from ``base_attempt``, the
+    replay regenerates its lost records/result bit-for-bit) or
+    ``"exhausted"`` (final attempt crashed; records emitted, no result
+    possible).  Without chaos every spec is simply requeued -- genuine
+    timeout suspicion is the caller's singleton-task heuristic.
+
+    ``crashed=False`` marks a loss by *watchdog timeout* rather than a dead
+    pool: the task may simply have been slow, so only hang attribution is
+    trusted.  Crash/raise replay is skipped -- the task had not necessarily
+    reached those attempts, and if a chaos crash really is scheduled the
+    requeued task will hit it and break the pool, at which point the replay
+    emits the identical records (the dedup makes this idempotent).
+    """
+    dispositions: List[Tuple[str, int, object, int]] = []
+    culprit_found = False
+    for pos, spec in ordered_pairs:
+        key = spec.key()
+        base = int(attempts.get(key, 0))
+        if culprit_found or schedule is None:
+            dispositions.append(("requeue", pos, spec, base))
+            continue
+        if schedule.hangs(key):
+            # The worker slept into the watchdog here; nothing after it ran.
+            dispositions.append(("hang", pos, spec, base))
+            culprit_found = True
+            continue
+        if not crashed:
+            dispositions.append(("requeue", pos, spec, base))
+            continue
+        crash_attempt = None
+        raise_attempts: List[int] = []
+        attempt = base
+        while attempt < policy.max_attempts:
+            attempt += 1
+            if schedule.crashes(key, attempt):
+                crash_attempt = attempt
+                break
+            if schedule.mission_raises(key, attempt):
+                raise_attempts.append(attempt)
+                continue
+            break  # this attempt would have completed; spec is innocent
+        if crash_attempt is None:
+            # Completed (or exhausted its attempts) without killing the
+            # worker; requeue from the original base so the re-run replays
+            # the identical attempt sequence and regenerates the lost
+            # records/result bit-for-bit.
+            dispositions.append(("requeue", pos, spec, base))
+            continue
+        for raise_attempt in raise_attempts:
+            # Re-raise through the shared raise site so the replayed record
+            # (the worker's copy died with the pool) is byte-identical to
+            # the one the worker would have returned.
+            try:
+                _raise_chaos(raise_attempt)
+            except ChaosMissionError as exc:
+                emit(failure_from_exception(spec, exc, raise_attempt, OUTCOME_RETRIED))
+        last = crash_attempt >= policy.max_attempts
+        emit(crash_failure(spec, crash_attempt, OUTCOME_FAILED if last else OUTCOME_RETRIED))
+        if last:
+            dispositions.append(("exhausted", pos, spec, crash_attempt))
+        else:
+            dispositions.append(("crash-requeue", pos, spec, crash_attempt))
+        culprit_found = True
+    return dispositions

@@ -138,7 +138,11 @@ def flight_outcome_from_dict(data: Dict) -> FlightOutcome:
 #: added the detection-timing fields (``first_alarm_time``,
 #: ``first_alarm_time_by_stage``, ``injection_time``); version-1 records (no
 #: ``format`` marker) load with those fields at their "unknown" defaults.
-RESULT_FORMAT_VERSION = 2
+#: Version 3 allows harness *failure* records (``{"key", "meta", "failure":
+#: {...}}`` lines from the resilience engine) to interleave with mission
+#: results in the same shard; the result-dict shape itself is unchanged, so
+#: version-2 shards load identically.
+RESULT_FORMAT_VERSION = 3
 
 
 def mission_result_to_dict(result: MissionResult) -> Dict:
@@ -250,6 +254,36 @@ def mission_results_equal(a: MissionResult, b: MissionResult) -> bool:
 
 
 # ----------------------------------------------------------------- JSONL store
+@dataclass
+class ShardHealth:
+    """Line-level health census of one JSONL shard.
+
+    ``intact`` counts mission-result records and ``failures`` harness-failure
+    records.  ``torn`` counts a truncated *final* line (the benign signature
+    of a killed writer; at most 1 by construction) while ``corrupt`` counts
+    undecodable or wrong-shaped lines anywhere *before* the end of file --
+    those cannot come from a torn append and indicate real shard damage.
+    """
+
+    intact: int = 0
+    failures: int = 0
+    torn: int = 0
+    corrupt: int = 0
+
+    @property
+    def is_clean(self) -> bool:
+        """Whether the shard shows no mid-file corruption (torn tails are ok)."""
+        return self.corrupt == 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "intact": self.intact,
+            "failures": self.failures,
+            "torn": self.torn,
+            "corrupt": self.corrupt,
+        }
+
+
 class JsonlResultStore:
     """Append-only JSONL persistence of keyed mission results.
 
@@ -289,45 +323,81 @@ class JsonlResultStore:
         path_text = str(self.path)
         return f"JsonlResultStore({path_text!r})"
 
-    def _iter_records(self) -> Iterable[Dict]:
+    def _iter_records(self, health: Optional[ShardHealth] = None) -> Iterable[Dict]:
         if not self.path.exists():
             return
         with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
+            for raw_line in handle:
+                # A line without a trailing newline is by construction the
+                # file's final line: only there can an undecodable payload be
+                # the benign torn tail of a killed writer.  Anything
+                # undecodable (or wrong-shaped) *with* a newline survived a
+                # complete write and is real corruption, not a torn append.
+                terminal = not raw_line.endswith("\n")
+                line = raw_line.strip()
                 if not line:
                     continue
                 try:
-                    record = json.loads(line)
+                    record: object = json.loads(line)
                 except json.JSONDecodeError:
-                    # Torn tail of an interrupted campaign; the spec will
-                    # simply be re-run.
-                    continue
-                if isinstance(record, dict) and "key" in record and "result" in record:
+                    record = None
+                if isinstance(record, dict) and "key" in record and (
+                    "result" in record or "failure" in record
+                ):
+                    if health is not None:
+                        if "result" in record:
+                            health.intact += 1
+                        else:
+                            health.failures += 1
                     yield record
+                elif health is not None:
+                    if record is None and terminal:
+                        health.torn += 1
+                    else:
+                        health.corrupt += 1
 
     def iter_records(self) -> Iterable[Dict]:
         """Stream every intact raw record in file order (constant memory).
 
         Unlike :meth:`load_records` nothing is materialised: the report
         engine uses this to aggregate arbitrarily large shards line by line.
+        Yields both mission-result records (``"result"`` key) and harness
+        failure records (``"failure"`` key).
         """
         return self._iter_records()
 
+    def shard_health(self) -> ShardHealth:
+        """Line-level census distinguishing a torn tail from corruption."""
+        health = ShardHealth()
+        for _ in self._iter_records(health=health):
+            pass
+        return health
+
     def completed_keys(self) -> set:
-        """Keys of every intact record in the store."""
-        return {record["key"] for record in self._iter_records()}
+        """Keys of every intact mission-result record in the store.
+
+        Failure records deliberately do not count as completed: a spec whose
+        every attempt failed is re-run when the campaign resumes.
+        """
+        return {
+            record["key"] for record in self._iter_records() if "result" in record
+        }
 
     def load_results(self) -> Dict[str, MissionResult]:
-        """All intact records as ``key -> MissionResult`` (last write wins)."""
+        """All intact results as ``key -> MissionResult`` (last write wins)."""
         return {
             record["key"]: mission_result_from_dict(record["result"])
             for record in self._iter_records()
+            if "result" in record
         }
 
     def load_records(self) -> List[Dict]:
         """All intact raw records, in file order (``meta`` preserved)."""
         return list(self._iter_records())
+
+    def load_failures(self) -> List[Dict]:
+        """All intact harness-failure records, in file order."""
+        return [record for record in self._iter_records() if "failure" in record]
 
     def append(
         self, key: str, result: MissionResult, meta: Optional[Dict] = None
@@ -340,6 +410,41 @@ class JsonlResultStore:
         a fresh line whenever the file does not end in a newline.
         """
         record = {"key": key, "meta": meta or {}, "result": mission_result_to_dict(result)}
+        # sort_keys keeps shard bytes invariant to how the record dict
+        # was assembled (canonical serialization; see repro lint RL005).
+        self._append_text(json.dumps(record, sort_keys=True) + "\n")
+
+    def append_failure(
+        self, key: str, failure: Dict, meta: Optional[Dict] = None
+    ) -> None:
+        """Append one keyed harness-failure record (flushed immediately).
+
+        The ``failure`` dict is the serialised form of a
+        :class:`repro.core.resilience.FailureRecord`; it shares the shard
+        with mission results so a single file tells the whole story of a
+        campaign, including the specs that never produced a result.
+        """
+        record = {"key": key, "meta": meta or {}, "failure": failure}
+        self._append_text(json.dumps(record, sort_keys=True) + "\n")
+
+    def append_junk(self, kind: str) -> None:
+        """Chaos-harness hook: deliberately damage the shard's byte stream.
+
+        ``"torn"`` appends a truncated JSON fragment with no trailing newline
+        (the signature of a killed writer) and forgets the tail check so the
+        next real append exercises the newline-repair path; ``"garbage"``
+        appends a complete non-JSON line.  Both are *additive* -- no real
+        record is overwritten -- so surviving results stay bit-identical.
+        """
+        if kind == "torn":
+            self._append_text('{"key": "chaos-torn", "meta"')
+            self._tail_checked = False
+        elif kind == "garbage":
+            self._append_text("%% chaos garbage line %%\n")
+        else:
+            raise ValueError(f"unknown shard junk kind: {kind!r}")
+
+    def _append_text(self, text: str) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         needs_newline = False
         if not self._tail_checked:
@@ -353,10 +458,9 @@ class JsonlResultStore:
         with self.path.open("a", encoding="utf-8") as handle:
             if needs_newline:
                 handle.write("\n")
-            # sort_keys keeps shard bytes invariant to how the record dict
-            # was assembled (canonical serialization; see repro lint RL005).
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.write(text)
             handle.flush()
 
     def __len__(self) -> int:
-        return len(self.load_records())
+        """Number of intact mission-result records (failures not counted)."""
+        return sum(1 for record in self._iter_records() if "result" in record)

@@ -1,4 +1,4 @@
-"""The checker registry: one module per invariant, RL001..RL006."""
+"""The checker registry: one module per invariant, RL001..RL007."""
 
 from typing import Dict, List, Type
 
@@ -9,6 +9,7 @@ from repro.lint.checkers.rl003_forksafety import ForkUnsafeCallback
 from repro.lint.checkers.rl004_accumulation import OrderSensitiveAccumulation
 from repro.lint.checkers.rl005_iterorder import IterationOrderHazard
 from repro.lint.checkers.rl006_knobs import UnregisteredEnvKnob
+from repro.lint.checkers.rl007_swallowed import SwallowedException
 
 ALL_CHECKERS: List[Type[Checker]] = [
     UnseededRandomness,
@@ -17,6 +18,7 @@ ALL_CHECKERS: List[Type[Checker]] = [
     OrderSensitiveAccumulation,
     IterationOrderHazard,
     UnregisteredEnvKnob,
+    SwallowedException,
 ]
 
 CHECKERS_BY_CODE: Dict[str, Type[Checker]] = {c.code: c for c in ALL_CHECKERS}

@@ -1,0 +1,91 @@
+"""RL007: swallowed exceptions in engine paths.
+
+The resilience engine owns failure capture: a raising mission must surface as
+a structured failure record, never vanish into a bare ``except:`` or an
+``except Exception: pass``.  A handler that silently discards a broad
+exception class hides harness faults from the retry/quarantine ladder and
+turns reproducible failures into silent data loss.
+
+Flagged inside ``repro.core``, ``repro.pipeline`` and ``repro.rosmw``:
+
+* any bare ``except:`` handler, regardless of body;
+* an ``except Exception:`` / ``except BaseException:`` handler (alone or in a
+  tuple) whose body does nothing -- only ``pass``, ``continue`` or ``...``.
+
+Typed handlers (``except OSError: continue``) and broad handlers that *act*
+(log, re-raise, emit a failure record) are fine.  Deliberate broad captures
+-- e.g. the resilience engine's own capture site -- carry a
+``# repro-lint: disable=RL007 <reason>`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.base import Checker, FileContext
+from repro.lint.findings import Finding
+
+_SCOPE_PREFIXES = ("repro/core/", "repro/pipeline/", "repro/rosmw/")
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _broad_classes(handler: ast.ExceptHandler) -> bool:
+    """True when the handler catches ``Exception``/``BaseException``."""
+    handler_type = handler.type
+    if handler_type is None:
+        return True
+    elements = (
+        list(handler_type.elts)
+        if isinstance(handler_type, ast.Tuple)
+        else [handler_type]
+    )
+    for element in elements:
+        if isinstance(element, ast.Name) and element.id in _BROAD_NAMES:
+            return True
+        if isinstance(element, ast.Attribute) and element.attr in _BROAD_NAMES:
+            return True
+    return False
+
+
+def _body_is_silent(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body only discards (pass/continue/``...``)."""
+    for stmt in handler.body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # a docstring or bare ``...`` does not handle anything
+        return False
+    return True
+
+
+class SwallowedException(Checker):
+    code = "RL007"
+    name = "swallowed-exception"
+    description = (
+        "exception silently swallowed in an engine path; failures must "
+        "surface as structured failure records"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.module_rel.startswith(_SCOPE_PREFIXES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx, node,
+                    "bare 'except:' swallows every exception (including "
+                    "KeyboardInterrupt); catch a concrete exception type and "
+                    "let the resilience engine capture the rest",
+                )
+            elif _broad_classes(node) and _body_is_silent(node):
+                yield self.finding(
+                    ctx, node,
+                    "'except Exception' with an empty body silently discards "
+                    "harness failures; handle the exception or let it reach "
+                    "the resilience engine's failure capture",
+                )

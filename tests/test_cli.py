@@ -120,3 +120,11 @@ def test_campaign_scenario_sweep(tmp_path, capsys):
 def test_campaign_rejects_unknown_scenario(tmp_path, capsys):
     assert main(_campaign_args(tmp_path, "--scenario", "bogus")) == 2
     assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_campaign_rejects_unknown_environment(tmp_path, capsys):
+    # Must fail fast with exit 2 -- the resilience engine would otherwise
+    # retry and record the deterministic per-spec KeyError as harness
+    # failures and exit 0 with an empty campaign.
+    assert main(_campaign_args(tmp_path, "--env", "bogus")) == 2
+    assert "unknown environment" in capsys.readouterr().err

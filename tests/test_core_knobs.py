@@ -28,6 +28,12 @@ class TestRegistry:
             "REPRO_CHECKPOINT_VERIFY",
             "REPRO_SCALAR_KERNELS",
             "REPRO_BENCH_RESULTS_DIR",
+            "REPRO_CHAOS",
+            "REPRO_CHAOS_SEED",
+            "REPRO_MAX_ATTEMPTS",
+            "REPRO_TASK_TIMEOUT",
+            "REPRO_QUARANTINE_STRIKES",
+            "REPRO_POOL_RESPAWNS",
             "MAVFI_WORKERS",
             "MAVFI_OVERSUBSCRIBE",
             "MAVFI_RUNS",
@@ -46,7 +52,7 @@ class TestRegistry:
         rows = knobs.describe_rows()
         assert {row[0] for row in rows} == set(knobs.registered_names())
         for _name, kind, default, description in rows:
-            assert kind in ("flag", "float", "int", "path")
+            assert kind in ("flag", "float", "int", "path", "str")
             assert default and description
 
     def test_duplicate_registration_rejected(self):

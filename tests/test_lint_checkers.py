@@ -290,12 +290,89 @@ class TestUnregisteredEnvKnob:
         assert findings == []
 
 
+# --------------------------------------------------------------------- RL007
+class TestSwallowedException:
+    def test_bare_except_fires(self, tmp_path):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except:\n"
+            "        handle()\n"
+        )
+        findings = lint_source(tmp_path, source, module_rel="repro/core/fixture.py")
+        assert codes(findings) == ["RL007"]
+        assert "bare" in findings[0].message
+
+    def test_silent_broad_except_fires(self, tmp_path):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        assert codes(
+            lint_source(tmp_path, source, module_rel="repro/rosmw/fixture.py")
+        ) == ["RL007"]
+
+    def test_silent_broad_tuple_and_continue_fire(self, tmp_path):
+        source = (
+            "def f(items):\n"
+            "    for item in items:\n"
+            "        try:\n"
+            "            risky(item)\n"
+            "        except (ValueError, Exception):\n"
+            "            continue\n"
+        )
+        assert codes(lint_source(tmp_path, source)) == ["RL007"]
+
+    def test_typed_and_handled_excepts_clean(self, tmp_path):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except OSError:\n"
+            "        pass\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except Exception as exc:\n"
+            "        record(exc)\n"
+            "        raise\n"
+        )
+        assert lint_source(tmp_path, source, module_rel="repro/core/fixture.py") == []
+
+    def test_out_of_scope_module_exempt(self, tmp_path):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        findings = lint_source(
+            tmp_path, source, module_rel="repro/analysis/fixture.py"
+        )
+        assert findings == []
+
+    def test_pragma_excuses_deliberate_capture(self, tmp_path):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    # repro-lint: disable=RL007 deliberate broad capture for the test\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        assert lint_source(tmp_path, source, module_rel="repro/core/fixture.py") == []
+
+
 # ------------------------------------------------------------------ registry
 def test_checker_catalog_is_complete():
     from repro.lint.checkers import ALL_CHECKERS, CHECKERS_BY_CODE
 
     assert [c.code for c in ALL_CHECKERS] == [
-        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
     ]
     for checker_cls in ALL_CHECKERS:
         assert checker_cls.description
