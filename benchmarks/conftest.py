@@ -23,6 +23,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.bench import harness as bench_harness
 from repro.core import knobs
 from repro.core.campaign import Campaign, CampaignConfig, RunSetting
 from repro.core.executor import get_executor
@@ -35,11 +36,7 @@ CACHE_DIR = Path(__file__).parent / ".cache"
 #: ``results/local/`` directory so benchmark runs never dirty the working
 #: tree; the committed reference files live one level up in ``results/`` and
 #: are refreshed deliberately by pointing ``REPRO_BENCH_RESULTS_DIR`` at it.
-RESULTS_DIR = Path(
-    knobs.raw_or(
-        "REPRO_BENCH_RESULTS_DIR", str(Path(__file__).parent / "results" / "local")
-    )
-)
+RESULTS_DIR = bench_harness.results_dir(Path(__file__).parent / "results" / "local")
 
 #: Base (MAVFI_RUNS=1) run counts for the shared campaign.
 BASE_GOLDEN_RUNS = 10

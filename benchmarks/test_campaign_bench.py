@@ -120,7 +120,7 @@ def test_v1_reports_still_validate(tmp_path):
     assert loaded["schema"] == CAMPAIGN_BENCH_SCHEMA_V1
     # ...but a v1 report must not claim the v2 schema.
     promoted = dict(v1, schema=CAMPAIGN_BENCH_SCHEMA)
-    with pytest.raises(ValueError, match="parallel_checkpointed"):
+    with pytest.raises(ValueError, match="v2 campaign bench report must time"):
         validate_campaign_report(promoted)
 
 
@@ -176,4 +176,29 @@ def test_malformed_campaign_reports_rejected(tmp_path):
     tampered = json.loads(COMMITTED_REPORT.read_text())
     tampered["modes"]["serial_scratch"]["wall_s"] = 0.0
     with pytest.raises(ValueError):
+        validate_campaign_report(tampered)
+
+
+def test_v2_bookkeeping_fields_are_validated():
+    """Regression: fields the validator historically ignored now gate."""
+    good = json.loads(COMMITTED_REPORT.read_text())
+    tampered = dict(good)
+    tampered.pop("created_unix")
+    with pytest.raises(ValueError, match="created_unix"):
+        validate_campaign_report(tampered)
+    tampered = dict(good)
+    tampered["created_unix"] = -1.0
+    with pytest.raises(ValueError, match="created_unix"):
+        validate_campaign_report(tampered)
+    tampered = json.loads(COMMITTED_REPORT.read_text())
+    tampered["speedups"].pop("parallel_vs_baseline")
+    with pytest.raises(ValueError, match="speedups"):
+        validate_campaign_report(tampered)
+    tampered = json.loads(COMMITTED_REPORT.read_text())
+    tampered["workload"].pop("repeats")
+    with pytest.raises(ValueError, match="repeats"):
+        validate_campaign_report(tampered)
+    tampered = json.loads(COMMITTED_REPORT.read_text())
+    tampered["modes"].pop("serial_cached")
+    with pytest.raises(ValueError, match="serial_cached"):
         validate_campaign_report(tampered)

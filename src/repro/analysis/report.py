@@ -670,6 +670,32 @@ def _check_optional_number(value, label: str) -> None:
     )
 
 
+def _check_optional_stats(value, label: str) -> None:
+    """A sorted-sample summary object (``_sorted_stats`` and friends) or null."""
+    if value is None:
+        return
+    _require(isinstance(value, dict), f"{label} must be an object or null")
+    _require(
+        isinstance(value.get("count"), int) and value["count"] > 0,
+        f"{label}.count must be a positive integer",
+    )
+    for field_name, number in value.items():
+        if field_name == "count":
+            continue
+        _check_optional_number(number, f"{label}.{field_name}")
+
+
+def _check_stage_counter_map(value, label: str) -> None:
+    """A ``{stage: non-negative int}`` map (alarms_by_stage and friends)."""
+    _require(isinstance(value, dict), f"{label} must be an object")
+    for stage, count in value.items():
+        _require(isinstance(stage, str), f"{label} keys must be strings")
+        _require(
+            isinstance(count, int) and count >= 0,
+            f"{label}.{stage} must be a non-negative integer",
+        )
+
+
 def validate_report(report: Dict) -> None:
     """Validate a ``repro-report-v1`` dict; raises ``ValueError`` when malformed.
 
@@ -681,6 +707,27 @@ def validate_report(report: Dict) -> None:
     _require(
         report.get("schema") == REPORT_SCHEMA,
         f"schema must be {REPORT_SCHEMA!r}, got {report.get('schema')!r}",
+    )
+    for field_name in ("generator", "title"):
+        _require(
+            isinstance(report.get(field_name), str),
+            f"'{field_name}' must be a string",
+        )
+    bootstrap = report.get("bootstrap")
+    _require(isinstance(bootstrap, dict), "missing 'bootstrap' settings object")
+    confidence_level = bootstrap.get("confidence")
+    _require(
+        isinstance(confidence_level, (int, float))
+        and 0.0 < float(confidence_level) < 1.0,
+        "bootstrap.confidence must be in (0, 1)",
+    )
+    _require(
+        isinstance(bootstrap.get("resamples"), int) and bootstrap["resamples"] > 0,
+        "bootstrap.resamples must be a positive integer",
+    )
+    _require(
+        isinstance(bootstrap.get("seed"), int),
+        "bootstrap.seed must be an integer",
     )
     records = report.get("records")
     _require(isinstance(records, dict), "missing 'records' accounting object")
@@ -713,11 +760,15 @@ def validate_report(report: Dict) -> None:
             )
         qof = group.get("qof")
         _require(isinstance(qof, dict), f"{label}.qof must be an object")
-        for field_name in ("num_runs", "num_success"):
+        for field_name in ("num_runs", "num_success", "num_injected"):
             _require(
                 isinstance(qof.get(field_name), int) and qof[field_name] >= 0,
                 f"{label}.qof.{field_name} must be a non-negative integer",
             )
+        _require(
+            isinstance(qof.get("fell_back_to_failures"), bool),
+            f"{label}.qof.fell_back_to_failures must be a boolean",
+        )
         _require(
             qof["num_success"] <= qof["num_runs"],
             f"{label}.qof cannot have more successes than runs",
@@ -747,6 +798,22 @@ def validate_report(report: Dict) -> None:
                 isinstance(ci.get("samples"), int) and ci["samples"] >= 0,
                 f"{label}.confidence.{name}.samples must be a non-negative integer",
             )
+        _check_optional_stats(
+            group.get("flight_time_distribution"),
+            f"{label}.flight_time_distribution",
+        )
+        trajectory = group.get("trajectory")
+        _require(isinstance(trajectory, dict), f"{label}.trajectory must be an object")
+        for field_name in ("runs", "replans_total"):
+            _require(
+                isinstance(trajectory.get(field_name), int)
+                and trajectory[field_name] >= 0,
+                f"{label}.trajectory.{field_name} must be a non-negative integer",
+            )
+        for field_name in ("path_length", "detour_ratio", "max_lateral_deviation"):
+            _check_optional_stats(
+                trajectory.get(field_name), f"{label}.trajectory.{field_name}"
+            )
         detection = group.get("detection")
         _require(isinstance(detection, dict), f"{label}.detection must be an object")
         for field_name in ("checked_samples", "alarms", "runs_with_alarm"):
@@ -755,9 +822,24 @@ def validate_report(report: Dict) -> None:
                 and detection[field_name] >= 0,
                 f"{label}.detection.{field_name} must be a non-negative integer",
             )
+        _check_stage_counter_map(
+            detection.get("alarms_by_stage"), f"{label}.detection.alarms_by_stage"
+        )
+        _check_optional_stats(
+            detection.get("first_alarm_time"),
+            f"{label}.detection.first_alarm_time",
+        )
         overhead = group.get("overhead")
         if overhead is not None:
             _require(isinstance(overhead, dict), f"{label}.overhead must be an object")
+            _require(
+                isinstance(overhead.get("detector"), str),
+                f"{label}.overhead.detector must be a string",
+            )
+            for field_name in ("total_overhead", "total_compute_time"):
+                _check_optional_number(
+                    overhead.get(field_name), f"{label}.overhead.{field_name}"
+                )
             for side in ("detection_fraction", "recovery_fraction"):
                 fractions = overhead.get(side)
                 _require(
@@ -775,7 +857,15 @@ def validate_report(report: Dict) -> None:
         label = f"detection_accuracy[{i}]"
         _require(isinstance(row, dict), f"{label} must be an object")
         _require(isinstance(row.get("detector"), str), f"{label}.detector must be a string")
-        for field_name in ("golden_runs", "injected_runs", "golden_checked_samples"):
+        for field_name in (
+            "golden_runs",
+            "golden_runs_with_alarm",
+            "golden_checked_samples",
+            "golden_alarms",
+            "injected_runs",
+            "injected_runs_with_alarm",
+            "injected_checked_samples",
+        ):
             _require(
                 isinstance(row.get(field_name), int) and row[field_name] >= 0,
                 f"{label}.{field_name} must be a non-negative integer",
@@ -783,6 +873,21 @@ def validate_report(report: Dict) -> None:
         for field_name in ("run_fpr", "sample_fpr", "tpr", "precision",
                            "mean_time_to_detect"):
             _check_optional_number(row.get(field_name), f"{label}.{field_name}")
+        per_stage = row.get("per_stage")
+        _require(isinstance(per_stage, dict), f"{label}.per_stage must be an object")
+        for stage, stats in per_stage.items():
+            stage_label = f"{label}.per_stage.{stage}"
+            _require(isinstance(stats, dict), f"{stage_label} must be an object")
+            for field_name in ("injected_runs", "detected_runs", "localized_runs"):
+                _require(
+                    isinstance(stats.get(field_name), int)
+                    and stats[field_name] >= 0,
+                    f"{stage_label}.{field_name} must be a non-negative integer",
+                )
+            for field_name in ("tpr", "localization_rate", "mean_time_to_detect"):
+                _check_optional_number(
+                    stats.get(field_name), f"{stage_label}.{field_name}"
+                )
 
     recovery = report.get("recovery")
     _require(isinstance(recovery, list), "'recovery' must be a list")

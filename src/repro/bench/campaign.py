@@ -489,6 +489,20 @@ def _validate_scaling_section(report: Dict) -> None:
         raise ValueError(
             "scaling.workers must be a non-empty list of positive integers"
         )
+    for field_name in ("headline_workers", "cpu_count"):
+        value = scaling.get(field_name)
+        if not isinstance(value, int) or value < 1:
+            raise ValueError(
+                f"scaling.{field_name} must be a positive integer, got {value!r}"
+            )
+    if scaling["headline_workers"] not in workers:
+        raise ValueError(
+            "scaling.headline_workers must be one of the scaling.workers counts"
+        )
+    if not isinstance(scaling.get("start_method"), str):
+        raise ValueError("scaling.start_method must be a string")
+    if not isinstance(scaling.get("oversubscribe"), bool):
+        raise ValueError("scaling.oversubscribe must be a boolean")
     curve = scaling.get("curve")
     if not isinstance(curve, list) or not curve:
         raise ValueError("scaling.curve must be a non-empty list of points")
@@ -518,12 +532,19 @@ def _validate_scaling_section(report: Dict) -> None:
                     f"scaling point {field_name} must be finite and positive, "
                     f"got {value!r}"
                 )
-        duplicates = entry.get("duplicate_cursor_builds")
-        if not isinstance(duplicates, int) or duplicates < 0:
-            raise ValueError(
-                f"scaling point duplicate_cursor_builds must be a non-negative "
-                f"integer, got {duplicates!r}"
-            )
+        for field_name in (
+            "duplicate_cursor_builds",
+            "cursors_built",
+            "snapshots_restored",
+            "forks",
+            "specs",
+        ):
+            value = entry.get(field_name)
+            if not isinstance(value, int) or value < 0:
+                raise ValueError(
+                    f"scaling point {field_name} must be a non-negative "
+                    f"integer, got {value!r}"
+                )
     if {entry["workers"] for entry in curve} != set(workers):
         raise ValueError(
             "scaling.curve must contain exactly one point per scaling.workers entry"
@@ -568,15 +589,36 @@ def validate_campaign_report(report: Dict) -> None:
         raise ValueError(
             "campaign bench report must record 'cached_checkpointed_vs_baseline'"
         )
+    created = report.get("created_unix")
+    if not isinstance(created, (int, float)) or not math.isfinite(created) or created <= 0:
+        raise ValueError(
+            f"campaign bench report created_unix must be a positive timestamp, "
+            f"got {created!r}"
+        )
     if schema == CAMPAIGN_BENCH_SCHEMA:
-        if "parallel_checkpointed" not in modes:
-            raise ValueError(
-                "v2 campaign bench report must time the 'parallel_checkpointed' mode"
-            )
-        if speedups.get("parallel_vs_baseline") is None:
-            raise ValueError(
-                "v2 campaign bench report must record 'parallel_vs_baseline'"
-            )
+        for required in ("serial_cached", "parallel_checkpointed"):
+            if required not in modes:
+                raise ValueError(
+                    f"v2 campaign bench report must time the {required!r} mode"
+                )
+        for name in (
+            "cached_vs_baseline",
+            "parallel_vs_baseline",
+            "parallel_checkpointed_vs_baseline",
+            "parallel_vs_serial_checkpointed",
+        ):
+            if speedups.get(name) is None:
+                raise ValueError(
+                    f"v2 campaign bench report must record speedups.{name!r}"
+                )
+        workload = report.get("workload")
+        if isinstance(workload, dict):
+            repeats = workload.get("repeats")
+            if not isinstance(repeats, int) or repeats < 1:
+                raise ValueError(
+                    f"v2 campaign bench workload.repeats must be a positive "
+                    f"integer, got {repeats!r}"
+                )
         _validate_scaling_section(report)
     if report.get("bit_identical") is not True:
         raise ValueError(

@@ -27,6 +27,18 @@ BENCH_SCHEMA = "repro-bench-v1"
 DEFAULT_REPORT_NAME = "BENCH_hotpath.json"
 
 
+def results_dir(default: Union[str, Path]) -> Path:
+    """Directory where benchmark runs persist regenerated figure/table text.
+
+    Resolves the ``REPRO_BENCH_RESULTS_DIR`` knob (registry-parsed, so the
+    bench harness and any external caller agree on the default semantics);
+    ``default`` is the caller's untracked fallback directory.
+    """
+    from repro.core import knobs
+
+    return Path(knobs.raw_or("REPRO_BENCH_RESULTS_DIR", str(default)))
+
+
 @dataclass(frozen=True)
 class TimingStats:
     """Wall-clock statistics of one timed section."""

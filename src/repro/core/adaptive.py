@@ -746,6 +746,41 @@ def validate_plan(plan: Dict) -> Dict:
     )
     for section in ("campaign", "config", "rounds", "cells", "boundaries", "totals"):
         _require(section in plan, f"missing section {section!r}")
+    campaign = plan["campaign"]
+    _require(isinstance(campaign, dict), "campaign must be an object")
+    for name in ("environment", "planner", "platform"):
+        _require(
+            isinstance(campaign.get(name), str) and bool(campaign[name]),
+            f"campaign.{name} must be a non-empty string",
+        )
+    for name in ("env_seed", "seed"):
+        _require(
+            isinstance(campaign.get(name), int) and not isinstance(campaign[name], bool),
+            f"campaign.{name} must be an integer",
+        )
+    for name in ("mission_time_limit", "time_step"):
+        value = campaign.get(name)
+        _require(
+            isinstance(value, (int, float)) and math.isfinite(float(value))
+            and float(value) > 0.0,
+            f"campaign.{name} must be finite and positive",
+        )
+    window = campaign.get("injection_window")
+    _require(
+        isinstance(window, list) and len(window) == 2
+        and all(isinstance(v, (int, float)) for v in window)
+        and float(window[0]) <= float(window[1]),
+        "campaign.injection_window must be an ordered [lo, hi] pair",
+    )
+    for name in ("settings", "scenarios", "stages"):
+        values = campaign.get(name)
+        _require(
+            isinstance(values, list) and all(isinstance(v, str) for v in values),
+            f"campaign.{name} must be a list of strings",
+        )
+    _require_int(
+        campaign.get("seed_pool_size"), "campaign.seed_pool_size must be an int >= 1", 1
+    )
     config = plan["config"]
     _require(isinstance(config, dict), "config must be an object")
     budget = _require_int(config.get("budget"), "config.budget must be a positive int", 1)
@@ -757,6 +792,18 @@ def validate_plan(plan: Dict) -> Dict:
         )
     _require_int(config.get("round_size"), "config.round_size must be >= 1", 1)
     _require_int(config.get("min_runs"), "config.min_runs must be >= 1", 1)
+    _require_int(config.get("max_rounds"), "config.max_rounds must be >= 1", 1)
+    _require(isinstance(config.get("bisect"), bool), "config.bisect must be a boolean")
+    tolerance = config.get("bisect_tolerance")
+    _require(
+        isinstance(tolerance, (int, float)) and math.isfinite(float(tolerance))
+        and float(tolerance) > 0.0,
+        "config.bisect_tolerance must be finite and positive",
+    )
+    _require_int(
+        config.get("bisect_max_probes"), "config.bisect_max_probes must be >= 0"
+    )
+    _require_int(config.get("bisect_votes"), "config.bisect_votes must be >= 1", 1)
 
     totals = plan["totals"]
     _require(isinstance(totals, dict), "totals must be an object")
@@ -825,6 +872,11 @@ def validate_plan(plan: Dict) -> Dict:
         assert isinstance(label, str)
         _require(label not in seen_labels, f"duplicate cell label {label!r}")
         seen_labels.append(label)
+        for name in ("setting", "scenario", "stage"):
+            _require(
+                isinstance(cell.get(name), str),
+                f"cell {label} {name} must be a string",
+            )
         runs = _require_int(cell.get("runs"), f"cell {label} runs must be an int >= 0")
         successes = _require_int(
             cell.get("successes"), f"cell {label} successes must be an int >= 0"
@@ -832,6 +884,17 @@ def validate_plan(plan: Dict) -> Dict:
         _require(
             successes <= runs, f"cell {label} successes must not exceed its runs"
         )
+        rate = cell.get("success_rate")
+        if runs:
+            _require(
+                isinstance(rate, (int, float)) and 0.0 <= float(rate) <= 1.0,
+                f"cell {label} success_rate must be in [0, 1]",
+            )
+        else:
+            _require(rate is None, f"cell {label} success_rate must be null with no runs")
+        stop_round = cell.get("stop_round")
+        if stop_round is not None:
+            _require_int(stop_round, f"cell {label} stop_round must be an int >= 0")
         _require(
             runs == allocated.get(label, 0),
             f"cell {label} runs must equal its summed round allocations",
@@ -873,10 +936,34 @@ def validate_plan(plan: Dict) -> Dict:
         _require(isinstance(boundary, dict), "each boundary must be an object")
         label = boundary.get("cell")
         _require(isinstance(label, str) and bool(label), "each boundary needs a cell label")
+        for name in ("setting", "scenario", "stage"):
+            _require(
+                isinstance(boundary.get(name), str),
+                f"boundary {label} {name} must be a string",
+            )
         _require(
             boundary.get("reason") in BISECT_REASONS,
             f"boundary {label} reason must be one of {BISECT_REASONS}",
         )
+        _require_int(
+            boundary.get("votes"), f"boundary {label} votes must be an int >= 1", 1
+        )
+        tolerance = boundary.get("tolerance")
+        _require(
+            isinstance(tolerance, (int, float)) and math.isfinite(float(tolerance))
+            and float(tolerance) > 0.0,
+            f"boundary {label} tolerance must be finite and positive",
+        )
+        _require(
+            isinstance(boundary.get("converged"), bool),
+            f"boundary {label} converged must be a boolean",
+        )
+        for name in ("lo_survives", "hi_survives"):
+            survives = boundary.get(name)
+            _require(
+                survives is None or isinstance(survives, bool),
+                f"boundary {label} {name} must be a boolean or null",
+            )
         window = boundary.get("window")
         bracket = boundary.get("bracket")
         for name, pair in (("window", window), ("bracket", bracket)):

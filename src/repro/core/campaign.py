@@ -118,7 +118,7 @@ class CampaignConfig:
     bit_field: BitField = BitField.ANY
     seed: int = 0
     training_environments: int = 6
-    detector_cache_dir: Optional[Path] = None
+    detector_cache_dir: Optional[Path] = None  # repro-lint: disable=RL008 cache *location* only; detector weights are keyed by training content, not path
 
 
 @dataclass

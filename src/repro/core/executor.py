@@ -110,7 +110,7 @@ class RunSpec:
     config: "CampaignConfig"
     setting: str
     seed: int
-    index: int = 0
+    index: int = 0  # repro-lint: disable=RL008 ordering/reporting metadata; two specs differing only in index are the same mission
     fault_plan: Optional[FaultPlan] = None
     detector: Optional[str] = None
     planner_name: Optional[str] = None

@@ -33,12 +33,24 @@ import hashlib
 import json
 import os
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.core import knobs
 from repro.core.qof import derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.core.executor import RunSpec
 
 # Failure outcomes, in ladder order.
 OUTCOME_RETRIED = "retried"
@@ -141,7 +153,7 @@ FailureCallback = Callable[[FailureRecord], None]
 
 
 def failure_from_exception(
-    spec, exc: BaseException, attempt: int, outcome: str
+    spec: "RunSpec", exc: BaseException, attempt: int, outcome: str
 ) -> FailureRecord:
     """Normalised record of a raising mission attempt.
 
@@ -171,7 +183,7 @@ def failure_from_exception(
     )
 
 
-def hang_failure(spec, strike: int, outcome: str) -> FailureRecord:
+def hang_failure(spec: "RunSpec", strike: int, outcome: str) -> FailureRecord:
     """Normalised record of one hang strike (watchdog kill or chaos hang)."""
     return FailureRecord(
         spec_key=spec.key(),
@@ -186,7 +198,7 @@ def hang_failure(spec, strike: int, outcome: str) -> FailureRecord:
     )
 
 
-def crash_failure(spec, attempt: int, outcome: str) -> FailureRecord:
+def crash_failure(spec: "RunSpec", attempt: int, outcome: str) -> FailureRecord:
     """Normalised record of a worker-crash attempt."""
     return FailureRecord(
         spec_key=spec.key(),
@@ -311,7 +323,7 @@ class ChaosSchedule:
 
 
 # ------------------------------------------------------------ guarded running
-def discard_checkpoint_cursor(spec) -> None:
+def discard_checkpoint_cursor(spec: "RunSpec") -> None:
     """Drop the golden-prefix cursor a failed attempt may have corrupted.
 
     A mission that raised mid-flight can leave its group's cursor advanced
@@ -397,7 +409,7 @@ def guarded_execute(
 
 
 def run_spec_resilient(
-    spec,
+    spec: "RunSpec",
     detectors: Optional[Mapping[str, object]],
     policy: ResiliencePolicy,
     schedule: Optional[ChaosSchedule],

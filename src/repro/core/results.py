@@ -205,8 +205,19 @@ def mission_result_from_dict(data: Dict) -> MissionResult:
     Loads every known format version: records written before
     :data:`RESULT_FORMAT_VERSION` 2 (no ``format`` marker) simply lack the
     detection-timing fields and get their defaults (no alarm observed, no
-    known injection time).
+    known injection time).  Records from a *newer* writer are rejected
+    loudly -- silently dropping fields this reader does not know about
+    would corrupt resumes instead of failing them.
     """
+    version = data.get("format", 1)
+    if not isinstance(version, int) or version < 1:
+        raise ValueError(f"result record has a malformed format marker: {version!r}")
+    if version > RESULT_FORMAT_VERSION:
+        raise ValueError(
+            f"result record has format version {version}, newer than the "
+            f"supported {RESULT_FORMAT_VERSION}; upgrade this reader instead "
+            f"of guessing at unknown fields"
+        )
     first_alarm = data.get("first_alarm_time")
     injection_time = data.get("injection_time")
     trajectory = np.asarray(data.get("trajectory", []), dtype=float)
@@ -341,8 +352,11 @@ class JsonlResultStore:
                     record: object = json.loads(line)
                 except json.JSONDecodeError:
                     record = None
-                if isinstance(record, dict) and "key" in record and (
-                    "result" in record or "failure" in record
+                if (
+                    isinstance(record, dict)
+                    and "key" in record
+                    and ("result" in record or "failure" in record)
+                    and isinstance(record.get("meta", {}), dict)
                 ):
                     if health is not None:
                         if "result" in record:

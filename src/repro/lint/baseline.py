@@ -6,13 +6,19 @@ while any *new* finding still fails.  Fingerprints hash line content, not
 line numbers, so unrelated edits do not churn the file.  The shipped
 baseline is empty -- every live finding was either fixed or excused with a
 reasoned pragma -- but the mechanism is load-bearing for future adoptions.
+
+Entries that no longer match any current finding are *stale*: the finding
+was fixed (or its line rewritten) and the excuse should be retired.  The
+engine reports stale entries and ``--prune-baseline`` rewrites the file
+without them, so the baseline can only ever shrink on a healthy tree.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Set
+from typing import Iterable, List, Sequence, Set
 
 from repro.lint.findings import Finding
 
@@ -20,11 +26,23 @@ BASELINE_SCHEMA = "repro-lint-baseline-v1"
 DEFAULT_BASELINE_NAME = "lint-baseline.json"
 
 
-def load_baseline(path: Path) -> Set[str]:
-    """Fingerprints recorded in ``path`` (empty set if absent)."""
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One excused finding: its checker, file and content fingerprint."""
+
+    code: str
+    path: str
+    fingerprint: str
+
+    def to_dict(self) -> dict:
+        return {"code": self.code, "path": self.path, "fingerprint": self.fingerprint}
+
+
+def load_baseline_entries(path: Path) -> List[BaselineEntry]:
+    """Entries recorded in ``path`` (empty list if absent); validates shape."""
     path = Path(path)
     if not path.exists():
-        return set()
+        return []
     try:
         payload = json.loads(path.read_text())
     except json.JSONDecodeError as error:
@@ -34,7 +52,27 @@ def load_baseline(path: Path) -> Set[str]:
             f"baseline {path} has schema {payload.get('schema')!r}, "
             f"expected {BASELINE_SCHEMA!r}"
         )
-    return {entry["fingerprint"] for entry in payload.get("findings", [])}
+    entries: List[BaselineEntry] = []
+    for position, raw in enumerate(payload.get("findings", [])):
+        if not isinstance(raw, dict):
+            raise ValueError(f"baseline {path}: entry {position} is not an object")
+        for field_name in ("code", "path", "fingerprint"):
+            if not isinstance(raw.get(field_name), str) or not raw[field_name]:
+                raise ValueError(
+                    f"baseline {path}: entry {position} is missing a "
+                    f"non-empty {field_name!r}"
+                )
+        entries.append(
+            BaselineEntry(
+                code=raw["code"], path=raw["path"], fingerprint=raw["fingerprint"]
+            )
+        )
+    return entries
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Fingerprints recorded in ``path`` (empty set if absent)."""
+    return {entry.fingerprint for entry in load_baseline_entries(path)}
 
 
 def save_baseline(path: Path, findings: Iterable[Finding]) -> None:
@@ -46,6 +84,24 @@ def save_baseline(path: Path, findings: Iterable[Finding]) -> None:
     entries.sort(key=lambda e: (e["path"], e["code"], e["fingerprint"]))
     payload = {"schema": BASELINE_SCHEMA, "findings": entries}
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def save_baseline_entries(path: Path, entries: Sequence[BaselineEntry]) -> None:
+    """Rewrite ``path`` holding exactly ``entries`` (canonical JSON)."""
+    rows = sorted(
+        (entry.to_dict() for entry in entries),
+        key=lambda e: (e["path"], e["code"], e["fingerprint"]),
+    )
+    payload = {"schema": BASELINE_SCHEMA, "findings": rows}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def stale_entries(
+    entries: Sequence[BaselineEntry], findings: Sequence[Finding]
+) -> List[BaselineEntry]:
+    """Entries whose fingerprint matches no current finding."""
+    live = {f.fingerprint for f in findings}
+    return [entry for entry in entries if entry.fingerprint not in live]
 
 
 def apply_baseline(findings: List[Finding], fingerprints: Set[str]) -> List[Finding]:

@@ -1,6 +1,10 @@
-"""The checker registry: one module per invariant, RL001..RL007."""
+"""The checker registry: one module per invariant.
 
-from typing import Dict, List, Type
+RL001..RL007 are per-file checkers; RL008..RL012 are project checkers that
+run against the whole-program index (``repro.lint.project``).
+"""
+
+from typing import Dict, List, Type, Union
 
 from repro.lint.base import Checker
 from repro.lint.checkers.rl001_randomness import UnseededRandomness
@@ -10,6 +14,12 @@ from repro.lint.checkers.rl004_accumulation import OrderSensitiveAccumulation
 from repro.lint.checkers.rl005_iterorder import IterationOrderHazard
 from repro.lint.checkers.rl006_knobs import UnregisteredEnvKnob
 from repro.lint.checkers.rl007_swallowed import SwallowedException
+from repro.lint.checkers.rl008_speckey import SpecKeyCompleteness
+from repro.lint.checkers.rl009_layering import LayeringViolation
+from repro.lint.checkers.rl010_knob_lifecycle import KnobLifecycle
+from repro.lint.checkers.rl011_schema_drift import SchemaDrift
+from repro.lint.checkers.rl012_pickle_boundary import PickleBoundary
+from repro.lint.project import ProjectChecker
 
 ALL_CHECKERS: List[Type[Checker]] = [
     UnseededRandomness,
@@ -21,6 +31,18 @@ ALL_CHECKERS: List[Type[Checker]] = [
     SwallowedException,
 ]
 
-CHECKERS_BY_CODE: Dict[str, Type[Checker]] = {c.code: c for c in ALL_CHECKERS}
+PROJECT_CHECKERS: List[Type[ProjectChecker]] = [
+    SpecKeyCompleteness,
+    LayeringViolation,
+    KnobLifecycle,
+    SchemaDrift,
+    PickleBoundary,
+]
 
-__all__ = ["ALL_CHECKERS", "CHECKERS_BY_CODE"]
+AnyChecker = Union[Type[Checker], Type[ProjectChecker]]
+
+CHECKERS_BY_CODE: Dict[str, AnyChecker] = {
+    c.code: c for c in [*ALL_CHECKERS, *PROJECT_CHECKERS]
+}
+
+__all__ = ["ALL_CHECKERS", "PROJECT_CHECKERS", "CHECKERS_BY_CODE"]

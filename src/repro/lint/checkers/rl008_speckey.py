@@ -1,0 +1,221 @@
+"""RL008: spec-key completeness -- the ``abort_grace`` bug class.
+
+A campaign's resume/dedup identity is ``RunSpec.key()``: two runs with the
+same key are assumed interchangeable by the JSONL store, the checkpoint
+forks and the parallel scheduler.  That assumption breaks silently the
+moment the execution path reads a ``RunSpec``/``CampaignConfig`` field that
+the canonical key payload does not cover -- exactly what happened when
+``abort_grace`` started shaping mission outcomes while stale golden records
+keyed without it were still being resumed (fixed with the runspec-v3 bump).
+
+The checker recomputes both sides from the AST: the key payload is every
+field name referenced inside the key methods (``_canonical``,
+``_prefix_fields``, ...) including ``getattr(cfg, "name", ...)`` string
+constants; the read side is every field access on a value statically known
+to be a ``RunSpec`` or ``CampaignConfig`` (parameter annotations, ``self``
+inside the spec classes, and locals bound from ``<spec>.config``) within
+the execution modules.  A field read in execution but absent from the
+payload is flagged *at its definition line*, so one reasoned pragma on the
+field documents the exemption for every read site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.project import ClassInfo, ModuleInfo, ProjectChecker, ProjectIndex
+
+#: The spec dataclasses whose fields feed the canonical key.
+SPEC_CLASSES = ("RunSpec", "CampaignConfig")
+
+#: RunSpec methods that together assemble the canonical key payload.
+KEY_METHODS = (
+    "key",
+    "prefix_key",
+    "prefix_canonical",
+    "_prefix_fields",
+    "_canonical",
+    "effective_scenario",
+)
+
+#: Modules on the execution side of the contract.  Spec *generation*
+#: (core/campaign.py, core/adaptive.py) is deliberately out of scope: the
+#: parameters it reads flow into the key through the generated fault plans.
+EXECUTION_MODULES = (
+    "repro/core/executor.py",
+    "repro/core/checkpoint.py",
+    "repro/core/resilience.py",
+    "repro/pipeline/builder.py",
+    "repro/pipeline/runner.py",
+)
+
+
+def _annotation_class(annotation: Optional[ast.AST]) -> Optional[str]:
+    """The SPEC_CLASSES name in an annotation, unwrapping Optional/quotes."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        text = annotation.value.strip()
+        for cls in SPEC_CLASSES:
+            if text in (cls, f"Optional[{cls}]"):
+                return cls
+        return None
+    if isinstance(annotation, ast.Name) and annotation.id in SPEC_CLASSES:
+        return annotation.id
+    if isinstance(annotation, ast.Attribute) and annotation.attr in SPEC_CLASSES:
+        return annotation.attr
+    if isinstance(annotation, ast.Subscript):  # Optional[RunSpec], "Optional[...]"
+        return _annotation_class(annotation.slice)
+    return None
+
+
+def _key_payload(runspec: ClassInfo) -> Set[str]:
+    """Every field name the key methods reference (attrs + getattr consts)."""
+    payload: Set[str] = set()
+    for method_name in KEY_METHODS:
+        method = runspec.methods.get(method_name)
+        if method is None:
+            continue
+        for node in ast.walk(method):
+            if isinstance(node, ast.Attribute):
+                payload.add(node.attr)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "getattr"
+                and len(node.args) >= 2
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)
+            ):
+                payload.add(node.args[1].value)
+    return payload
+
+
+class SpecKeyCompleteness(ProjectChecker):
+    code = "RL008"
+    name = "spec-key-completeness"
+    description = (
+        "RunSpec/CampaignConfig field read in core/pipeline execution paths "
+        "but absent from the canonical RunSpec key payload"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        located = {
+            cls: index.find_class(cls) for cls in SPEC_CLASSES
+        }
+        runspec = located.get("RunSpec")
+        if runspec is None or located.get("CampaignConfig") is None:
+            return  # partial tree: nothing to check against
+        payload = _key_payload(runspec[1])
+        fields: Dict[str, Tuple[ModuleInfo, ClassInfo]] = {
+            cls: loc for cls, loc in located.items() if loc is not None
+        }
+        #: field name -> (class, read sites)
+        reads: Dict[Tuple[str, str], List[str]] = {}
+        for info in index.modules.values():
+            if not any(info.rel.endswith(m) for m in EXECUTION_MODULES):
+                continue
+            for owner, func in _all_functions(info):
+                for cls, attr, line in self._typed_reads(info, func, owner):
+                    if cls not in fields:
+                        continue
+                    class_fields = fields[cls][1].fields
+                    if attr not in class_fields or attr in payload:
+                        continue
+                    reads.setdefault((cls, attr), []).append(f"{info.rel}:{line}")
+        for (cls, attr), sites in sorted(reads.items()):
+            module, cinfo = fields[cls]
+            yield self.finding(
+                module,
+                cinfo.fields[attr],
+                f"field {cls}.{attr} is read in execution paths "
+                f"({', '.join(sorted(set(sites))[:4])}) but is not part of the "
+                f"canonical key payload; add it to the key (and bump the "
+                f"runspec schema) or exempt it with a reasoned pragma here",
+            )
+
+    # ------------------------------------------------------------ type tracking
+    def _typed_reads(  # noqa: C901 - one visitor, several spec-typing rules
+        self, info: ModuleInfo, func: ast.FunctionDef, owner: Optional[str]
+    ) -> Iterator[Tuple[str, str, int]]:
+        """(class, field, line) for each spec-typed attribute read in func."""
+        typed: Dict[str, str] = {}
+        args = list(func.args.posonlyargs) + list(func.args.args) + list(
+            func.args.kwonlyargs
+        )
+        for arg in args:
+            cls = _annotation_class(arg.annotation)
+            if cls:
+                typed[arg.arg] = cls
+        if owner in SPEC_CLASSES and args and args[0].arg == "self":
+            typed["self"] = owner
+        if owner in SPEC_CLASSES and getattr(func, "name", "") in KEY_METHODS:
+            return  # the key methods themselves define the payload
+        scope = list(_walk_scope(func))
+        # one level of aliasing: ``cfg = spec.config`` binds a CampaignConfig
+        for node in scope:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Attribute)
+                and isinstance(node.value.value, ast.Name)
+                and typed.get(node.value.value.id) == "RunSpec"
+                and node.value.attr == "config"
+            ):
+                typed[node.targets[0].id] = "CampaignConfig"
+        for node in scope:
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                cls = typed.get(node.value.id)
+                if cls is None:
+                    continue
+                if node.attr == "config" and cls == "RunSpec":
+                    # the alias itself; reads through it are tracked above
+                    continue
+                yield cls, node.attr, node.lineno
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "getattr"
+                and len(node.args) >= 2
+                and isinstance(node.args[0], ast.Name)
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)
+            ):
+                cls = typed.get(node.args[0].id)
+                if cls is not None:
+                    yield cls, node.args[1].value, node.lineno
+
+
+def _all_functions(
+    info: ModuleInfo,
+) -> Iterator[Tuple[Optional[str], ast.FunctionDef]]:
+    """Every function in the module -- nested closures included.
+
+    The ``abort_grace`` class of bug hides happily inside result-recording
+    closures, so the scan cannot stop at top-level defs.  Each function is
+    analyzed against its *own* annotations; an attribute read inside a
+    nested function only counts once, for the innermost scope that types
+    its base name.
+    """
+    methods = {
+        id(func): cinfo.name
+        for cinfo in info.classes.values()
+        for func in cinfo.methods.values()
+    }
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.FunctionDef):
+            yield methods.get(id(node)), node
+
+
+def _walk_scope(func: ast.FunctionDef) -> Iterator[ast.AST]:
+    """All nodes of ``func``'s own scope (nested function bodies excluded)."""
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,183 @@
+"""RL009: architecture layering.
+
+The package layout encodes a strict layering (see docs/ARCHITECTURE.md):
+middleware at the bottom, then the simulator, the pipeline kernel, the PPC
+stage packages, pipeline assembly + detection, the campaign engine, and the
+analysis/bench/CLI surface on top.  A module may only *toplevel*-import
+same-or-lower layers; function-scope (lazy) imports are the sanctioned
+cycle-breaking mechanism (e.g. stage kernels reaching ``repro.core.fault``)
+and are exempt from the DAG rule, but even a lazy import may not reach the
+surface layer or ``repro.core.executor`` from below -- that is how an
+"analysis helper" quietly becomes a load-bearing engine dependency.
+``TYPE_CHECKING`` imports are exempt entirely.  The toplevel import graph
+must also be acyclic: an import cycle means module import order decides
+behavior, which is exactly the class of latent bug layering exists to
+prevent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.project import (
+    EDGE_TOPLEVEL,
+    EDGE_TYPING,
+    ImportEdge,
+    ProjectChecker,
+    ProjectIndex,
+)
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One architecture layer: a rank and the module prefixes it owns."""
+
+    rank: int
+    name: str
+    prefixes: Tuple[str, ...]
+
+
+#: The declared layer DAG, bottom-up.  Assignment is by longest matching
+#: prefix, so ``repro.pipeline.kernel`` lands in ``kernel`` even though
+#: ``repro.pipeline`` as a whole is assembly.
+LAYERS: Tuple[Layer, ...] = (
+    Layer(0, "foundation", ("repro.rosmw", "repro.topics", "repro.version")),
+    Layer(1, "sim", ("repro.sim",)),
+    Layer(2, "kernel", ("repro.pipeline.kernel", "repro.pipeline.states")),
+    Layer(
+        3,
+        "stages",
+        (
+            "repro.perception",
+            "repro.planning",
+            "repro.control",
+            "repro.platforms",
+            "repro.scenarios",
+        ),
+    ),
+    Layer(4, "assembly", ("repro.pipeline", "repro.detection")),
+    Layer(5, "engine", ("repro.core",)),
+    Layer(
+        6,
+        "surface",
+        ("repro.analysis", "repro.bench", "repro.lint", "repro.cli", "repro"),
+    ),
+)
+
+#: Modules that may never be imported -- even lazily -- from below their own
+#: layer.  Reaching up to the engine's executor or to the reporting surface
+#: from a stage kernel couples mission physics to campaign bookkeeping.
+RESTRICTED_EVEN_LAZY: Tuple[Tuple[str, int], ...] = (
+    ("repro.analysis", 6),
+    ("repro.bench", 6),
+    ("repro.lint", 6),
+    ("repro.cli", 6),
+    ("repro.core.executor", 5),
+)
+
+
+def layer_for(module: str) -> Optional[Layer]:
+    """The layer owning ``module`` (longest prefix wins), or None."""
+    best: Optional[Layer] = None
+    best_len = -1
+    for layer in LAYERS:
+        for prefix in layer.prefixes:
+            if module == prefix or module.startswith(prefix + "."):
+                if len(prefix) > best_len:
+                    best = layer
+                    best_len = len(prefix)
+    return best
+
+
+class LayeringViolation(ProjectChecker):
+    code = "RL009"
+    name = "architecture-layering"
+    description = (
+        "toplevel import that reaches a higher architecture layer, a lazy "
+        "import of a restricted module, or a toplevel import cycle"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        toplevel: Dict[str, List[ImportEdge]] = {}
+        for info in index.engine_modules():
+            src_layer = layer_for(info.module)
+            if src_layer is None:
+                continue
+            for edge in info.import_edges:
+                if edge.kind == EDGE_TYPING:
+                    continue
+                dst_layer = layer_for(edge.target)
+                if dst_layer is None:
+                    continue
+                if edge.kind == EDGE_TOPLEVEL:
+                    toplevel.setdefault(edge.src, []).append(edge)
+                    if dst_layer.rank > src_layer.rank:
+                        yield self.finding(
+                            info,
+                            edge.line,
+                            f"layering: {edge.src} ({src_layer.name}) must not "
+                            f"import {edge.target} ({dst_layer.name}) at module "
+                            f"scope; move the import into the function that "
+                            f"needs it or invert the dependency",
+                        )
+                        continue
+                for restricted, rank in RESTRICTED_EVEN_LAZY:
+                    if src_layer.rank >= rank:
+                        continue
+                    if edge.target == restricted or edge.target.startswith(
+                        restricted + "."
+                    ):
+                        yield self.finding(
+                            info,
+                            edge.line,
+                            f"layering: {edge.src} ({src_layer.name}) must not "
+                            f"import {edge.target} at all (restricted to the "
+                            f"{LAYERS[rank].name} layer), even lazily",
+                        )
+        yield from self._cycles(index, toplevel)
+
+    def _cycles(
+        self, index: ProjectIndex, toplevel: Dict[str, List[ImportEdge]]
+    ) -> Iterator[Finding]:
+        """One finding per toplevel import cycle (anchored at its last edge)."""
+        graph = {
+            src: sorted({e.target for e in edges if e.target in index.by_name})
+            for src, edges in toplevel.items()
+        }
+        state: Dict[str, int] = {}  # 1 = on stack, 2 = done
+        stack: List[str] = []
+        reported = set()
+
+        def visit(module: str) -> Iterator[List[str]]:
+            state[module] = 1
+            stack.append(module)
+            for target in graph.get(module, ()):
+                mark = state.get(target)
+                if mark == 1:
+                    cycle = stack[stack.index(target):] + [target]
+                    key = frozenset(cycle)
+                    if key not in reported:
+                        reported.add(key)
+                        yield cycle
+                elif mark is None:
+                    yield from visit(target)
+            stack.pop()
+            state[module] = 2
+
+        for module in sorted(graph):
+            if module not in state:
+                for cycle in visit(module):
+                    src = cycle[-2]
+                    info = index.by_name[src]
+                    edge = next(
+                        e
+                        for e in toplevel[src]
+                        if e.target == cycle[-1]
+                    )
+                    yield self.finding(
+                        info,
+                        edge.line,
+                        "toplevel import cycle: " + " -> ".join(cycle),
+                    )

@@ -1,0 +1,227 @@
+"""RL011: schema drift between emitters and validators.
+
+Every JSON artifact this repo ships is a hand-rolled schema with an emitter
+and a validator living in the same module -- and nothing (until now) forcing
+them to agree.  The ``GaussianDetector`` feature-order bug rode exactly this
+gap: the emitter wrote a payload the reader accepted but interpreted
+differently.  For each declared contract the checker compares, per function
+body and statically:
+
+* keys *emitted* (dict-literal keys and ``payload["key"] = ...`` stores in
+  the emitter functions) that the validator never mentions as a string
+  constant -- an emitted-but-unchecked field (f-string fragments do not
+  count as mentions: an error message is not a check);
+* keys the validator *uses* (literal subscripts, ``.get("key")``,
+  ``"key" in x``, and ``for name in ("a", "b")`` tuples) that no emitter
+  ever writes -- a checked-but-never-emitted field, i.e. the validator is
+  validating a payload that no longer exists.
+
+Contracts whose emitter or validator module is missing from the index are
+skipped, so linting a subtree does not produce phantom findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.project import (
+    ModuleInfo,
+    ProjectChecker,
+    ProjectIndex,
+    collect_string_constants,
+)
+
+
+@dataclass(frozen=True)
+class SchemaContract:
+    """One emitter/validator pair for a named schema."""
+
+    schema: str
+    #: (module rel-path suffix, function qualname) pairs
+    emitters: Tuple[Tuple[str, str], ...]
+    validators: Tuple[Tuple[str, str], ...]
+
+
+CONTRACTS: Tuple[SchemaContract, ...] = (
+    SchemaContract(
+        schema="repro-report-v1",
+        emitters=(
+            ("repro/analysis/report.py", "build_report"),
+            ("repro/analysis/report.py", "_group_entry"),
+            ("repro/analysis/report.py", "_group_confidence"),
+            ("repro/analysis/report.py", "_recovery_rows"),
+            ("repro/analysis/report.py", "_harness_failure_section"),
+            ("repro/analysis/detection_metrics.py", "DetectionAccuracy.to_dict"),
+            ("repro/core/results.py", "ShardHealth.to_dict"),
+        ),
+        validators=(("repro/analysis/report.py", "validate_report"),),
+    ),
+    SchemaContract(
+        schema="repro-campaign-bench-v2",
+        emitters=(("repro/bench/campaign.py", "run_campaign_bench"),),
+        validators=(
+            ("repro/bench/campaign.py", "validate_campaign_report"),
+            ("repro/bench/campaign.py", "_validate_scaling_section"),
+        ),
+    ),
+    SchemaContract(
+        schema="adaptive-plan-v1",
+        emitters=(
+            ("repro/core/adaptive.py", "AdaptiveDriver._build_plan"),
+            ("repro/core/adaptive.py", "AdaptiveDriver.run"),
+            ("repro/core/adaptive.py", "AdaptiveDriver._bisect_phase"),
+        ),
+        validators=(
+            ("repro/core/adaptive.py", "validate_plan"),
+            ("repro/core/adaptive.py", "_validate_interval_field"),
+        ),
+    ),
+    SchemaContract(
+        schema="repro-lint-baseline-v1",
+        emitters=(("repro/lint/baseline.py", "save_baseline"),),
+        validators=(("repro/lint/baseline.py", "load_baseline_entries"),),
+    ),
+    SchemaContract(
+        schema="jsonl-store-v3",
+        emitters=(
+            ("repro/core/results.py", "mission_result_to_dict"),
+            ("repro/core/results.py", "flight_outcome_to_dict"),
+            ("repro/core/results.py", "JsonlResultStore.append"),
+            ("repro/core/results.py", "JsonlResultStore.append_failure"),
+        ),
+        validators=(
+            ("repro/core/results.py", "mission_result_from_dict"),
+            ("repro/core/results.py", "flight_outcome_from_dict"),
+            ("repro/core/results.py", "JsonlResultStore._iter_records"),
+        ),
+    ),
+)
+
+
+def _emitted_keys(func: ast.FunctionDef) -> Dict[str, int]:
+    """String keys written by ``func``: dict-literal keys + subscript stores."""
+    keys: Dict[str, int] = {}
+
+    def record(node: ast.AST) -> None:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            keys.setdefault(node.value, node.lineno)
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None:
+                    record(key)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    record(target.slice)
+        elif isinstance(node, ast.Call):
+            callee = node.func
+            if (
+                isinstance(callee, ast.Attribute)
+                and callee.attr == "setdefault"
+                and node.args
+            ):
+                record(node.args[0])
+    return keys
+
+
+def _validator_usages(func: ast.FunctionDef) -> Dict[str, int]:
+    """String keys the validator actively checks (not just mentions)."""
+    keys: Dict[str, int] = {}
+
+    def record(node: ast.AST) -> None:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            keys.setdefault(node.value, node.lineno)
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Subscript) and not isinstance(
+            getattr(node, "ctx", None), ast.Store
+        ):
+            record(node.slice)
+        elif isinstance(node, ast.Call):
+            callee = node.func
+            if (
+                isinstance(callee, ast.Attribute)
+                and callee.attr == "get"
+                and node.args
+            ):
+                record(node.args[0])
+        elif isinstance(node, ast.Compare) and len(node.ops) == 1:
+            if isinstance(node.ops[0], (ast.In, ast.NotIn)):
+                record(node.left)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            iter_node = node.iter
+            if isinstance(iter_node, (ast.Tuple, ast.List, ast.Set)):
+                for element in iter_node.elts:
+                    record(element)
+    return keys
+
+
+class SchemaDrift(ProjectChecker):
+    code = "RL011"
+    name = "schema-drift"
+    description = (
+        "JSON schema field emitted but never checked by its validator, or "
+        "checked by the validator but never emitted"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        for contract in CONTRACTS:
+            yield from self._check_contract(index, contract)
+
+    def _check_contract(
+        self, index: ProjectIndex, contract: SchemaContract
+    ) -> Iterator[Finding]:
+        emitters: List[Tuple[ModuleInfo, ast.FunctionDef, str]] = []
+        validators: List[Tuple[ModuleInfo, ast.FunctionDef, str]] = []
+        for suffix, qualname in contract.emitters:
+            located = index.find_function(suffix, qualname)
+            if located is None:
+                return  # partial tree (or renamed function): skip contract
+            emitters.append((located[0], located[1], qualname))
+        for suffix, qualname in contract.validators:
+            located = index.find_function(suffix, qualname)
+            if located is None:
+                return
+            validators.append((located[0], located[1], qualname))
+
+        mentions: Set[str] = set()
+        usages: Dict[str, Tuple[ModuleInfo, int, str]] = {}
+        for module, func, qualname in validators:
+            mentions.update(collect_string_constants(func))
+            for key, line in _validator_usages(func).items():
+                usages.setdefault(key, (module, line, qualname))
+
+        emitted: Dict[str, Tuple[ModuleInfo, int, str]] = {}
+        for module, func, qualname in emitters:
+            for key, line in _emitted_keys(func).items():
+                emitted.setdefault(key, (module, line, qualname))
+
+        validator_names = ", ".join(q for _, _, q in validators)
+        for key in sorted(emitted):
+            if key in mentions:
+                continue
+            module, line, qualname = emitted[key]
+            yield self.finding(
+                module,
+                line,
+                f"schema {contract.schema}: key {key!r} is emitted by "
+                f"{qualname} but never checked by {validator_names}; extend "
+                f"the validator or drop the field",
+            )
+        for key in sorted(usages):
+            if key in emitted:
+                continue
+            module, line, qualname = usages[key]
+            yield self.finding(
+                module,
+                line,
+                f"schema {contract.schema}: validator {qualname} checks key "
+                f"{key!r}, which no declared emitter writes; the validator "
+                f"is validating a payload that no longer exists",
+            )

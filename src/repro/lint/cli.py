@@ -10,8 +10,13 @@ import argparse
 from pathlib import Path
 from typing import List, Optional
 
-from repro.lint.baseline import DEFAULT_BASELINE_NAME, save_baseline
-from repro.lint.checkers import ALL_CHECKERS
+from repro.lint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline_entries,
+    save_baseline,
+    save_baseline_entries,
+)
+from repro.lint.checkers import ALL_CHECKERS, PROJECT_CHECKERS
 from repro.lint.engine import (
     UsageError,
     find_repo_root,
@@ -65,6 +70,17 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="record current findings into the baseline file and exit 0",
     )
     parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="rewrite the baseline file without stale entries",
+    )
+    parser.add_argument(
+        "--graph",
+        type=Path,
+        metavar="OUT",
+        help="write the internal import graph (repro-lint-graph-v1 JSON)",
+    )
+    parser.add_argument(
         "--list-checkers",
         action="store_true",
         help="print the checker catalog and exit",
@@ -80,11 +96,14 @@ def _split_codes(raw: Optional[str]) -> Optional[List[str]]:
 def run_from_args(args: argparse.Namespace) -> int:
     """Execute the lint subcommand; returns the process exit code."""
     if args.list_checkers:
-        for checker in ALL_CHECKERS:
+        for checker in [*ALL_CHECKERS, *PROJECT_CHECKERS]:
             print(f"{checker.code}  {checker.name}: {checker.description}")
         return 0
     root = find_repo_root() if args.root is None else args.root.resolve()
     paths = list(args.paths) if args.paths else [Path(p) for p in DEFAULT_PATHS]
+    if args.prune_baseline and args.no_baseline:
+        print("error: --prune-baseline requires the baseline", flush=True)
+        return 2
     try:
         result = run_lint(
             paths,
@@ -93,16 +112,33 @@ def run_from_args(args: argparse.Namespace) -> int:
             ignore=_split_codes(args.ignore),
             baseline_path=args.baseline,
             use_baseline=not args.no_baseline,
+            graph_path=args.graph,
         )
     except UsageError as error:
         print(f"error: {error}", flush=True)
         return 2
+    baseline_path = args.baseline or (root / DEFAULT_BASELINE_NAME)
     if args.write_baseline:
-        baseline_path = args.baseline or (root / DEFAULT_BASELINE_NAME)
         save_baseline(baseline_path, result.findings)
         print(
             f"wrote {len(result.findings)} finding(s) to {baseline_path}"
         )
         return 0
+    if args.prune_baseline:
+        stale = {entry.fingerprint for entry in result.stale_baseline}
+        try:
+            kept = [
+                entry
+                for entry in load_baseline_entries(baseline_path)
+                if entry.fingerprint not in stale
+            ]
+        except ValueError as error:
+            print(f"error: {error}", flush=True)
+            return 2
+        save_baseline_entries(baseline_path, kept)
+        print(
+            f"pruned {len(stale)} stale entr{'ies' if len(stale) != 1 else 'y'} "
+            f"from {baseline_path} ({len(kept)} kept)"
+        )
     print(format_result(result, fmt=args.format))
     return result.exit_code

@@ -466,6 +466,54 @@ class TestReportValidator:
         with pytest.raises(ValueError, match="success_rate"):
             validate_report(report)
 
+    # Regressions for fields the validator historically never looked at
+    # (found by the RL011 schema-drift checker): each emitted section must
+    # now be rejected when it goes missing or malformed.
+
+    def test_rejects_missing_bootstrap_settings(self, campaign_store):
+        report = self._valid(campaign_store)
+        report.pop("bootstrap")
+        with pytest.raises(ValueError, match="bootstrap"):
+            validate_report(report)
+
+    def test_rejects_out_of_range_bootstrap_confidence(self, campaign_store):
+        report = self._valid(campaign_store)
+        report["bootstrap"]["confidence"] = 1.0
+        with pytest.raises(ValueError, match="bootstrap.confidence"):
+            validate_report(report)
+
+    def test_rejects_missing_num_injected(self, campaign_store):
+        report = self._valid(campaign_store)
+        report["groups"][0]["qof"].pop("num_injected")
+        with pytest.raises(ValueError, match="num_injected"):
+            validate_report(report)
+
+    def test_rejects_non_boolean_fallback_marker(self, campaign_store):
+        report = self._valid(campaign_store)
+        report["groups"][0]["qof"]["fell_back_to_failures"] = "no"
+        with pytest.raises(ValueError, match="fell_back_to_failures"):
+            validate_report(report)
+
+    def test_rejects_missing_trajectory_section(self, campaign_store):
+        report = self._valid(campaign_store)
+        report["groups"][0].pop("trajectory")
+        with pytest.raises(ValueError, match="trajectory"):
+            validate_report(report)
+
+    def test_rejects_negative_trajectory_counter(self, campaign_store):
+        report = self._valid(campaign_store)
+        report["groups"][0]["trajectory"]["replans_total"] = -1
+        with pytest.raises(ValueError, match="replans_total"):
+            validate_report(report)
+
+    def test_rejects_missing_accuracy_sample_counter(self, campaign_store):
+        report = self._valid(campaign_store)
+        if not report["detection_accuracy"]:
+            pytest.skip("fixture store produced no detection rows")
+        report["detection_accuracy"][0].pop("golden_checked_samples")
+        with pytest.raises(ValueError, match="golden_checked_samples"):
+            validate_report(report)
+
 
 # ---------------------------------------------------------------- bootstrap
 class TestBootstrapCI:

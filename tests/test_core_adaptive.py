@@ -398,6 +398,37 @@ class TestPlanValidation:
     def test_rejects_missing_section(self, plan):
         self._corrupt(plan, lambda p: p.pop("rounds"))
 
+    # Regressions for sections the validator historically never looked at
+    # (found by the RL011 schema-drift checker).
+
+    def test_rejects_missing_campaign_field(self, plan):
+        self._corrupt(plan, lambda p: p["campaign"].pop("environment"))
+
+    def test_rejects_unordered_injection_window(self, plan):
+        self._corrupt(
+            plan, lambda p: p["campaign"].update(injection_window=[15.0, 10.0])
+        )
+
+    def test_rejects_bad_seed_pool_size(self, plan):
+        self._corrupt(plan, lambda p: p["campaign"].update(seed_pool_size=0))
+
+    def test_rejects_non_boolean_bisect_flag(self, plan):
+        self._corrupt(plan, lambda p: p["config"].update(bisect="yes"))
+
+    def test_rejects_even_bisect_votes(self, plan):
+        self._corrupt(plan, lambda p: p["config"].update(bisect_votes=0))
+
+    def test_rejects_out_of_range_cell_success_rate(self, plan):
+        self._corrupt(plan, lambda p: p["cells"][0].update(success_rate=1.5))
+
+    def test_rejects_boundary_without_votes(self, plan):
+        def mutate(p):
+            if not p["boundaries"]:
+                pytest.skip("fixture plan produced no boundaries")
+            p["boundaries"][0]["votes"] = 0
+
+        self._corrupt(plan, mutate)
+
     def test_rejects_budget_overrun(self, plan):
         def mutate(p):
             p["totals"]["runs_used"] = p["totals"]["budget"] + 1

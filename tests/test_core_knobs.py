@@ -45,7 +45,7 @@ class TestRegistry:
             with pytest.raises(KeyError, match="unregistered engine knob"):
                 accessor("REPRO_NOT_A_KNOB")
         with pytest.raises(KeyError, match="declare it in repro.core.knobs"):
-            # repro-lint: disable=RL006 deliberately exercises the unregistered-name rejection
+            # repro-lint: disable=RL006,RL010 deliberately exercises the unregistered-name rejection
             knobs.set_env("MAVFI_NOT_A_KNOB", "1")
 
     def test_describe_rows_covers_every_knob(self):
@@ -131,6 +131,16 @@ class TestHelpers:
         assert knobs.raw_or("REPRO_BENCH_RESULTS_DIR", "fallback") == "fallback"
         monkeypatch.setenv("REPRO_BENCH_RESULTS_DIR", "/tmp/results")
         assert knobs.raw_or("REPRO_BENCH_RESULTS_DIR", "fallback") == "/tmp/results"
+
+    def test_bench_results_dir_honours_knob(self, monkeypatch, tmp_path):
+        # Regression (RL010 dead-knob finding): the registered knob must
+        # actually be read through the engine, not just by benchmark conftest.
+        from repro.bench.harness import results_dir
+
+        default = tmp_path / "default"
+        assert results_dir(default) == default
+        monkeypatch.setenv("REPRO_BENCH_RESULTS_DIR", str(tmp_path / "override"))
+        assert results_dir(default) == tmp_path / "override"
 
     def test_setdefault_env(self, monkeypatch):
         assert knobs.setdefault_env("MAVFI_OVERSUBSCRIBE", "1") == "1"

@@ -9,6 +9,7 @@ import pytest
 
 from repro.core.campaign import Campaign, CampaignConfig
 from repro.core.results import (
+    RESULT_FORMAT_VERSION,
     JsonlResultStore,
     flight_outcome_from_dict,
     flight_outcome_to_dict,
@@ -132,3 +133,42 @@ class TestJsonlResultStore:
         store.append("abc", sample_result, meta={"generation": 2})
         assert len(store.load_results()) == 1
         assert store.load_records()[-1]["meta"] == {"generation": 2}
+
+
+class TestFormatVersionGuard:
+    """Regression: a newer writer's records must be rejected, not misread."""
+
+    def test_writer_stamps_current_version(self, sample_result):
+        assert mission_result_to_dict(sample_result)["format"] == RESULT_FORMAT_VERSION
+
+    def test_pre_format_records_load_with_defaults(self, sample_result):
+        legacy = mission_result_to_dict(sample_result)
+        legacy.pop("format")
+        legacy.pop("first_alarm_time", None)
+        legacy.pop("injection_time", None)
+        loaded = mission_result_from_dict(legacy)
+        assert loaded.first_alarm_time is None
+        assert loaded.injection_time is None
+
+    def test_newer_format_rejected_loudly(self, sample_result):
+        future = mission_result_to_dict(sample_result)
+        future["format"] = RESULT_FORMAT_VERSION + 1
+        with pytest.raises(ValueError, match="upgrade this reader"):
+            mission_result_from_dict(future)
+
+    @pytest.mark.parametrize("marker", ["3", 3.0, 0, -1])
+    def test_malformed_format_marker_rejected(self, sample_result, marker):
+        data = mission_result_to_dict(sample_result)
+        data["format"] = marker
+        with pytest.raises(ValueError, match="format marker|upgrade this reader"):
+            mission_result_from_dict(data)
+
+    def test_record_with_non_dict_meta_is_corrupt(self, tmp_path, sample_result):
+        store = JsonlResultStore(tmp_path / "r.jsonl")
+        store.append("abc", sample_result)
+        record = store.load_records()[0]
+        record["key"] = "bad-meta"
+        record["meta"] = ["not", "a", "dict"]
+        with store.path.open("a") as handle:
+            handle.write(json.dumps(record) + "\n")
+        assert store.completed_keys() == {"abc"}

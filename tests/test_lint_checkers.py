@@ -369,12 +369,15 @@ class TestSwallowedException:
 
 # ------------------------------------------------------------------ registry
 def test_checker_catalog_is_complete():
-    from repro.lint.checkers import ALL_CHECKERS, CHECKERS_BY_CODE
+    from repro.lint.checkers import ALL_CHECKERS, CHECKERS_BY_CODE, PROJECT_CHECKERS
 
     assert [c.code for c in ALL_CHECKERS] == [
         "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
     ]
-    for checker_cls in ALL_CHECKERS:
+    assert [c.code for c in PROJECT_CHECKERS] == [
+        "RL008", "RL009", "RL010", "RL011", "RL012",
+    ]
+    for checker_cls in [*ALL_CHECKERS, *PROJECT_CHECKERS]:
         assert checker_cls.description
         assert CHECKERS_BY_CODE[checker_cls.code] is checker_cls
 

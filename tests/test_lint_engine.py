@@ -176,7 +176,13 @@ class TestOutput:
         payload = json.loads(format_result(result, fmt="json"))
         assert payload["schema"] == JSON_SCHEMA
         assert payload["files_checked"] == 1
-        assert payload["counts"] == {"total": 1, "new": 1, "baselined": 0}
+        assert payload["counts"] == {
+            "total": 1,
+            "new": 1,
+            "baselined": 0,
+            "stale_baseline": 0,
+        }
+        assert payload["stale_baseline"] == []
         (finding,) = payload["findings"]
         assert finding["code"] == "RL001"
         assert finding["path"] == "src/repro/pipeline/fixture.py"
